@@ -1,0 +1,110 @@
+//! Fixed-width histogramming, the output form of every ADL query.
+//!
+//! The benchmark plots fixed-width histograms with under/overflow folded into
+//! the edge bins; both query formulations (JSONiq and handwritten SQL) use the
+//! same clamp-then-floor arithmetic so results are bit-identical.
+
+use snowdb::Variant;
+
+/// One histogram bin: `[lo, hi)` plus a count.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramBin {
+    pub lo: f64,
+    pub hi: f64,
+    pub count: i64,
+}
+
+/// Builds a fixed-width histogram over `values`, clamping under/overflow into
+/// the first/last bin.
+pub fn histogram_fixed(values: &[f64], lo: f64, hi: f64, nbins: usize) -> Vec<HistogramBin> {
+    assert!(nbins > 0 && hi > lo, "invalid histogram bounds");
+    let width = (hi - lo) / nbins as f64;
+    let mut counts = vec![0i64; nbins];
+    for &v in values {
+        let idx = bin_index(v, lo, hi, width);
+        counts[idx] += 1;
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .map(|(i, count)| HistogramBin {
+            lo: lo + i as f64 * width,
+            hi: lo + (i + 1) as f64 * width,
+            count,
+        })
+        .collect()
+}
+
+/// Clamp-then-floor bin index; the same arithmetic the queries embed.
+pub fn bin_index(v: f64, lo: f64, hi: f64, width: f64) -> usize {
+    let clamped = if v < lo {
+        lo
+    } else if v >= hi {
+        hi - width / 2.0
+    } else {
+        v
+    };
+    ((clamped - lo) / width).floor() as usize
+}
+
+/// Converts `{value, count}` query output rows into a histogram aligned to the
+/// same binning, for comparing engine output against a locally computed one.
+pub fn from_query_rows(
+    rows: &[Vec<Variant>],
+    lo: f64,
+    hi: f64,
+    nbins: usize,
+) -> Vec<HistogramBin> {
+    let width = (hi - lo) / nbins as f64;
+    let mut counts = vec![0i64; nbins];
+    for row in rows {
+        let obj = row[0].as_object().expect("histogram rows are objects");
+        let value = obj.get("value").and_then(Variant::as_f64).expect("value field");
+        let count = obj.get("count").and_then(Variant::as_i64).expect("count field");
+        let idx = bin_index(value, lo, hi, width);
+        counts[idx] += count;
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .map(|(i, count)| HistogramBin {
+            lo: lo + i as f64 * width,
+            hi: lo + (i + 1) as f64 * width,
+            count,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_cover_range() {
+        let h = histogram_fixed(&[0.5, 1.5, 1.6, 9.9], 0.0, 10.0, 10);
+        assert_eq!(h.len(), 10);
+        assert_eq!(h[0].count, 1);
+        assert_eq!(h[1].count, 2);
+        assert_eq!(h[9].count, 1);
+        assert_eq!(h.iter().map(|b| b.count).sum::<i64>(), 4);
+    }
+
+    #[test]
+    fn overflow_folds_into_edges() {
+        let h = histogram_fixed(&[-5.0, 100.0, 1e9], 0.0, 10.0, 5);
+        assert_eq!(h[0].count, 1);
+        assert_eq!(h[4].count, 2);
+    }
+
+    #[test]
+    fn exact_boundary_goes_to_upper_bin() {
+        let h = histogram_fixed(&[2.0], 0.0, 10.0, 5);
+        assert_eq!(h[1].count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram bounds")]
+    fn rejects_empty_range() {
+        histogram_fixed(&[], 1.0, 1.0, 5);
+    }
+}

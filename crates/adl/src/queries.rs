@@ -1,0 +1,542 @@
+//! The eight ADL benchmark queries (paper §II-C), each in two formulations:
+//!
+//! - **JSONiq**: the reference formulation fed to the translation layer;
+//! - **handwritten SQL**: the baseline in the style of the benchmark's official
+//!   Snowflake implementations (`LATERAL FLATTEN` + `GROUP BY`, `BOOLAND_AGG`
+//!   for Q7, `UNION ALL` reaggregation for Q8, `MIN_BY`/`MAX_BY` argmin instead
+//!   of joins — which is why the handwritten Q6 scans the source table once
+//!   while the translated JOIN-based Q6 scans it twice, reproducing §V-E).
+//!
+//! Both formulations use identical floating-point expression structure, so the
+//! results of the interpreter, the translated SQL, and the handwritten SQL are
+//! bit-identical and compared exactly in the test suite.
+//!
+//! Every query emits rows of a single column holding
+//! `{"value": <bin center>, "count": <n>}` objects — the histogram form the
+//! benchmark plots.
+
+/// Shared JSONiq prolog: binning and HEP helper functions.
+/// Non-recursive user functions are inlined by the rewrite phase.
+const PROLOG: &str = r#"
+declare function clampbin($x, $lo, $hi, $w) {
+  floor(((if ($x lt $lo) then $lo else (if ($x ge $hi) then $hi - $w div 2 else $x)) - $lo) div $w)
+};
+declare function pxx($p) { $p.PT * cos($p.PHI) };
+declare function pyy($p) { $p.PT * sin($p.PHI) };
+declare function pzz($p) { $p.PT * sinh($p.ETA) };
+declare function ee($p) {
+  sqrt(pxx($p) * pxx($p) + pyy($p) * pyy($p) + pzz($p) * pzz($p) + $p.MASS * $p.MASS)
+};
+declare function trimass($a, $b, $c) {
+  let $e := ee($a) + ee($b) + ee($c)
+  let $x := pxx($a) + pxx($b) + pxx($c)
+  let $y := pyy($a) + pyy($b) + pyy($c)
+  let $z := pzz($a) + pzz($b) + pzz($c)
+  return sqrt(abs($e * $e - $x * $x - $y * $y - $z * $z))
+};
+declare function tript($a, $b, $c) {
+  let $x := pxx($a) + pxx($b) + pxx($c)
+  let $y := pyy($a) + pyy($b) + pyy($c)
+  return sqrt($x * $x + $y * $y)
+};
+declare function dimass($m1, $m2) {
+  sqrt(2 * $m1.PT * $m2.PT * (cosh($m1.ETA - $m2.ETA) - cos($m1.PHI - $m2.PHI)))
+};
+declare function dphi($a, $b) {
+  let $d := abs($a - $b)
+  return if ($d gt pi()) then 2 * pi() - $d else $d
+};
+declare function drsq($j, $l) {
+  let $de := $j.ETA - $l.ETA
+  let $dp := dphi($j.PHI, $l.PHI)
+  return $de * $de + $dp * $dp
+};
+"#;
+
+/// One benchmark query: both formulations plus histogram metadata.
+#[derive(Clone, Debug)]
+pub struct AdlQuery {
+    pub id: &'static str,
+    /// Short description of the physics selection.
+    pub title: &'static str,
+    pub jsoniq: String,
+    pub handwritten_sql: String,
+    /// Histogram bounds `(lo, hi, width)`.
+    pub bins: (f64, f64, f64),
+    /// Whether the paper runs this query with the JOIN-based nested-query
+    /// strategy (Q6) instead of the flag-column default (§V-A).
+    pub join_based: bool,
+}
+
+fn fmt_f(v: f64) -> String {
+    if v.fract() == 0.0 && v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// SQL clamp-then-floor bin expression, mirroring the inlined `clampbin`.
+fn sql_bin(x: &str, lo: f64, hi: f64, w: f64) -> String {
+    let (lo_s, hi_s, w_s) = (fmt_f(lo), fmt_f(hi), fmt_f(w));
+    let k = fmt_f(hi - w / 2.0);
+    format!("FLOOR(((IFF(({x} < {lo_s}), {lo_s}, IFF(({x} >= {hi_s}), {k}, {x})) - {lo_s}) / {w_s}))")
+}
+
+/// SQL bin-center expression, mirroring `$lo + ($b + 0.5) * $w`.
+fn sql_center(lo: f64, w: f64) -> String {
+    format!("({} + ((BIN + 0.5) * {}))", fmt_f(lo), fmt_f(w))
+}
+
+/// JSONiq bin-center expression.
+fn jq_center(lo: f64, w: f64) -> String {
+    format!("{} + ($b + 0.5) * {}", fmt_f(lo), fmt_f(w))
+}
+
+fn sql_px(p: &str) -> String {
+    format!("({p}:PT * COS({p}:PHI))")
+}
+
+fn sql_py(p: &str) -> String {
+    format!("({p}:PT * SIN({p}:PHI))")
+}
+
+fn sql_pz(p: &str) -> String {
+    format!("({p}:PT * SINH({p}:ETA))")
+}
+
+fn sql_energy(p: &str) -> String {
+    let (px, py, pz) = (sql_px(p), sql_py(p), sql_pz(p));
+    format!("SQRT(((({px} * {px}) + ({py} * {py})) + ({pz} * {pz})) + ({p}:MASS * {p}:MASS))")
+}
+
+fn sql_trimass(a: &str, b: &str, c: &str) -> String {
+    let e = format!("(({} + {}) + {})", sql_energy(a), sql_energy(b), sql_energy(c));
+    let x = format!("(({} + {}) + {})", sql_px(a), sql_px(b), sql_px(c));
+    let y = format!("(({} + {}) + {})", sql_py(a), sql_py(b), sql_py(c));
+    let z = format!("(({} + {}) + {})", sql_pz(a), sql_pz(b), sql_pz(c));
+    format!("SQRT(ABS(((({e} * {e}) - ({x} * {x})) - ({y} * {y})) - ({z} * {z})))")
+}
+
+fn sql_tript(a: &str, b: &str, c: &str) -> String {
+    let x = format!("(({} + {}) + {})", sql_px(a), sql_px(b), sql_px(c));
+    let y = format!("(({} + {}) + {})", sql_py(a), sql_py(b), sql_py(c));
+    format!("SQRT(({x} * {x}) + ({y} * {y}))")
+}
+
+fn sql_dimass(a: &str, b: &str) -> String {
+    format!(
+        "SQRT((((2 * {a}:PT) * {b}:PT) * (COSH(({a}:ETA - {b}:ETA)) - COS(({a}:PHI - {b}:PHI)))))"
+    )
+}
+
+fn sql_dphi(a: &str, b: &str) -> String {
+    format!("IFF((ABS(({a} - {b})) > PI()), ((2 * PI()) - ABS(({a} - {b}))), ABS(({a} - {b})))")
+}
+
+fn sql_drsq(j: &str, l: &str) -> String {
+    let dp = sql_dphi(&format!("{j}:PHI"), &format!("{l}:PHI"));
+    format!("((({j}:ETA - {l}:ETA) * ({j}:ETA - {l}:ETA)) + ({dp} * {dp}))")
+}
+
+/// Wraps a `SELECT BIN, CNT` histogram core into the common
+/// `{"value", "count"}` output shape.
+fn sql_histogram(core: &str, lo: f64, w: f64) -> String {
+    format!(
+        "SELECT RESULT FROM ( \
+           SELECT OBJECT_CONSTRUCT('value', {center}, 'count', CNT) AS RESULT, BIN \
+           FROM ({core}) ORDER BY BIN)",
+        center = sql_center(lo, w),
+    )
+}
+
+fn jsoniq_with_prolog(body: &str) -> String {
+    format!("{PROLOG}\n{body}")
+}
+
+/// Builds all eight queries against the given table name.
+pub fn queries(table: &str) -> Vec<AdlQuery> {
+    vec![q1(table), q2(table), q3(table), q4(table), q5(table), q6(table), q7(table), q8(table)]
+}
+
+/// Q1: histogram of the missing transverse energy of all events.
+pub fn q1(t: &str) -> AdlQuery {
+    let (lo, hi, w) = (0.0, 100.0, 1.0);
+    let jsoniq = jsoniq_with_prolog(&format!(
+        r#"for $e in collection("{t}")
+group by $b := clampbin($e.MET.PT, {lo}, {hi}, {w})
+order by $b
+return {{"value": {center}, "count": count($e)}}"#,
+        lo = fmt_f(lo),
+        hi = fmt_f(hi),
+        w = fmt_f(w),
+        center = jq_center(lo, w),
+    ));
+    let bin = sql_bin("MET:PT", lo, hi, w);
+    let core = format!("SELECT {bin} AS BIN, COUNT(*) AS CNT FROM {t} GROUP BY {bin}");
+    AdlQuery {
+        id: "q1",
+        title: "MET of all events",
+        jsoniq,
+        handwritten_sql: sql_histogram(&core, lo, w),
+        bins: (lo, hi, w),
+        join_based: false,
+    }
+}
+
+/// Q2: histogram of the pT of all jets.
+pub fn q2(t: &str) -> AdlQuery {
+    let (lo, hi, w) = (15.0, 150.0, 2.7);
+    let jsoniq = jsoniq_with_prolog(&format!(
+        r#"for $j in collection("{t}").JET[]
+group by $b := clampbin($j.PT, {lo}, {hi}, {w})
+order by $b
+return {{"value": {center}, "count": count($j)}}"#,
+        lo = fmt_f(lo),
+        hi = fmt_f(hi),
+        w = fmt_f(w),
+        center = jq_center(lo, w),
+    ));
+    let bin = sql_bin("J.VALUE:PT", lo, hi, w);
+    let core = format!(
+        "SELECT {bin} AS BIN, COUNT(*) AS CNT \
+         FROM {t} H, LATERAL FLATTEN(INPUT => H.JET) J GROUP BY {bin}"
+    );
+    AdlQuery {
+        id: "q2",
+        title: "pT of all jets",
+        jsoniq,
+        handwritten_sql: sql_histogram(&core, lo, w),
+        bins: (lo, hi, w),
+        join_based: false,
+    }
+}
+
+/// Q3: pT of jets with |η| < 1.
+pub fn q3(t: &str) -> AdlQuery {
+    let (lo, hi, w) = (15.0, 150.0, 2.7);
+    let jsoniq = jsoniq_with_prolog(&format!(
+        r#"for $j in collection("{t}").JET[]
+where abs($j.ETA) lt 1
+group by $b := clampbin($j.PT, {lo}, {hi}, {w})
+order by $b
+return {{"value": {center}, "count": count($j)}}"#,
+        lo = fmt_f(lo),
+        hi = fmt_f(hi),
+        w = fmt_f(w),
+        center = jq_center(lo, w),
+    ));
+    let bin = sql_bin("J.VALUE:PT", lo, hi, w);
+    let core = format!(
+        "SELECT {bin} AS BIN, COUNT(*) AS CNT \
+         FROM {t} H, LATERAL FLATTEN(INPUT => H.JET) J \
+         WHERE (ABS(J.VALUE:ETA) < 1) GROUP BY {bin}"
+    );
+    AdlQuery {
+        id: "q3",
+        title: "pT of central jets",
+        jsoniq,
+        handwritten_sql: sql_histogram(&core, lo, w),
+        bins: (lo, hi, w),
+        join_based: false,
+    }
+}
+
+/// Q4: MET of events with at least two jets with pT > 40.
+pub fn q4(t: &str) -> AdlQuery {
+    let (lo, hi, w) = (0.0, 200.0, 4.0);
+    let jsoniq = jsoniq_with_prolog(&format!(
+        r#"for $e in collection("{t}")
+where count(for $j in $e.JET[] where $j.PT gt 40 return $j) ge 2
+group by $b := clampbin($e.MET.PT, {lo}, {hi}, {w})
+order by $b
+return {{"value": {center}, "count": count($e)}}"#,
+        lo = fmt_f(lo),
+        hi = fmt_f(hi),
+        w = fmt_f(w),
+        center = jq_center(lo, w),
+    ));
+    let bin = sql_bin("MET:PT", lo, hi, w);
+    let core = format!(
+        "SELECT BIN, COUNT(*) AS CNT FROM ( \
+           SELECT {bin} AS BIN FROM ( \
+             SELECT ANY_VALUE(H.MET) AS MET \
+             FROM {t} H, LATERAL FLATTEN(INPUT => H.JET) J \
+             WHERE (J.VALUE:PT > 40) \
+             GROUP BY H.EVENT HAVING (COUNT(*) >= 2))) \
+         GROUP BY BIN"
+    );
+    AdlQuery {
+        id: "q4",
+        title: "MET of events with >= 2 hard jets",
+        jsoniq,
+        handwritten_sql: sql_histogram(&core, lo, w),
+        bins: (lo, hi, w),
+        join_based: false,
+    }
+}
+
+/// Q5: MET of events with an opposite-charge di-muon pair with
+/// 60 < m(μμ) < 120.
+pub fn q5(t: &str) -> AdlQuery {
+    let (lo, hi, w) = (0.0, 200.0, 4.0);
+    let jsoniq = jsoniq_with_prolog(&format!(
+        r#"for $e in collection("{t}")
+where exists(
+  for $m1 at $i1 in $e.MUON[]
+  for $m2 at $i2 in $e.MUON[]
+  where $i1 lt $i2 and ($m1.CHARGE + $m2.CHARGE) eq 0
+    and dimass($m1, $m2) gt 60 and dimass($m1, $m2) lt 120
+  return 1)
+group by $b := clampbin($e.MET.PT, {lo}, {hi}, {w})
+order by $b
+return {{"value": {center}, "count": count($e)}}"#,
+        lo = fmt_f(lo),
+        hi = fmt_f(hi),
+        w = fmt_f(w),
+        center = jq_center(lo, w),
+    ));
+    let bin = sql_bin("MET:PT", lo, hi, w);
+    let mass = sql_dimass("M1.VALUE", "M2.VALUE");
+    let core = format!(
+        "SELECT BIN, COUNT(*) AS CNT FROM ( \
+           SELECT {bin} AS BIN FROM ( \
+             SELECT ANY_VALUE(H.MET) AS MET \
+             FROM {t} H, \
+               LATERAL FLATTEN(INPUT => H.MUON) M1, \
+               LATERAL FLATTEN(INPUT => H.MUON) M2 \
+             WHERE (M1.INDEX < M2.INDEX) \
+               AND ((M1.VALUE:CHARGE + M2.VALUE:CHARGE) = 0) \
+               AND ({mass} > 60) AND ({mass} < 120) \
+             GROUP BY H.EVENT)) \
+         GROUP BY BIN"
+    );
+    AdlQuery {
+        id: "q5",
+        title: "MET of events with an OS di-muon pair near the Z peak",
+        jsoniq,
+        handwritten_sql: sql_histogram(&core, lo, w),
+        bins: (lo, hi, w),
+        join_based: false,
+    }
+}
+
+/// Q6: pT of the trijet system with invariant mass closest to 172.5 GeV.
+pub fn q6(t: &str) -> AdlQuery {
+    let (lo, hi, w) = (15.0, 250.0, 4.7);
+    let jsoniq = jsoniq_with_prolog(&format!(
+        r#"for $e in collection("{t}")
+where size($e.JET) ge 3
+let $trip := (
+  for $j1 at $i1 in $e.JET[]
+  for $j2 at $i2 in $e.JET[]
+  for $j3 at $i3 in $e.JET[]
+  where $i1 lt $i2 and $i2 lt $i3
+  return {{"D": abs(trimass($j1, $j2, $j3) - 172.5), "PT": tript($j1, $j2, $j3)}})
+let $best := min(for $tt in $trip return $tt.D)
+let $pt := (for $tt in $trip where $tt.D eq $best return $tt.PT)[1]
+group by $b := clampbin($pt, {lo}, {hi}, {w})
+order by $b
+return {{"value": {center}, "count": count($e)}}"#,
+        lo = fmt_f(lo),
+        hi = fmt_f(hi),
+        w = fmt_f(w),
+        center = jq_center(lo, w),
+    ));
+    let bin = sql_bin("TPT", lo, hi, w);
+    let d = format!("ABS(({} - 172.5))", sql_trimass("J1.VALUE", "J2.VALUE", "J3.VALUE"));
+    let tpt = sql_tript("J1.VALUE", "J2.VALUE", "J3.VALUE");
+    let core = format!(
+        "SELECT BIN, COUNT(*) AS CNT FROM ( \
+           SELECT {bin} AS BIN FROM ( \
+             SELECT MIN_BY({tpt}, {d}) AS TPT \
+             FROM {t} H, \
+               LATERAL FLATTEN(INPUT => H.JET) J1, \
+               LATERAL FLATTEN(INPUT => H.JET) J2, \
+               LATERAL FLATTEN(INPUT => H.JET) J3 \
+             WHERE (J1.INDEX < J2.INDEX) AND (J2.INDEX < J3.INDEX) \
+             GROUP BY H.EVENT)) \
+         GROUP BY BIN"
+    );
+    AdlQuery {
+        id: "q6",
+        title: "pT of the top-candidate trijet",
+        jsoniq,
+        handwritten_sql: sql_histogram(&core, lo, w),
+        bins: (lo, hi, w),
+        join_based: true,
+    }
+}
+
+/// Q7: scalar sum (HT) of the pT of jets with pT > 30 that are not within
+/// ΔR < 0.4 of any lepton with pT > 10.
+pub fn q7(t: &str) -> AdlQuery {
+    let (lo, hi, w) = (0.0, 400.0, 8.0);
+    let jsoniq = jsoniq_with_prolog(&format!(
+        r#"for $e in collection("{t}")
+let $ht := sum(
+  for $j in $e.JET[]
+  where $j.PT gt 30 and empty(
+    for $l in [ $e.MUON[], $e.ELECTRON[] ][]
+    where $l.PT gt 10 and drsq($j, $l) lt 0.16
+    return 1)
+  return $j.PT)
+group by $b := clampbin($ht, {lo}, {hi}, {w})
+order by $b
+return {{"value": {center}, "count": count($e)}}"#,
+        lo = fmt_f(lo),
+        hi = fmt_f(hi),
+        w = fmt_f(w),
+        center = jq_center(lo, w),
+    ));
+    let bin = sql_bin("NVL(S.HT, 0)", lo, hi, w);
+    let drsq = sql_drsq("J.VALUE", "L.VALUE");
+    let core = format!(
+        "SELECT BIN, COUNT(*) AS CNT FROM ( \
+           SELECT {bin} AS BIN \
+           FROM {t} E LEFT OUTER JOIN ( \
+             SELECT EV, SUM(JPT) AS HT FROM ( \
+               SELECT H.EVENT AS EV, J.INDEX AS JI, ANY_VALUE(J.VALUE:PT) AS JPT \
+               FROM {t} H, \
+                 LATERAL FLATTEN(INPUT => H.JET) J, \
+                 LATERAL FLATTEN(INPUT => ARRAY_CAT(H.MUON, H.ELECTRON), OUTER => TRUE) L \
+               WHERE (J.VALUE:PT > 30) \
+               GROUP BY H.EVENT, J.INDEX \
+               HAVING BOOLAND_AGG(IFF((L.INDEX IS NULL), TRUE, \
+                 (NOT ((L.VALUE:PT > 10) AND ({drsq} < 0.16))))) \
+             ) GROUP BY EV \
+           ) S ON E.EVENT = S.EV) \
+         GROUP BY BIN"
+    );
+    AdlQuery {
+        id: "q7",
+        title: "HT of isolated jets",
+        jsoniq,
+        handwritten_sql: sql_histogram(&core, lo, w),
+        bins: (lo, hi, w),
+        join_based: false,
+    }
+}
+
+/// Q8: transverse mass of MET and the hardest lepton outside the
+/// same-flavour opposite-charge pair closest to the Z mass, for events with
+/// at least three light leptons.
+pub fn q8(t: &str) -> AdlQuery {
+    let (lo, hi, w) = (15.0, 250.0, 4.7);
+    let jsoniq = jsoniq_with_prolog(&format!(
+        r#"for $e in collection("{t}")
+let $leps := [
+  (for $m in $e.MUON[]
+   return {{"PT": $m.PT, "ETA": $m.ETA, "PHI": $m.PHI, "CHARGE": $m.CHARGE, "FLAVOR": 0}}),
+  (for $el in $e.ELECTRON[]
+   return {{"PT": $el.PT, "ETA": $el.ETA, "PHI": $el.PHI, "CHARGE": $el.CHARGE, "FLAVOR": 1}})
+]
+where size($leps) ge 3
+where exists(
+  for $l1 at $i1 in $leps[]
+  for $l2 at $i2 in $leps[]
+  where $i1 lt $i2 and $l1.FLAVOR eq $l2.FLAVOR and ($l1.CHARGE + $l2.CHARGE) eq 0
+  return 1)
+let $bd := min(
+  for $l1 at $i1 in $leps[]
+  for $l2 at $i2 in $leps[]
+  where $i1 lt $i2 and $l1.FLAVOR eq $l2.FLAVOR and ($l1.CHARGE + $l2.CHARGE) eq 0
+  return abs(dimass($l1, $l2) - 91.2))
+let $pr := (
+  for $l1 at $i1 in $leps[]
+  for $l2 at $i2 in $leps[]
+  where ($i1 lt $i2 and $l1.FLAVOR eq $l2.FLAVOR and ($l1.CHARGE + $l2.CHARGE) eq 0)
+    and abs(dimass($l1, $l2) - 91.2) eq $bd
+  return [$i1, $i2])[1]
+let $mx := max(
+  for $l at $i in $leps[]
+  where $i ne $pr[[1]] and $i ne $pr[[2]]
+  return $l.PT)
+let $lead := (
+  for $l at $i in $leps[]
+  where ($i ne $pr[[1]] and $i ne $pr[[2]]) and $l.PT eq $mx
+  return $l)[1]
+group by $b := clampbin(
+  sqrt(((2 * $e.MET.PT) * $lead.PT) * (1 - cos(dphi($e.MET.PHI, $lead.PHI)))),
+  {lo}, {hi}, {w})
+order by $b
+return {{"value": {center}, "count": count($e)}}"#,
+        lo = fmt_f(lo),
+        hi = fmt_f(hi),
+        w = fmt_f(w),
+        center = jq_center(lo, w),
+    ));
+
+    let mt = format!(
+        "SQRT((((2 * MET:PT) * LEAD:PT) * (1 - COS({}))))",
+        sql_dphi("MET:PHI", "LEAD:PHI")
+    );
+    let bin = sql_bin("MT", lo, hi, w);
+    let pairmass = format!("ABS(({} - 91.2))", sql_dimass("L1.VALUE", "L2.VALUE"));
+    let core = format!(
+        "SELECT BIN, COUNT(*) AS CNT FROM ( \
+          SELECT {bin} AS BIN FROM ( \
+            SELECT {mt} AS MT FROM ( \
+              SELECT EVENT, ANY_VALUE(MET) AS MET, MAX_BY(L.VALUE, L.VALUE:PT) AS LEAD FROM ( \
+                SELECT EVENT, ANY_VALUE(MET) AS MET, ANY_VALUE(LEPS) AS LEPS, \
+                       MIN_BY(OBJECT_CONSTRUCT('I1', L1.INDEX, 'I2', L2.INDEX), {pairmass}) AS PAIR \
+                FROM ( \
+                  SELECT EVENT, ANY_VALUE(MET) AS MET, ARRAY_AGG(LEP) AS LEPS FROM ( \
+                    SELECT H.EVENT AS EVENT, H.MET AS MET, \
+                      OBJECT_CONSTRUCT('PT', M.VALUE:PT, 'ETA', M.VALUE:ETA, 'PHI', M.VALUE:PHI, \
+                                       'CHARGE', M.VALUE:CHARGE, 'FLAVOR', 0) AS LEP \
+                    FROM {t} H, LATERAL FLATTEN(INPUT => H.MUON) M \
+                    UNION ALL \
+                    SELECT H.EVENT AS EVENT, H.MET AS MET, \
+                      OBJECT_CONSTRUCT('PT', EL.VALUE:PT, 'ETA', EL.VALUE:ETA, 'PHI', EL.VALUE:PHI, \
+                                       'CHARGE', EL.VALUE:CHARGE, 'FLAVOR', 1) AS LEP \
+                    FROM {t} H, LATERAL FLATTEN(INPUT => H.ELECTRON) EL \
+                  ) GROUP BY EVENT \
+                ), LATERAL FLATTEN(INPUT => LEPS) L1, LATERAL FLATTEN(INPUT => LEPS) L2 \
+                WHERE (ARRAY_SIZE(LEPS) >= 3) AND (L1.INDEX < L2.INDEX) \
+                  AND (L1.VALUE:FLAVOR = L2.VALUE:FLAVOR) \
+                  AND ((L1.VALUE:CHARGE + L2.VALUE:CHARGE) = 0) \
+                GROUP BY EVENT \
+              ), LATERAL FLATTEN(INPUT => LEPS) L \
+              WHERE (L.INDEX <> PAIR:I1) AND (L.INDEX <> PAIR:I2) \
+              GROUP BY EVENT))) \
+         GROUP BY BIN"
+    );
+    AdlQuery {
+        id: "q8",
+        title: "Transverse mass of MET and the leading extra lepton",
+        jsoniq,
+        handwritten_sql: sql_histogram(&core, lo, w),
+        bins: (lo, hi, w),
+        join_based: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_queries_are_defined() {
+        let qs = queries("hep");
+        assert_eq!(qs.len(), 8);
+        assert!(qs.iter().all(|q| q.jsoniq.contains("collection(\"hep\")")));
+        assert!(qs.iter().all(|q| q.handwritten_sql.contains("OBJECT_CONSTRUCT")));
+        assert_eq!(qs.iter().filter(|q| q.join_based).count(), 1);
+    }
+
+    #[test]
+    fn sql_helpers_are_balanced() {
+        for q in queries("hep") {
+            let open = q.handwritten_sql.matches('(').count();
+            let close = q.handwritten_sql.matches(')').count();
+            assert_eq!(open, close, "unbalanced parens in {}", q.id);
+        }
+    }
+
+    #[test]
+    fn bin_expression_embeds_clamp_constant() {
+        let b = sql_bin("X", 0.0, 100.0, 1.0);
+        assert!(b.contains("99.5"), "{b}");
+    }
+}

@@ -1,0 +1,58 @@
+//! Criterion benchmarks backing Figs. 7–9: per-query compile time, execution
+//! time, and end-to-end time of the generated vs handwritten SQL on a reduced
+//! ADL dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jsoniq_core::snowflake::{NestedStrategy, Translator};
+use snowpark::Session;
+
+const EVENTS: usize = 2048;
+
+fn bench_compile(c: &mut Criterion) {
+    let db = bench::experiments::adl_db(EVENTS);
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(20);
+    for q in adl::queries::queries("hep") {
+        let strategy = if q.join_based {
+            NestedStrategy::JoinBased
+        } else {
+            NestedStrategy::FlagColumn
+        };
+        let mut t = Translator::new(Session::new(db.clone()), strategy);
+        let gen_sql = t.translate(&q.jsoniq).expect("translates").sql().to_string();
+        group.bench_function(format!("{}-generated", q.id), |b| {
+            b.iter(|| std::hint::black_box(db.compile(&gen_sql).expect("compiles").node_count()))
+        });
+        group.bench_function(format!("{}-handwritten", q.id), |b| {
+            b.iter(|| {
+                std::hint::black_box(db.compile(&q.handwritten_sql).expect("compiles").node_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let db = bench::experiments::adl_db(EVENTS);
+    let mut group = c.benchmark_group("endtoend");
+    group.sample_size(10);
+    for q in adl::queries::queries("hep") {
+        let strategy = if q.join_based {
+            NestedStrategy::JoinBased
+        } else {
+            NestedStrategy::FlagColumn
+        };
+        let mut t = Translator::new(Session::new(db.clone()), strategy);
+        let gen_sql = t.translate(&q.jsoniq).expect("translates").sql().to_string();
+        group.bench_function(format!("{}-generated", q.id), |b| {
+            b.iter(|| std::hint::black_box(db.query(&gen_sql).expect("runs").rows.len()))
+        });
+        group.bench_function(format!("{}-handwritten", q.id), |b| {
+            b.iter(|| std::hint::black_box(db.query(&q.handwritten_sql).expect("runs").rows.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion benchmark backing the §IV-C ablation: flag-column vs JOIN-based
+//! nested-query handling on the nested-query-heavy ADL queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jsoniq_core::snowflake::{NestedStrategy, Translator};
+use snowpark::Session;
+
+fn bench_strategies(c: &mut Criterion) {
+    let db = bench::experiments::adl_db(2048);
+    let mut group = c.benchmark_group("nested_strategy");
+    group.sample_size(10);
+    for q in adl::queries::queries("hep") {
+        if !["q4", "q5", "q6", "q7", "q8"].contains(&q.id) {
+            continue;
+        }
+        for (label, strategy) in [
+            ("flag", NestedStrategy::FlagColumn),
+            ("join", NestedStrategy::JoinBased),
+        ] {
+            let mut t = Translator::new(Session::new(db.clone()), strategy);
+            let sql = t.translate(&q.jsoniq).expect("translates").sql().to_string();
+            group.bench_function(format!("{}-{label}", q.id), |b| {
+                b.iter(|| std::hint::black_box(db.query(&sql).expect("runs").rows.len()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

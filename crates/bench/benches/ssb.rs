@@ -1,0 +1,26 @@
+//! Criterion benchmark backing Fig. 11: SSB translated vs handwritten total
+//! time on a reduced dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jsoniq_core::snowflake::{NestedStrategy, Translator};
+use snowpark::Session;
+
+fn bench_ssb(c: &mut Criterion) {
+    let db = bench::experiments::ssb_db(4096);
+    let mut group = c.benchmark_group("ssb");
+    group.sample_size(10);
+    for q in ssb::queries() {
+        let mut t = Translator::new(Session::new(db.clone()), NestedStrategy::FlagColumn);
+        let gen_sql = t.translate(&q.jsoniq).expect("translates").sql().to_string();
+        group.bench_function(format!("{}-translated", q.id), |b| {
+            b.iter(|| std::hint::black_box(db.query(&gen_sql).expect("runs").rows.len()))
+        });
+        group.bench_function(format!("{}-handwritten", q.id), |b| {
+            b.iter(|| std::hint::black_box(db.query(&q.sql).expect("runs").rows.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ssb);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion microbenchmark backing Fig. 6: JSONiq → SQL translation time per
+//! ADL query (the full pipeline: parse, rewrite, iterator tree, Snowpark
+//! composition).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jsoniq_core::snowflake::{NestedStrategy, Translator};
+use snowpark::Session;
+
+fn bench_translate(c: &mut Criterion) {
+    let db = bench::experiments::adl_db(64);
+    let mut group = c.benchmark_group("translate");
+    group.sample_size(20);
+    for q in adl::queries::queries("hep") {
+        let strategy = if q.join_based {
+            NestedStrategy::JoinBased
+        } else {
+            NestedStrategy::FlagColumn
+        };
+        group.bench_function(q.id, |b| {
+            b.iter(|| {
+                let mut t = Translator::new(Session::new(db.clone()), strategy);
+                let df = t.translate(&q.jsoniq).expect("translates");
+                std::hint::black_box(df.sql().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_translate);
+criterion_main!(benches);

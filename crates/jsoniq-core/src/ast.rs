@@ -1,0 +1,251 @@
+//! JSONiq abstract syntax tree.
+//!
+//! The same node types serve as the *expression tree* after the rewrite phase
+//! (function inlining, constant folding, dead-code elimination), matching
+//! RumbleDB's pipeline where the expression tree is a normalized AST
+//! (paper §III-A2).
+
+use snowdb::Variant;
+
+/// A JSONiq item; the engine shares `snowdb`'s variant data model.
+pub type Item = Variant;
+
+/// A parsed main module: user-declared functions plus the body expression.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Module {
+    pub functions: Vec<FunctionDecl>,
+    pub body: Expr,
+}
+
+/// `declare function name($a, $b) { body };`
+#[derive(Clone, Debug, PartialEq)]
+pub struct FunctionDecl {
+    pub name: String,
+    pub params: Vec<String>,
+    pub body: Expr,
+}
+
+/// Binary operators. Keyword comparisons (`eq`, `lt`, ...) are value
+/// comparisons; the symbolic forms (`=`, `<`, ...) parse to the same operators
+/// (general comparison semantics coincide on the atomic values these workloads
+/// touch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinaryOp {
+    Or,
+    And,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    IDiv,
+    Mod,
+    /// `a to b` integer range.
+    To,
+    /// `||` string concatenation.
+    Concat,
+}
+
+/// One FLWOR clause.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Clause {
+    For {
+        var: String,
+        /// Positional variable from `at $i` (1-based).
+        at: Option<String>,
+        expr: Expr,
+        /// `allowing empty`: emit one tuple with an empty binding when the
+        /// sequence is empty (the FLWOR analogue of an outer join).
+        allowing_empty: bool,
+    },
+    Let {
+        var: String,
+        expr: Expr,
+    },
+    Where(Expr),
+    GroupBy {
+        /// `group by $k := expr, ...`; a missing expr groups by the variable's
+        /// current binding.
+        keys: Vec<(String, Option<Expr>)>,
+    },
+    OrderBy {
+        keys: Vec<(Expr, bool)>, // (expr, descending)
+    },
+    Count(String),
+}
+
+/// A FLWOR expression: a clause chain ending in `return`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Flwor {
+    pub clauses: Vec<Clause>,
+    pub return_expr: Box<Expr>,
+}
+
+/// JSONiq expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    Literal(Item),
+    VarRef(String),
+    /// `{ "k": v, ... }`
+    ObjectConstructor(Vec<(String, Expr)>),
+    /// `[ a, b, ... ]`
+    ArrayConstructor(Vec<Expr>),
+    /// `(a, b, c)` comma sequence (and `()` the empty sequence).
+    Sequence(Vec<Expr>),
+    Flwor(Flwor),
+    If {
+        cond: Box<Expr>,
+        then: Box<Expr>,
+        else_: Box<Expr>,
+    },
+    Binary {
+        op: BinaryOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// Unary minus.
+    Neg(Box<Expr>),
+    Not(Box<Expr>),
+    /// `$x.field`
+    ObjectLookup {
+        base: Box<Expr>,
+        field: String,
+    },
+    /// `$x[]` — array unboxing.
+    ArrayUnbox {
+        base: Box<Expr>,
+    },
+    /// `$x[[i]]` — array member lookup (1-based).
+    ArrayLookup {
+        base: Box<Expr>,
+        index: Box<Expr>,
+    },
+    /// `$seq[p]` — positional (integer) or boolean predicate over a sequence.
+    Predicate {
+        base: Box<Expr>,
+        pred: Box<Expr>,
+    },
+    FunctionCall {
+        name: String,
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// Integer literal helper.
+    pub fn int(i: i64) -> Expr {
+        Expr::Literal(Variant::Int(i))
+    }
+
+    /// Walks the expression tree, applying `f` to every node (pre-order).
+    pub fn walk(&self, f: &mut dyn FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Literal(_) | Expr::VarRef(_) => {}
+            Expr::ObjectConstructor(pairs) => {
+                for (_, v) in pairs {
+                    v.walk(f);
+                }
+            }
+            Expr::ArrayConstructor(items) | Expr::Sequence(items) => {
+                for i in items {
+                    i.walk(f);
+                }
+            }
+            Expr::Flwor(fl) => {
+                for c in &fl.clauses {
+                    match c {
+                        Clause::For { expr, .. } | Clause::Let { expr, .. } | Clause::Where(expr) => {
+                            expr.walk(f)
+                        }
+                        Clause::GroupBy { keys } => {
+                            for (_, e) in keys {
+                                if let Some(e) = e {
+                                    e.walk(f);
+                                }
+                            }
+                        }
+                        Clause::OrderBy { keys } => {
+                            for (e, _) in keys {
+                                e.walk(f);
+                            }
+                        }
+                        Clause::Count(_) => {}
+                    }
+                }
+                fl.return_expr.walk(f);
+            }
+            Expr::If { cond, then, else_ } => {
+                cond.walk(f);
+                then.walk(f);
+                else_.walk(f);
+            }
+            Expr::Binary { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            Expr::Neg(e) | Expr::Not(e) | Expr::ArrayUnbox { base: e } => e.walk(f),
+            Expr::ObjectLookup { base, .. } => base.walk(f),
+            Expr::ArrayLookup { base, index } => {
+                base.walk(f);
+                index.walk(f);
+            }
+            Expr::Predicate { base, pred } => {
+                base.walk(f);
+                pred.walk(f);
+            }
+            Expr::FunctionCall { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+        }
+    }
+}
+
+/// Compiler errors for the JSONiq front-end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsoniqError {
+    Lex(String),
+    Parse(String),
+    /// Static errors: unknown variable/function, arity mismatch, recursion.
+    Static(String),
+    /// Dynamic errors raised by the interpreter.
+    Dynamic(String),
+    /// Errors raised while translating to SQL.
+    Translate(String),
+    /// Errors bubbled up from the engine.
+    Engine(String),
+    /// Evaluation exceeded the configured deadline.
+    Timeout,
+}
+
+impl std::fmt::Display for JsoniqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsoniqError::Lex(m) => write!(f, "lexical error: {m}"),
+            JsoniqError::Parse(m) => write!(f, "syntax error: {m}"),
+            JsoniqError::Static(m) => write!(f, "static error: {m}"),
+            JsoniqError::Dynamic(m) => write!(f, "dynamic error: {m}"),
+            JsoniqError::Translate(m) => write!(f, "translation error: {m}"),
+            JsoniqError::Engine(m) => write!(f, "engine error: {m}"),
+            JsoniqError::Timeout => write!(f, "evaluation exceeded the deadline"),
+        }
+    }
+}
+
+impl std::error::Error for JsoniqError {}
+
+impl From<snowdb::SnowError> for JsoniqError {
+    fn from(e: snowdb::SnowError) -> Self {
+        JsoniqError::Engine(e.to_string())
+    }
+}
+
+/// Result alias for the JSONiq front-end.
+pub type JResult<T> = std::result::Result<T, JsoniqError>;

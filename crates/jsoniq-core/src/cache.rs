@@ -1,0 +1,137 @@
+//! Translation cache (paper §V-B: "we could translate faster by introducing a
+//! translation cache").
+//!
+//! Caches the generated SQL text keyed by (query source, strategy, options),
+//! so repeated submissions of the same JSONiq query skip parsing, rewriting,
+//! iterator-tree construction, and Snowpark composition entirely.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::ast::JResult;
+use crate::snowflake::{NestedStrategy, Translator};
+use snowpark::{DataFrame, Session};
+
+/// Cache statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    source: String,
+    strategy_join: bool,
+    native_filter: bool,
+}
+
+/// A translating front-end with a query-text cache.
+pub struct CachingTranslator {
+    session: Session,
+    cache: Mutex<HashMap<CacheKey, Arc<str>>>,
+    stats: Mutex<CacheStats>,
+    native_filter: bool,
+}
+
+impl CachingTranslator {
+    /// Creates an empty cache bound to a session.
+    pub fn new(session: Session) -> CachingTranslator {
+        CachingTranslator {
+            session,
+            cache: Mutex::new(HashMap::new()),
+            stats: Mutex::new(CacheStats::default()),
+            native_filter: false,
+        }
+    }
+
+    /// Enables the §VII-B native array-filter fast path for cache misses.
+    pub fn with_native_array_filter(mut self, on: bool) -> CachingTranslator {
+        self.native_filter = on;
+        self
+    }
+
+    /// Translates (or re-uses) a query; the returned dataframe is bound to the
+    /// cache's session.
+    pub fn translate(&self, src: &str, strategy: NestedStrategy) -> JResult<DataFrame> {
+        let key = CacheKey {
+            source: src.to_string(),
+            strategy_join: strategy == NestedStrategy::JoinBased,
+            native_filter: self.native_filter,
+        };
+        if let Some(sql) = self.cache.lock().get(&key).cloned() {
+            self.stats.lock().hits += 1;
+            return Ok(self.session.sql(&sql));
+        }
+        let mut t = Translator::new(self.session.clone(), strategy)
+            .with_native_array_filter(self.native_filter);
+        let df = t.translate(src)?;
+        self.cache.lock().insert(key, Arc::from(df.sql()));
+        self.stats.lock().misses += 1;
+        Ok(df)
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock()
+    }
+
+    /// Number of cached translations.
+    pub fn len(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.lock().is_empty()
+    }
+
+    /// Drops all cached translations.
+    pub fn clear(&self) {
+        self.cache.lock().clear();
+        *self.stats.lock() = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowdb::storage::{ColumnDef, ColumnType};
+    use snowdb::{Database, Variant};
+
+    fn session() -> Session {
+        let db = Database::new();
+        db.load_table(
+            "t",
+            vec![ColumnDef::new("X", ColumnType::Int)],
+            (0..5).map(|i| vec![Variant::Int(i)]),
+        )
+        .unwrap();
+        Session::new(Arc::new(db))
+    }
+
+    const Q: &str = r#"for $t in collection("t") where $t.X ge 2 return $t.X"#;
+
+    #[test]
+    fn second_translation_hits_the_cache() {
+        let c = CachingTranslator::new(session());
+        let a = c.translate(Q, NestedStrategy::FlagColumn).unwrap();
+        let b = c.translate(Q, NestedStrategy::FlagColumn).unwrap();
+        assert_eq!(a.sql(), b.sql());
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(b.collect().unwrap().rows.len(), 3);
+    }
+
+    #[test]
+    fn strategy_and_options_partition_the_cache() {
+        let c = CachingTranslator::new(session());
+        c.translate(Q, NestedStrategy::FlagColumn).unwrap();
+        c.translate(Q, NestedStrategy::JoinBased).unwrap();
+        assert_eq!(c.stats(), CacheStats { hits: 0, misses: 2 });
+        assert_eq!(c.len(), 2);
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

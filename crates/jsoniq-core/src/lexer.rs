@@ -1,0 +1,255 @@
+//! JSONiq tokenizer.
+//!
+//! JSONiq keywords are contextual (`for`, `where`, `eq`, ... are all plain
+//! names); the parser decides. Names are case-sensitive. Strings use JSON
+//! double-quote syntax with escapes. Comments are XQuery-style `(: ... :)`.
+
+use crate::ast::{JResult, JsoniqError};
+
+/// One JSONiq token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// `$name`
+    Var(String),
+    /// Bare name (identifier or contextual keyword).
+    Name(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// Punctuation: `{ } [ ] ( ) , : ; . := [[ ]] + - * = != < <= > >= ||`
+    Sym(&'static str),
+    Eof,
+}
+
+impl Tok {
+    /// True when this token is the given bare name (exact case — JSONiq
+    /// keywords are lowercase).
+    pub fn is_name(&self, n: &str) -> bool {
+        matches!(self, Tok::Name(t) if t == n)
+    }
+
+    pub fn is_sym(&self, s: &str) -> bool {
+        matches!(self, Tok::Sym(t) if *t == s)
+    }
+}
+
+/// Tokenizes JSONiq source.
+pub fn tokenize(src: &str) -> JResult<Vec<Tok>> {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(src.len() / 4);
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            c if c.is_ascii_whitespace() => i += 1,
+            b'(' if b.get(i + 1) == Some(&b':') => {
+                // Nested (: comments :).
+                let mut depth = 1;
+                let mut j = i + 2;
+                while depth > 0 {
+                    if j + 1 >= b.len() {
+                        return Err(JsoniqError::Lex("unterminated comment".into()));
+                    }
+                    if b[j] == b'(' && b[j + 1] == b':' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b':' && b[j + 1] == b')' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            b'$' => {
+                i += 1;
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                if start == i {
+                    return Err(JsoniqError::Lex(format!("empty variable name at byte {i}")));
+                }
+                out.push(Tok::Var(std::str::from_utf8(&b[start..i]).unwrap().to_string()));
+            }
+            b'"' => {
+                // Reuse the JSON string grammar via the snowdb parser by
+                // scanning to the closing quote, then unescaping.
+                let start = i;
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' => i += 2,
+                        b'"' => break,
+                        _ => i += 1,
+                    }
+                }
+                if i >= b.len() {
+                    return Err(JsoniqError::Lex("unterminated string literal".into()));
+                }
+                i += 1;
+                let raw = std::str::from_utf8(&b[start..i])
+                    .map_err(|_| JsoniqError::Lex("invalid utf-8 in string".into()))?;
+                let parsed = snowdb::variant::parse_json(raw)
+                    .map_err(|e| JsoniqError::Lex(format!("bad string literal: {e}")))?;
+                match parsed {
+                    snowdb::Variant::Str(s) => out.push(Tok::Str(s.to_string())),
+                    _ => return Err(JsoniqError::Lex("bad string literal".into())),
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    is_float = true;
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < b.len() && b[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < b.len() && b[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = std::str::from_utf8(&b[start..i]).unwrap();
+                if is_float {
+                    out.push(Tok::Float(text.parse().map_err(|_| {
+                        JsoniqError::Lex(format!("bad number '{text}'"))
+                    })?));
+                } else {
+                    out.push(Tok::Int(text.parse().map_err(|_| {
+                        JsoniqError::Lex(format!("integer literal '{text}' overflows"))
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Tok::Name(std::str::from_utf8(&b[start..i]).unwrap().to_string()));
+            }
+            _ => {
+                let two: &[u8] = if i + 1 < b.len() { &b[i..i + 2] } else { &b[i..i + 1] };
+                let sym2: Option<&'static str> = match two {
+                    b":=" => Some(":="),
+                    b"[[" => Some("[["),
+                    b"]]" => Some("]]"),
+                    b"!=" => Some("!="),
+                    b"<=" => Some("<="),
+                    b">=" => Some(">="),
+                    b"||" => Some("||"),
+                    _ => None,
+                };
+                if let Some(s) = sym2 {
+                    out.push(Tok::Sym(s));
+                    i += 2;
+                    continue;
+                }
+                let sym1: Option<&'static str> = match b[i] {
+                    b'{' => Some("{"),
+                    b'}' => Some("}"),
+                    b'[' => Some("["),
+                    b']' => Some("]"),
+                    b'(' => Some("("),
+                    b')' => Some(")"),
+                    b',' => Some(","),
+                    b':' => Some(":"),
+                    b';' => Some(";"),
+                    b'.' => Some("."),
+                    b'+' => Some("+"),
+                    b'-' => Some("-"),
+                    b'*' => Some("*"),
+                    b'=' => Some("="),
+                    b'<' => Some("<"),
+                    b'>' => Some(">"),
+                    b'/' => Some("/"),
+                    b'?' => Some("?"),
+                    _ => None,
+                };
+                match sym1 {
+                    Some(s) => {
+                        out.push(Tok::Sym(s));
+                        i += 1;
+                    }
+                    None => {
+                        return Err(JsoniqError::Lex(format!(
+                            "unexpected character '{}' at byte {i}",
+                            b[i] as char
+                        )))
+                    }
+                }
+            }
+        }
+    }
+    out.push(Tok::Eof);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_variables_and_names() {
+        let t = tokenize("for $jet in collection").unwrap();
+        assert_eq!(t[0], Tok::Name("for".into()));
+        assert_eq!(t[1], Tok::Var("jet".into()));
+        assert_eq!(t[2], Tok::Name("in".into()));
+    }
+
+    #[test]
+    fn lexes_unbox_and_lookup_brackets() {
+        let t = tokenize("$a[] $b[[1]] $c[2]").unwrap();
+        assert!(t[1].is_sym("["));
+        assert!(t[2].is_sym("]"));
+        assert!(t[4].is_sym("[["));
+        assert!(t[6].is_sym("]]"));
+    }
+
+    #[test]
+    fn nested_comments() {
+        let t = tokenize("1 (: outer (: inner :) still :) 2").unwrap();
+        assert_eq!(t, vec![Tok::Int(1), Tok::Int(2), Tok::Eof]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let t = tokenize(r#""a\"b""#).unwrap();
+        assert_eq!(t[0], Tok::Str("a\"b".into()));
+    }
+
+    #[test]
+    fn assignment_symbol() {
+        let t = tokenize("let $x := 1").unwrap();
+        assert!(t[2].is_sym(":="));
+    }
+
+    #[test]
+    fn numbers() {
+        let t = tokenize("1 2.5 1e2").unwrap();
+        assert_eq!(t[0], Tok::Int(1));
+        assert_eq!(t[1], Tok::Float(2.5));
+        assert_eq!(t[2], Tok::Float(100.0));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(tokenize("$").is_err());
+        assert!(tokenize("\"abc").is_err());
+        assert!(tokenize("(: never closed").is_err());
+        assert!(tokenize("@").is_err());
+    }
+}

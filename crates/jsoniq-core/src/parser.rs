@@ -1,0 +1,682 @@
+//! Recursive-descent JSONiq parser.
+
+use snowdb::Variant;
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Tok};
+
+/// Parses a JSONiq main module (optional function declarations + body).
+pub fn parse(src: &str) -> JResult<Module> {
+    let toks = tokenize(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut functions = Vec::new();
+    while p.peek().is_name("declare") {
+        functions.push(p.function_decl()?);
+    }
+    let body = p.expr()?;
+    match p.peek() {
+        Tok::Eof => Ok(Module { functions, body }),
+        t => Err(JsoniqError::Parse(format!("unexpected trailing token {t:?}"))),
+    }
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos]
+    }
+
+    fn peek2(&self) -> &Tok {
+        self.toks.get(self.pos + 1).unwrap_or(&Tok::Eof)
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_name(&mut self, n: &str) -> bool {
+        if self.peek().is_name(n) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_name(&mut self, n: &str) -> JResult<()> {
+        if self.eat_name(n) {
+            Ok(())
+        } else {
+            Err(JsoniqError::Parse(format!("expected '{n}', found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if self.peek().is_sym(s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> JResult<()> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(JsoniqError::Parse(format!("expected '{s}', found {:?}", self.peek())))
+        }
+    }
+
+    fn var(&mut self) -> JResult<String> {
+        match self.next() {
+            Tok::Var(v) => Ok(v),
+            t => Err(JsoniqError::Parse(format!("expected a $variable, found {t:?}"))),
+        }
+    }
+
+    fn name(&mut self) -> JResult<String> {
+        match self.next() {
+            Tok::Name(n) => Ok(n),
+            t => Err(JsoniqError::Parse(format!("expected a name, found {t:?}"))),
+        }
+    }
+
+    fn function_decl(&mut self) -> JResult<FunctionDecl> {
+        self.expect_name("declare")?;
+        self.expect_name("function")?;
+        let name = self.name()?;
+        self.expect_sym("(")?;
+        let mut params = Vec::new();
+        if !self.peek().is_sym(")") {
+            loop {
+                params.push(self.var()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_sym(")")?;
+        self.expect_sym("{")?;
+        let body = self.expr()?;
+        self.expect_sym("}")?;
+        // Trailing ';' after a declaration is customary.
+        self.eat_sym(";");
+        Ok(FunctionDecl { name, params, body })
+    }
+
+    /// Expr := ExprSingle ("," ExprSingle)*
+    fn expr(&mut self) -> JResult<Expr> {
+        let first = self.expr_single()?;
+        if !self.peek().is_sym(",") {
+            return Ok(first);
+        }
+        let mut items = vec![first];
+        while self.eat_sym(",") {
+            items.push(self.expr_single()?);
+        }
+        Ok(Expr::Sequence(items))
+    }
+
+    fn expr_single(&mut self) -> JResult<Expr> {
+        match self.peek() {
+            t if t.is_name("for") || t.is_name("let") => {
+                if matches!(self.peek2(), Tok::Var(_)) {
+                    return self.flwor();
+                }
+                self.or_expr()
+            }
+            t if t.is_name("if") && self.peek2().is_sym("(") => self.if_expr(),
+            t if (t.is_name("some") || t.is_name("every"))
+                && matches!(self.peek2(), Tok::Var(_)) =>
+            {
+                self.quantified()
+            }
+            _ => self.or_expr(),
+        }
+    }
+
+    fn flwor(&mut self) -> JResult<Expr> {
+        let mut clauses = Vec::new();
+        loop {
+            if self.peek().is_name("for") && matches!(self.peek2(), Tok::Var(_)) {
+                self.pos += 1;
+                loop {
+                    let var = self.var()?;
+                    let allowing_empty = if self.eat_name("allowing") {
+                        self.expect_name("empty")?;
+                        true
+                    } else {
+                        false
+                    };
+                    let at = if self.eat_name("at") { Some(self.var()?) } else { None };
+                    self.expect_name("in")?;
+                    let expr = self.expr_single()?;
+                    clauses.push(Clause::For { var, at, expr, allowing_empty });
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+            } else if self.peek().is_name("let") && matches!(self.peek2(), Tok::Var(_)) {
+                self.pos += 1;
+                loop {
+                    let var = self.var()?;
+                    self.expect_sym(":=")?;
+                    let expr = self.expr_single()?;
+                    clauses.push(Clause::Let { var, expr });
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+            } else if self.peek().is_name("where") {
+                self.pos += 1;
+                clauses.push(Clause::Where(self.expr_single()?));
+            } else if self.peek().is_name("group") {
+                self.pos += 1;
+                self.expect_name("by")?;
+                let mut keys = Vec::new();
+                loop {
+                    let var = self.var()?;
+                    let expr = if self.eat_sym(":=") { Some(self.expr_single()?) } else { None };
+                    keys.push((var, expr));
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+                clauses.push(Clause::GroupBy { keys });
+            } else if self.peek().is_name("order") {
+                self.pos += 1;
+                self.expect_name("by")?;
+                let mut keys = Vec::new();
+                loop {
+                    let e = self.expr_single()?;
+                    let desc = if self.eat_name("descending") {
+                        true
+                    } else {
+                        self.eat_name("ascending");
+                        false
+                    };
+                    keys.push((e, desc));
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+                clauses.push(Clause::OrderBy { keys });
+            } else if self.peek().is_name("count") && matches!(self.peek2(), Tok::Var(_)) {
+                self.pos += 1;
+                clauses.push(Clause::Count(self.var()?));
+            } else if self.peek().is_name("return") {
+                self.pos += 1;
+                let ret = self.expr_single()?;
+                if clauses.is_empty() {
+                    return Err(JsoniqError::Parse(
+                        "FLWOR requires at least one clause before return".into(),
+                    ));
+                }
+                if !matches!(clauses[0], Clause::For { .. } | Clause::Let { .. }) {
+                    return Err(JsoniqError::Parse(
+                        "FLWOR must start with a for or let clause".into(),
+                    ));
+                }
+                return Ok(Expr::Flwor(Flwor { clauses, return_expr: Box::new(ret) }));
+            } else {
+                return Err(JsoniqError::Parse(format!(
+                    "expected a FLWOR clause or return, found {:?}",
+                    self.peek()
+                )));
+            }
+        }
+    }
+
+    fn if_expr(&mut self) -> JResult<Expr> {
+        self.expect_name("if")?;
+        self.expect_sym("(")?;
+        let cond = self.expr()?;
+        self.expect_sym(")")?;
+        self.expect_name("then")?;
+        let then = self.expr_single()?;
+        self.expect_name("else")?;
+        let else_ = self.expr_single()?;
+        Ok(Expr::If { cond: Box::new(cond), then: Box::new(then), else_: Box::new(else_) })
+    }
+
+    /// `some $x in E satisfies P` desugars to `exists(for $x in E where P return 1)`;
+    /// `every ...` to `empty(for $x in E where not(P) return 1)`.
+    fn quantified(&mut self) -> JResult<Expr> {
+        let every = self.peek().is_name("every");
+        self.pos += 1;
+        let mut vars = Vec::new();
+        loop {
+            let v = self.var()?;
+            self.expect_name("in")?;
+            let e = self.expr_single()?;
+            vars.push((v, e));
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_name("satisfies")?;
+        let pred = self.expr_single()?;
+        let cond = if every { Expr::Not(Box::new(pred)) } else { pred };
+        let mut clauses: Vec<Clause> = vars
+            .into_iter()
+            .map(|(var, expr)| Clause::For { var, at: None, expr, allowing_empty: false })
+            .collect();
+        clauses.push(Clause::Where(cond));
+        let fl = Expr::Flwor(Flwor { clauses, return_expr: Box::new(Expr::int(1)) });
+        Ok(Expr::FunctionCall {
+            name: if every { "empty" } else { "exists" }.into(),
+            args: vec![fl],
+        })
+    }
+
+    // ---- operator precedence chain ----
+
+    fn or_expr(&mut self) -> JResult<Expr> {
+        let mut left = self.and_expr()?;
+        while self.peek().is_name("or") {
+            self.pos += 1;
+            let right = self.and_expr()?;
+            left = Expr::Binary { op: BinaryOp::Or, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> JResult<Expr> {
+        let mut left = self.not_expr()?;
+        while self.peek().is_name("and") {
+            self.pos += 1;
+            let right = self.not_expr()?;
+            left = Expr::Binary { op: BinaryOp::And, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> JResult<Expr> {
+        // `not` is an ordinary function in JSONiq; also accept prefix form when
+        // not followed by '(' as a function call.
+        if self.peek().is_name("not") && !self.peek2().is_sym("(") {
+            self.pos += 1;
+            return Ok(Expr::Not(Box::new(self.not_expr()?)));
+        }
+        self.comparison_expr()
+    }
+
+    fn comparison_expr(&mut self) -> JResult<Expr> {
+        let left = self.range_expr()?;
+        let op = match self.peek() {
+            Tok::Name(n) => match n.as_str() {
+                "eq" => Some(BinaryOp::Eq),
+                "ne" => Some(BinaryOp::Ne),
+                "lt" => Some(BinaryOp::Lt),
+                "le" => Some(BinaryOp::Le),
+                "gt" => Some(BinaryOp::Gt),
+                "ge" => Some(BinaryOp::Ge),
+                _ => None,
+            },
+            Tok::Sym("=") => Some(BinaryOp::Eq),
+            Tok::Sym("!=") => Some(BinaryOp::Ne),
+            Tok::Sym("<") => Some(BinaryOp::Lt),
+            Tok::Sym("<=") => Some(BinaryOp::Le),
+            Tok::Sym(">") => Some(BinaryOp::Gt),
+            Tok::Sym(">=") => Some(BinaryOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.range_expr()?;
+            return Ok(Expr::Binary { op, left: Box::new(left), right: Box::new(right) });
+        }
+        Ok(left)
+    }
+
+    fn range_expr(&mut self) -> JResult<Expr> {
+        let left = self.additive_expr()?;
+        if self.peek().is_name("to") {
+            self.pos += 1;
+            let right = self.additive_expr()?;
+            return Ok(Expr::Binary {
+                op: BinaryOp::To,
+                left: Box::new(left),
+                right: Box::new(right),
+            });
+        }
+        Ok(left)
+    }
+
+    fn additive_expr(&mut self) -> JResult<Expr> {
+        let mut left = self.multiplicative_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Sym("+") => BinaryOp::Add,
+                Tok::Sym("-") => BinaryOp::Sub,
+                Tok::Sym("||") => BinaryOp::Concat,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative_expr()?;
+            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative_expr(&mut self) -> JResult<Expr> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Sym("*") => BinaryOp::Mul,
+                Tok::Name(n) if n == "div" => BinaryOp::Div,
+                Tok::Name(n) if n == "idiv" => BinaryOp::IDiv,
+                Tok::Name(n) if n == "mod" => BinaryOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary_expr()?;
+            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> JResult<Expr> {
+        if self.eat_sym("-") {
+            return Ok(Expr::Neg(Box::new(self.unary_expr()?)));
+        }
+        if self.eat_sym("+") {
+            return self.unary_expr();
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> JResult<Expr> {
+        let mut e = self.primary()?;
+        loop {
+            if self.peek().is_sym(".") {
+                self.pos += 1;
+                let field = match self.next() {
+                    Tok::Name(n) => n,
+                    Tok::Str(s) => s,
+                    t => {
+                        return Err(JsoniqError::Parse(format!(
+                            "expected a field name after '.', found {t:?}"
+                        )))
+                    }
+                };
+                e = Expr::ObjectLookup { base: Box::new(e), field };
+            } else if self.peek().is_sym("[[") {
+                self.pos += 1;
+                let idx = self.expr()?;
+                self.expect_sym("]]")?;
+                e = Expr::ArrayLookup { base: Box::new(e), index: Box::new(idx) };
+            } else if self.peek().is_sym("[") {
+                self.pos += 1;
+                if self.eat_sym("]") {
+                    e = Expr::ArrayUnbox { base: Box::new(e) };
+                } else {
+                    let pred = self.expr()?;
+                    self.expect_sym("]")?;
+                    e = Expr::Predicate { base: Box::new(e), pred: Box::new(pred) };
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> JResult<Expr> {
+        match self.peek().clone() {
+            Tok::Int(i) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Variant::Int(i)))
+            }
+            Tok::Float(f) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Variant::Float(f)))
+            }
+            Tok::Str(s) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Variant::str(s)))
+            }
+            Tok::Var(v) => {
+                self.pos += 1;
+                Ok(Expr::VarRef(v))
+            }
+            Tok::Sym("(") => {
+                self.pos += 1;
+                if self.eat_sym(")") {
+                    return Ok(Expr::Sequence(Vec::new()));
+                }
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Tok::Sym("[") => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if !self.peek().is_sym("]") {
+                    loop {
+                        items.push(self.expr_single()?);
+                        if !self.eat_sym(",") {
+                            break;
+                        }
+                    }
+                }
+                self.expect_sym("]")?;
+                Ok(Expr::ArrayConstructor(items))
+            }
+            Tok::Sym("{") => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                if !self.peek().is_sym("}") {
+                    loop {
+                        let key = match self.next() {
+                            Tok::Name(n) => n,
+                            Tok::Str(s) => s,
+                            t => {
+                                return Err(JsoniqError::Parse(format!(
+                                    "expected an object key, found {t:?}"
+                                )))
+                            }
+                        };
+                        self.expect_sym(":")?;
+                        let v = self.expr_single()?;
+                        pairs.push((key, v));
+                        if !self.eat_sym(",") {
+                            break;
+                        }
+                    }
+                }
+                self.expect_sym("}")?;
+                Ok(Expr::ObjectConstructor(pairs))
+            }
+            Tok::Name(n) => {
+                match n.as_str() {
+                    "true" if !self.peek2().is_sym("(") => {
+                        self.pos += 1;
+                        return Ok(Expr::Literal(Variant::Bool(true)));
+                    }
+                    "false" if !self.peek2().is_sym("(") => {
+                        self.pos += 1;
+                        return Ok(Expr::Literal(Variant::Bool(false)));
+                    }
+                    "null" if !self.peek2().is_sym("(") => {
+                        self.pos += 1;
+                        return Ok(Expr::Literal(Variant::Null));
+                    }
+                    _ => {}
+                }
+                if self.peek2().is_sym("(") {
+                    self.pos += 2;
+                    let mut args = Vec::new();
+                    if !self.peek().is_sym(")") {
+                        loop {
+                            args.push(self.expr_single()?);
+                            if !self.eat_sym(",") {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_sym(")")?;
+                    return Ok(Expr::FunctionCall { name: n, args });
+                }
+                Err(JsoniqError::Parse(format!("unexpected name '{n}' in expression")))
+            }
+            t => Err(JsoniqError::Parse(format!("unexpected token {t:?} in expression"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_listing1_from_paper() {
+        // Simplified ADL Q3 reference code (paper Listing 1).
+        let m = parse(
+            r#"for $jet in collection("adl").Jet[]
+               where abs($jet.eta) lt 1
+               return $jet.pt"#,
+        )
+        .unwrap();
+        let fl = match &m.body {
+            Expr::Flwor(fl) => fl,
+            other => panic!("expected FLWOR, got {other:?}"),
+        };
+        assert_eq!(fl.clauses.len(), 2);
+        assert!(matches!(&fl.clauses[0], Clause::For { var, .. } if var == "jet"));
+        assert!(matches!(&fl.clauses[1], Clause::Where(_)));
+    }
+
+    #[test]
+    fn parses_function_declarations() {
+        let m = parse(
+            r#"declare function hypot($a, $b) { sqrt($a * $a + $b * $b) };
+               hypot(3, 4)"#,
+        )
+        .unwrap();
+        assert_eq!(m.functions.len(), 1);
+        assert_eq!(m.functions[0].params, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn parses_group_by_and_order_by() {
+        let m = parse(
+            r#"for $e in collection("adl")
+               let $v := $e.MET
+               group by $bin := floor($v)
+               order by $bin descending
+               return {"value": $bin, "count": count($e)}"#,
+        )
+        .unwrap();
+        let fl = match &m.body {
+            Expr::Flwor(fl) => fl,
+            other => panic!("{other:?}"),
+        };
+        assert!(matches!(&fl.clauses[2], Clause::GroupBy { keys } if keys.len() == 1));
+        assert!(matches!(&fl.clauses[3], Clause::OrderBy { keys } if keys[0].1));
+        assert!(matches!(&*fl.return_expr, Expr::ObjectConstructor(p) if p.len() == 2));
+    }
+
+    #[test]
+    fn parses_nested_flwor_in_let() {
+        let m = parse(
+            r#"for $event in collection("adl")
+               let $filtered := (
+                 for $m in $event.Muon[]
+                 where $m.pt gt 10
+                 return $m
+               )
+               return size($filtered)"#,
+        )
+        .unwrap();
+        let fl = match &m.body {
+            Expr::Flwor(fl) => fl,
+            other => panic!("{other:?}"),
+        };
+        match &fl.clauses[1] {
+            Clause::Let { expr: Expr::Flwor(_), .. } => {}
+            other => panic!("expected nested FLWOR in let, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_positional_for_and_brackets() {
+        let m = parse(
+            r#"for $j at $i in collection("x").JET[]
+               return $j[[1]]"#,
+        )
+        .unwrap();
+        let fl = match &m.body {
+            Expr::Flwor(fl) => fl,
+            other => panic!("{other:?}"),
+        };
+        assert!(matches!(&fl.clauses[0], Clause::For { at: Some(i), .. } if i == "i"));
+        assert!(matches!(&*fl.return_expr, Expr::ArrayLookup { .. }));
+    }
+
+    #[test]
+    fn parses_quantified_expressions() {
+        let m = parse(r#"some $x in (1, 2, 3) satisfies $x gt 2"#).unwrap();
+        match &m.body {
+            Expr::FunctionCall { name, args } => {
+                assert_eq!(name, "exists");
+                assert!(matches!(&args[0], Expr::Flwor(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_precedence_and_unary() {
+        let m = parse("1 + 2 * 3 eq 7 and not false").unwrap();
+        assert!(matches!(&m.body, Expr::Binary { op: BinaryOp::And, .. }));
+        let m = parse("-2 * 3").unwrap();
+        match &m.body {
+            Expr::Binary { op: BinaryOp::Mul, left, .. } => {
+                assert!(matches!(&**left, Expr::Neg(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_and_sequences() {
+        let m = parse("if (1 eq 1) then (1, 2) else ()").unwrap();
+        match &m.body {
+            Expr::If { then, else_, .. } => {
+                assert!(matches!(&**then, Expr::Sequence(v) if v.len() == 2));
+                assert!(matches!(&**else_, Expr::Sequence(v) if v.is_empty()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        for bad in [
+            "for $x",
+            "for $x in y return",
+            "let $x = 1 return $x",
+            "{ 1: 2 }",
+            "return 1",
+            "where 1 return 2",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn string_object_keys() {
+        let m = parse(r#"{"a b": 1}"#).unwrap();
+        assert!(matches!(&m.body, Expr::ObjectConstructor(p) if p[0].0 == "a b"));
+    }
+}

@@ -1,0 +1,353 @@
+//! The engine facade: catalog plus the compile/execute query pipeline.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+
+use crate::error::{Result, SnowError};
+use crate::exec::{execute, ExecCtx};
+use crate::optimize::optimize;
+use crate::plan::{bind_query, Catalog, Node};
+use crate::sql::{parse_query, parse_statement, Statement};
+use crate::storage::{ColumnDef, ScanStats, Table, TableBuilder};
+use crate::variant::Variant;
+
+/// Timing and scan metrics for one query, split exactly like the paper's §V:
+/// compilation (parse + bind + optimize) versus execution, plus bytes scanned.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueryProfile {
+    pub compile_time: Duration,
+    pub exec_time: Duration,
+    pub scan: ScanStats,
+}
+
+impl QueryProfile {
+    /// Total in-engine time (the paper's "total query runtime in Snowflake").
+    pub fn total_time(&self) -> Duration {
+        self.compile_time + self.exec_time
+    }
+}
+
+/// Outcome of [`Database::execute`].
+#[derive(Clone, Debug)]
+pub enum StatementResult {
+    Rows(QueryResult),
+    Message(String),
+}
+
+/// A completed query: column names, row-major results, and the profile.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Variant>>,
+    pub profile: QueryProfile,
+}
+
+impl QueryResult {
+    /// Single scalar convenience accessor (first column of first row).
+    pub fn scalar(&self) -> Option<&Variant> {
+        self.rows.first().and_then(|r| r.first())
+    }
+}
+
+/// An embedded Snowflake-like database: a catalog of immutable table snapshots
+/// plus the query pipeline.
+///
+/// Cloning handles is cheap; the catalog is behind a lock, table data is not.
+#[derive(Default)]
+pub struct Database {
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+}
+
+struct CatalogView<'a>(&'a Database);
+
+impl Catalog for CatalogView<'_> {
+    fn table(&self, name: &str) -> Option<Arc<Table>> {
+        self.0.tables.read().get(&name.to_ascii_uppercase()).cloned()
+    }
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Loads a table from rows in one shot, replacing any same-named table.
+    pub fn load_table<I>(&self, name: &str, schema: Vec<ColumnDef>, rows: I) -> Result<()>
+    where
+        I: IntoIterator<Item = Vec<Variant>>,
+    {
+        self.load_table_with_partition_rows(
+            name,
+            schema,
+            rows,
+            crate::storage::DEFAULT_PARTITION_ROWS,
+        )
+    }
+
+    /// Loads a table with an explicit micro-partition size.
+    pub fn load_table_with_partition_rows<I>(
+        &self,
+        name: &str,
+        schema: Vec<ColumnDef>,
+        rows: I,
+        partition_rows: usize,
+    ) -> Result<()>
+    where
+        I: IntoIterator<Item = Vec<Variant>>,
+    {
+        let upper = name.to_ascii_uppercase();
+        let mut b = TableBuilder::with_partition_rows(upper.clone(), schema, partition_rows);
+        for row in rows {
+            b.push_row(&row)?;
+        }
+        let table = Arc::new(b.finish());
+        self.tables.write().insert(upper, table);
+        Ok(())
+    }
+
+    /// Registers a pre-built table snapshot.
+    pub fn register(&self, table: Table) {
+        let name = table.name().to_ascii_uppercase();
+        self.tables.write().insert(name, Arc::new(table));
+    }
+
+    /// Removes a table; returns whether it existed.
+    pub fn drop_table(&self, name: &str) -> bool {
+        self.tables.write().remove(&name.to_ascii_uppercase()).is_some()
+    }
+
+    /// Fetches a table snapshot.
+    pub fn table(&self, name: &str) -> Option<Arc<Table>> {
+        CatalogView(self).table(name)
+    }
+
+    /// Names of all tables.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Compiles a SQL query to an optimized plan (parse + bind + optimize).
+    pub fn compile(&self, sql: &str) -> Result<Node> {
+        let ast = parse_query(sql)?;
+        let bound = bind_query(&ast, &CatalogView(self))?;
+        optimize(bound)
+    }
+
+    /// Runs a SQL query end to end, reporting a per-phase [`QueryProfile`].
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        let t0 = Instant::now();
+        let plan = self.compile(sql)?;
+        let compile_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let mut ctx = ExecCtx::default();
+        let chunk = execute(&plan, &mut ctx)?;
+        let exec_time = t1.elapsed();
+
+        let columns = plan.fields.iter().map(|f| f.name.clone()).collect();
+        let rows = (0..chunk.rows).map(|r| chunk.row(r)).collect();
+        Ok(QueryResult {
+            columns,
+            rows,
+            profile: QueryProfile { compile_time, exec_time, scan: ctx.stats },
+        })
+    }
+
+    /// Renders the optimized plan of a query (`EXPLAIN`).
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        Ok(crate::plan::explain(&self.compile(sql)?))
+    }
+
+    /// Executes any statement: queries return rows, DDL/DML return a message.
+    ///
+    /// `INSERT` rebuilds the table snapshot (tables are immutable); it is meant
+    /// for interactive use, not bulk loading — use [`Database::load_table`]
+    /// for that.
+    pub fn execute(&self, sql: &str) -> Result<StatementResult> {
+        match parse_statement(sql)? {
+            Statement::Query(_) => Ok(StatementResult::Rows(self.query(sql)?)),
+            Statement::Explain(q) => {
+                let bound = crate::plan::bind_query(&q, &CatalogView(self))?;
+                let plan = crate::optimize::optimize(bound)?;
+                Ok(StatementResult::Message(crate::plan::explain(&plan)))
+            }
+            Statement::CreateTable { name, columns } => {
+                if self.table(&name).is_some() {
+                    return Err(SnowError::Catalog(format!("table '{name}' already exists")));
+                }
+                let schema = columns
+                    .into_iter()
+                    .map(|(n, ty)| crate::storage::ColumnDef::new(n, ty))
+                    .collect();
+                self.load_table(&name, schema, std::iter::empty())?;
+                Ok(StatementResult::Message(format!("created table {name}")))
+            }
+            Statement::Insert { table, rows } => {
+                let t = self.table(&table).ok_or_else(|| {
+                    SnowError::Catalog(format!("table '{table}' does not exist"))
+                })?;
+                // Evaluate each VALUES tuple as literal expressions.
+                let mut ctx = ExecCtx::default();
+                let chunk = crate::exec::Chunk { cols: Vec::new(), rows: 1 };
+                let parts = [(&chunk, 0usize)];
+                let view = crate::exec::RowView::new(&parts);
+                let mut new_rows: Vec<Vec<Variant>> = Vec::with_capacity(rows.len());
+                for tuple in rows {
+                    if tuple.len() != t.schema().len() {
+                        return Err(SnowError::Catalog(format!(
+                            "INSERT arity {} does not match table arity {}",
+                            tuple.len(),
+                            t.schema().len()
+                        )));
+                    }
+                    let mut row = Vec::with_capacity(tuple.len());
+                    for e in tuple {
+                        let bound = crate::plan::binder::bind_expr(&e, &[], None)?;
+                        row.push(crate::exec::eval(&bound, view, &mut ctx)?);
+                    }
+                    new_rows.push(row);
+                }
+                let inserted = new_rows.len();
+                // Rebuild: existing rows + new rows.
+                let mut all: Vec<Vec<Variant>> = Vec::with_capacity(t.row_count() + inserted);
+                for part in t.partitions() {
+                    for r in 0..part.row_count() {
+                        all.push((0..t.schema().len()).map(|c| part.column(c).get(r)).collect());
+                    }
+                }
+                all.extend(new_rows);
+                self.load_table(&table, t.schema().to_vec(), all)?;
+                Ok(StatementResult::Message(format!("inserted {inserted} row(s)")))
+            }
+            Statement::DropTable { name, if_exists } => {
+                let existed = self.drop_table(&name);
+                if !existed && !if_exists {
+                    return Err(SnowError::Catalog(format!("table '{name}' does not exist")));
+                }
+                Ok(StatementResult::Message(format!("dropped table {name}")))
+            }
+        }
+    }
+
+    /// Runs a query and requires a single scalar result.
+    pub fn query_scalar(&self, sql: &str) -> Result<Variant> {
+        let res = self.query(sql)?;
+        res.scalar()
+            .cloned()
+            .ok_or_else(|| SnowError::Exec("query produced no rows".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::ColumnType;
+
+    fn db_with_nums() -> Database {
+        let db = Database::new();
+        db.load_table(
+            "nums",
+            vec![
+                ColumnDef::new("A", ColumnType::Int),
+                ColumnDef::new("B", ColumnType::Float),
+            ],
+            (0..10).map(|i| vec![Variant::Int(i), Variant::Float(i as f64 * 0.5)]),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn basic_select_where() {
+        let db = db_with_nums();
+        let r = db.query("SELECT a FROM nums WHERE a >= 7 ORDER BY a").unwrap();
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[0][0], Variant::Int(7));
+        assert_eq!(r.columns, vec!["A"]);
+    }
+
+    #[test]
+    fn aggregate_group_by() {
+        let db = db_with_nums();
+        let r = db
+            .query("SELECT a % 2 AS p, count(*) AS c, sum(a) AS s FROM nums GROUP BY a % 2 ORDER BY p")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0], vec![Variant::Int(0), Variant::Int(5), Variant::Int(20)]);
+        assert_eq!(r.rows[1], vec![Variant::Int(1), Variant::Int(5), Variant::Int(25)]);
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input() {
+        let db = db_with_nums();
+        let r = db.query("SELECT count(*), sum(a) FROM nums WHERE a > 100").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Variant::Int(0));
+        assert!(r.rows[0][1].is_null());
+    }
+
+    #[test]
+    fn unknown_table_is_a_plan_error() {
+        let db = Database::new();
+        match db.query("SELECT * FROM missing") {
+            Err(SnowError::Plan(_)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn profile_reports_bytes_scanned() {
+        let db = db_with_nums();
+        let full = db.query("SELECT a, b FROM nums").unwrap();
+        let narrow = db.query("SELECT a FROM nums").unwrap();
+        assert!(full.profile.scan.bytes_scanned > narrow.profile.scan.bytes_scanned);
+        assert!(narrow.profile.scan.bytes_scanned > 0);
+    }
+
+    #[test]
+    fn zone_map_pruning_skips_partitions() {
+        let db = Database::new();
+        db.load_table_with_partition_rows(
+            "t",
+            vec![ColumnDef::new("X", ColumnType::Int)],
+            (0..100).map(|i| vec![Variant::Int(i)]),
+            10,
+        )
+        .unwrap();
+        let r = db.query("SELECT x FROM t WHERE x >= 95").unwrap();
+        assert_eq!(r.rows.len(), 5);
+        assert_eq!(r.profile.scan.partitions_total, 10);
+        assert_eq!(r.profile.scan.partitions_scanned, 1);
+    }
+
+    #[test]
+    fn union_all_and_limit() {
+        let db = db_with_nums();
+        let r = db
+            .query("SELECT a FROM nums UNION ALL SELECT a FROM nums ORDER BY a LIMIT 4")
+            .unwrap();
+        assert_eq!(r.rows.len(), 4);
+        assert_eq!(r.rows[0][0], Variant::Int(0));
+        assert_eq!(r.rows[1][0], Variant::Int(0));
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let db = db_with_nums();
+        let r = db.query("SELECT DISTINCT a % 3 AS m FROM nums ORDER BY m").unwrap();
+        assert_eq!(r.rows.len(), 3);
+    }
+
+    #[test]
+    fn select_without_from() {
+        let db = Database::new();
+        let r = db.query("SELECT 1 + 2 AS x, 'hi' AS y").unwrap();
+        assert_eq!(r.rows, vec![vec![Variant::Int(3), Variant::str("hi")]]);
+    }
+}

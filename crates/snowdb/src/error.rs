@@ -1,0 +1,38 @@
+//! Error type shared across the engine.
+
+use std::fmt;
+
+/// Errors produced while parsing, planning, or executing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnowError {
+    /// Tokenizer-level error: unexpected character, unterminated string, ...
+    Lex(String),
+    /// Parser-level error: unexpected token, malformed clause, ...
+    Parse(String),
+    /// Binder/planner error: unknown table or column, ambiguous name, ...
+    Plan(String),
+    /// Runtime error: type mismatch, bad cast, division by zero, ...
+    Exec(String),
+    /// Catalog error: duplicate or missing table, schema mismatch on insert.
+    Catalog(String),
+    /// JSON text could not be parsed into a [`crate::Variant`].
+    Json(String),
+}
+
+impl fmt::Display for SnowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnowError::Lex(m) => write!(f, "lex error: {m}"),
+            SnowError::Parse(m) => write!(f, "parse error: {m}"),
+            SnowError::Plan(m) => write!(f, "plan error: {m}"),
+            SnowError::Exec(m) => write!(f, "execution error: {m}"),
+            SnowError::Catalog(m) => write!(f, "catalog error: {m}"),
+            SnowError::Json(m) => write!(f, "json error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SnowError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SnowError>;

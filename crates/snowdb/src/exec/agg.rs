@@ -1,0 +1,281 @@
+//! Aggregate accumulators for the hash aggregation operator.
+
+use std::collections::HashSet;
+
+use crate::error::{Result, SnowError};
+use crate::plan::AggKind;
+use crate::variant::{cmp_variants, Key, Variant};
+
+/// One running aggregate state.
+#[derive(Debug)]
+pub enum Accumulator {
+    CountStar(i64),
+    Count(i64),
+    CountDistinct(HashSet<Key>),
+    Sum { acc: Option<Variant> },
+    Min(Option<Variant>),
+    Max(Option<Variant>),
+    Avg { sum: f64, n: i64 },
+    ArrayAgg(Vec<Variant>),
+    AnyValue(Option<Variant>),
+    BoolAnd(Option<bool>),
+    BoolOr(Option<bool>),
+    MinBy { key: Option<Variant>, value: Variant },
+    MaxBy { key: Option<Variant>, value: Variant },
+}
+
+impl Accumulator {
+    /// Fresh accumulator for an aggregate kind.
+    pub fn new(kind: AggKind) -> Accumulator {
+        match kind {
+            AggKind::CountStar => Accumulator::CountStar(0),
+            AggKind::Count => Accumulator::Count(0),
+            AggKind::CountDistinct => Accumulator::CountDistinct(HashSet::new()),
+            AggKind::Sum => Accumulator::Sum { acc: None },
+            AggKind::Min => Accumulator::Min(None),
+            AggKind::Max => Accumulator::Max(None),
+            AggKind::Avg => Accumulator::Avg { sum: 0.0, n: 0 },
+            AggKind::ArrayAgg => Accumulator::ArrayAgg(Vec::new()),
+            AggKind::AnyValue => Accumulator::AnyValue(None),
+            AggKind::BoolAnd => Accumulator::BoolAnd(None),
+            AggKind::BoolOr => Accumulator::BoolOr(None),
+            AggKind::MinBy => Accumulator::MinBy { key: None, value: Variant::Null },
+            AggKind::MaxBy => Accumulator::MaxBy { key: None, value: Variant::Null },
+        }
+    }
+
+    /// Feeds one input value (`Variant::Null` for `COUNT(*)`'s placeholder).
+    pub fn update(&mut self, v: &Variant) -> Result<()> {
+        self.update2(v, &Variant::Null)
+    }
+
+    /// Feeds one input value plus the key for two-argument aggregates
+    /// (`MIN_BY`/`MAX_BY`); NULL keys are skipped, and ties keep the first row,
+    /// matching the JSONiq min+filter+first idiom.
+    pub fn update2(&mut self, v: &Variant, key: &Variant) -> Result<()> {
+        match self {
+            Accumulator::CountStar(n) => *n += 1,
+            Accumulator::Count(n) => {
+                if !v.is_null() {
+                    *n += 1;
+                }
+            }
+            Accumulator::CountDistinct(set) => {
+                if !v.is_null() {
+                    set.insert(Key::of(v));
+                }
+            }
+            Accumulator::Sum { acc } => {
+                if !v.is_null() {
+                    let next = match acc.take() {
+                        None => v.clone(),
+                        Some(cur) => add(&cur, v)?,
+                    };
+                    *acc = Some(next);
+                }
+            }
+            Accumulator::Min(m) => {
+                if !v.is_null()
+                    && m.as_ref()
+                        .is_none_or(|cur| cmp_variants(v, cur) == std::cmp::Ordering::Less)
+                {
+                    *m = Some(v.clone());
+                }
+            }
+            Accumulator::Max(m) => {
+                if !v.is_null()
+                    && m.as_ref()
+                        .is_none_or(|cur| cmp_variants(v, cur) == std::cmp::Ordering::Greater)
+                {
+                    *m = Some(v.clone());
+                }
+            }
+            Accumulator::Avg { sum, n } => {
+                if let Some(x) = v.as_f64() {
+                    *sum += x;
+                    *n += 1;
+                } else if !v.is_null() {
+                    return Err(SnowError::Exec(format!(
+                        "AVG expects numbers, got {}",
+                        v.type_name()
+                    )));
+                }
+            }
+            // ARRAY_AGG skips NULLs — the paper's flag-column translation for
+            // nested queries depends on exactly this behaviour (§IV-C1).
+            Accumulator::ArrayAgg(items) => {
+                if !v.is_null() {
+                    items.push(v.clone());
+                }
+            }
+            Accumulator::AnyValue(slot) => {
+                if slot.is_none() {
+                    *slot = Some(v.clone());
+                }
+            }
+            Accumulator::BoolAnd(b) => {
+                if let Some(x) = v.as_bool() {
+                    *b = Some(b.unwrap_or(true) && x);
+                } else if !v.is_null() {
+                    return Err(SnowError::Exec("BOOLAND_AGG expects booleans".into()));
+                }
+            }
+            Accumulator::BoolOr(b) => {
+                if let Some(x) = v.as_bool() {
+                    *b = Some(b.unwrap_or(false) || x);
+                } else if !v.is_null() {
+                    return Err(SnowError::Exec("BOOLOR_AGG expects booleans".into()));
+                }
+            }
+            Accumulator::MinBy { key: cur, value } => {
+                if !key.is_null()
+                    && cur
+                        .as_ref()
+                        .is_none_or(|c| cmp_variants(key, c) == std::cmp::Ordering::Less)
+                {
+                    *cur = Some(key.clone());
+                    *value = v.clone();
+                }
+            }
+            Accumulator::MaxBy { key: cur, value } => {
+                if !key.is_null()
+                    && cur
+                        .as_ref()
+                        .is_none_or(|c| cmp_variants(key, c) == std::cmp::Ordering::Greater)
+                {
+                    *cur = Some(key.clone());
+                    *value = v.clone();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Final value of the aggregate.
+    pub fn finish(self) -> Variant {
+        match self {
+            Accumulator::CountStar(n) | Accumulator::Count(n) => Variant::Int(n),
+            Accumulator::CountDistinct(set) => Variant::Int(set.len() as i64),
+            Accumulator::Sum { acc } => acc.unwrap_or(Variant::Null),
+            Accumulator::Min(m) | Accumulator::Max(m) => m.unwrap_or(Variant::Null),
+            Accumulator::Avg { sum, n } => {
+                if n == 0 {
+                    Variant::Null
+                } else {
+                    Variant::Float(sum / n as f64)
+                }
+            }
+            Accumulator::ArrayAgg(items) => Variant::array(items),
+            Accumulator::AnyValue(slot) => slot.unwrap_or(Variant::Null),
+            Accumulator::BoolAnd(b) | Accumulator::BoolOr(b) => {
+                b.map_or(Variant::Null, Variant::Bool)
+            }
+            Accumulator::MinBy { key, value } | Accumulator::MaxBy { key, value } => {
+                if key.is_some() {
+                    value
+                } else {
+                    Variant::Null
+                }
+            }
+        }
+    }
+}
+
+fn add(a: &Variant, b: &Variant) -> Result<Variant> {
+    use crate::variant::NumericPair;
+    match NumericPair::coerce(a, b) {
+        Some(NumericPair::Int(x, y)) => Ok(match x.checked_add(y) {
+            Some(v) => Variant::Int(v),
+            None => Variant::Float(x as f64 + y as f64),
+        }),
+        Some(NumericPair::Float(x, y)) => Ok(Variant::Float(x + y)),
+        None => Err(SnowError::Exec(format!(
+            "SUM expects numbers, got {} and {}",
+            a.type_name(),
+            b.type_name()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(kind: AggKind, inputs: &[Variant]) -> Variant {
+        let mut a = Accumulator::new(kind);
+        for v in inputs {
+            a.update(v).unwrap();
+        }
+        a.finish()
+    }
+
+    #[test]
+    fn count_skips_nulls_count_star_does_not() {
+        let vals = [Variant::Int(1), Variant::Null, Variant::Int(2)];
+        assert_eq!(run(AggKind::Count, &vals), Variant::Int(2));
+        assert_eq!(run(AggKind::CountStar, &vals), Variant::Int(3));
+    }
+
+    #[test]
+    fn count_distinct_unifies_numeric_types() {
+        let vals = [Variant::Int(1), Variant::Float(1.0), Variant::Int(2), Variant::Null];
+        assert_eq!(run(AggKind::CountDistinct, &vals), Variant::Int(2));
+    }
+
+    #[test]
+    fn sum_over_empty_and_nulls() {
+        assert_eq!(run(AggKind::Sum, &[]), Variant::Null);
+        assert_eq!(run(AggKind::Sum, &[Variant::Null]), Variant::Null);
+        assert_eq!(
+            run(AggKind::Sum, &[Variant::Int(1), Variant::Float(2.5)]),
+            Variant::Float(3.5)
+        );
+    }
+
+    #[test]
+    fn min_max_ignore_nulls() {
+        let vals = [Variant::Null, Variant::Int(5), Variant::Int(3)];
+        assert_eq!(run(AggKind::Min, &vals), Variant::Int(3));
+        assert_eq!(run(AggKind::Max, &vals), Variant::Int(5));
+    }
+
+    #[test]
+    fn array_agg_skips_nulls_and_keeps_order() {
+        let vals = [Variant::Int(2), Variant::Null, Variant::Int(1)];
+        assert_eq!(
+            run(AggKind::ArrayAgg, &vals),
+            Variant::array(vec![Variant::Int(2), Variant::Int(1)])
+        );
+        assert_eq!(run(AggKind::ArrayAgg, &[Variant::Null]), Variant::array(vec![]));
+    }
+
+    #[test]
+    fn bool_aggregates() {
+        assert_eq!(
+            run(AggKind::BoolAnd, &[Variant::Bool(true), Variant::Bool(false)]),
+            Variant::Bool(false)
+        );
+        assert_eq!(
+            run(AggKind::BoolOr, &[Variant::Bool(false), Variant::Bool(true)]),
+            Variant::Bool(true)
+        );
+        assert_eq!(run(AggKind::BoolAnd, &[Variant::Null]), Variant::Null);
+    }
+
+    #[test]
+    fn avg_mixed_numeric() {
+        assert_eq!(
+            run(AggKind::Avg, &[Variant::Int(1), Variant::Float(2.0), Variant::Null]),
+            Variant::Float(1.5)
+        );
+        assert_eq!(run(AggKind::Avg, &[]), Variant::Null);
+    }
+
+    #[test]
+    fn any_value_takes_first() {
+        assert_eq!(
+            run(AggKind::AnyValue, &[Variant::Int(7), Variant::Int(9)]),
+            Variant::Int(7)
+        );
+    }
+}

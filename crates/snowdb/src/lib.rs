@@ -1,0 +1,35 @@
+//! `snowdb` — an embedded, Snowflake-like analytical SQL engine.
+//!
+//! This crate is the substrate that stands in for the Snowflake Database in the
+//! reproduction of *"Addressing the Nested Data Processing Gap: JSONiq Queries on
+//! Snowflake Through Snowpark"* (ICDE 2024). It provides the properties the paper's
+//! evaluation depends on:
+//!
+//! - a [`variant::Variant`] data type for schema-less nested data, with a first-party
+//!   JSON parser/serializer;
+//! - micro-partitioned, columnar [`storage`] with per-partition zone maps, partition
+//!   pruning, and scanned-bytes accounting;
+//! - a [`sql`] dialect covering `SELECT`/`FROM` (with joins and `LATERAL FLATTEN`),
+//!   `WHERE`, `GROUP BY`/`HAVING`, `ORDER BY`, `LIMIT`, `UNION ALL`, `CASE`, casts,
+//!   variant path access (`col:field.sub[0]`), and the aggregate/scalar function set
+//!   the paper's translation layer requires (`ARRAY_AGG`, `ANY_VALUE`, `BOOLAND_AGG`,
+//!   `OBJECT_CONSTRUCT`, `SEQ8`, ...);
+//! - a rule-based [`optimize`] layer (constant folding, predicate pushdown, projection
+//!   pruning) so that a single translated SQL query is optimized end-to-end, which is
+//!   the paper's core argument for avoiding UDFs and interpretation overhead;
+//! - an [`engine::Database`] entry point that reports a per-query
+//!   [`engine::QueryProfile`] with separate compilation and execution phases plus
+//!   bytes scanned — the three quantities measured in the paper's §V.
+
+pub mod engine;
+pub mod error;
+pub mod exec;
+pub mod optimize;
+pub mod plan;
+pub mod sql;
+pub mod storage;
+pub mod variant;
+
+pub use engine::{Database, QueryProfile, QueryResult};
+pub use error::{Result, SnowError};
+pub use variant::Variant;

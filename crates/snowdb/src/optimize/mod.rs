@@ -1,0 +1,603 @@
+//! Rule-based plan optimizer.
+//!
+//! Three passes run on every query, in order:
+//! 1. **constant folding** — pure literal sub-expressions are evaluated once;
+//! 2. **predicate pushdown** — filters move through projections, flattens,
+//!    unions, and join inputs, and comparison conjuncts against base-table
+//!    columns are copied into scans for zone-map partition pruning;
+//! 3. **projection pruning** — scans materialize only the table columns the
+//!    query actually consumes, which both speeds execution and makes the
+//!    bytes-scanned metric reflect real column usage (paper §V-E).
+//!
+//! Because the translation layer emits one SQL query per JSONiq query, these
+//! passes see the *whole* program — the end-to-end optimizer visibility the
+//! paper contrasts against UDF-based black boxes.
+
+use crate::error::Result;
+use crate::exec::{eval, ExecCtx, RowView};
+use crate::plan::{Node, NodeKind, PExpr, ScanPredicate};
+use crate::sql::{BinOp, JoinKind};
+
+/// Runs all optimizer passes.
+pub fn optimize(mut node: Node) -> Result<Node> {
+    fold_node(&mut node)?;
+    node = merge_projects(node);
+    node = pushdown(node);
+    // Pushing filters can expose further folding opportunities; one more round
+    // keeps plans normalized without a full fixpoint loop.
+    fold_node(&mut node)?;
+    node = merge_projects(node);
+    prune_projection(&mut node);
+    Ok(node)
+}
+
+// ---- projection merging -----------------------------------------------------
+
+/// Collapses `Project(Project(x))` chains into a single projection.
+///
+/// The dataframe layer emits one `SELECT *, expr AS c` wrapper per
+/// transformation, so translated queries arrive as dozens of stacked
+/// projections; each one re-materializes every column at execution. Merging is
+/// only applied when it cannot grow the plan: every non-trivial inner
+/// expression must be referenced at most once by the outer projection (column
+/// references and literals substitute freely). Volatile expressions (`SEQ8`)
+/// merge safely under the same single-reference rule because projections
+/// preserve row count and `SEQ8` numbers rows per projection.
+fn merge_projects(node: Node) -> Node {
+    let fields = node.fields;
+    let kind = match node.kind {
+        NodeKind::Project { input, exprs } => {
+            let input = merge_projects(*input);
+            if let NodeKind::Project { input: inner_in, exprs: inner_exprs } = input.kind {
+                let mut refs = vec![0usize; inner_exprs.len()];
+                for e in &exprs {
+                    let mut cols = Vec::new();
+                    e.collect_cols(&mut cols);
+                    for c in cols {
+                        refs[c] += 1;
+                    }
+                }
+                let growth_ok = inner_exprs.iter().zip(&refs).all(|(ie, &r)| {
+                    matches!(ie, PExpr::Col(_) | PExpr::Lit(_)) || r <= 1
+                });
+                // Two volatile (SEQ8) expressions merged into one projection
+                // would share a per-row counter and change values; keep such
+                // projections separate.
+                let volatile_clash = exprs.iter().any(PExpr::is_volatile)
+                    && inner_exprs.iter().any(PExpr::is_volatile);
+                let mergeable = growth_ok && !volatile_clash;
+                if mergeable {
+                    let merged: Vec<PExpr> =
+                        exprs.iter().map(|e| e.substitute(&inner_exprs)).collect();
+                    return merge_projects(Node {
+                        kind: NodeKind::Project { input: inner_in, exprs: merged },
+                        fields,
+                    });
+                }
+                NodeKind::Project {
+                    input: Box::new(Node {
+                        kind: NodeKind::Project { input: inner_in, exprs: inner_exprs },
+                        fields: input.fields,
+                    }),
+                    exprs,
+                }
+            } else {
+                NodeKind::Project { input: Box::new(input), exprs }
+            }
+        }
+        NodeKind::Filter { input, pred } => {
+            NodeKind::Filter { input: Box::new(merge_projects(*input)), pred }
+        }
+        NodeKind::Flatten { input, expr, outer } => {
+            NodeKind::Flatten { input: Box::new(merge_projects(*input)), expr, outer }
+        }
+        NodeKind::Aggregate { input, groups, aggs } => {
+            NodeKind::Aggregate { input: Box::new(merge_projects(*input)), groups, aggs }
+        }
+        NodeKind::Join { left, right, kind, on } => NodeKind::Join {
+            left: Box::new(merge_projects(*left)),
+            right: Box::new(merge_projects(*right)),
+            kind,
+            on,
+        },
+        NodeKind::Sort { input, keys } => {
+            NodeKind::Sort { input: Box::new(merge_projects(*input)), keys }
+        }
+        NodeKind::Limit { input, n } => {
+            NodeKind::Limit { input: Box::new(merge_projects(*input)), n }
+        }
+        NodeKind::Distinct { input } => {
+            NodeKind::Distinct { input: Box::new(merge_projects(*input)) }
+        }
+        NodeKind::UnionAll { left, right } => NodeKind::UnionAll {
+            left: Box::new(merge_projects(*left)),
+            right: Box::new(merge_projects(*right)),
+        },
+        leaf @ (NodeKind::Scan { .. } | NodeKind::Values) => leaf,
+    };
+    Node { kind, fields }
+}
+
+// ---- constant folding ------------------------------------------------------
+
+fn fold_node(node: &mut Node) -> Result<()> {
+    match &mut node.kind {
+        NodeKind::Scan { .. } | NodeKind::Values => {}
+        NodeKind::Project { input, exprs } => {
+            fold_node(input)?;
+            for e in exprs {
+                fold_expr(e)?;
+            }
+        }
+        NodeKind::Filter { input, pred } => {
+            fold_node(input)?;
+            fold_expr(pred)?;
+        }
+        NodeKind::Flatten { input, expr, .. } => {
+            fold_node(input)?;
+            fold_expr(expr)?;
+        }
+        NodeKind::Aggregate { input, groups, aggs } => {
+            fold_node(input)?;
+            for g in groups {
+                fold_expr(g)?;
+            }
+            for a in aggs {
+                if let Some(e) = &mut a.arg {
+                    fold_expr(e)?;
+                }
+            }
+        }
+        NodeKind::Join { left, right, on, .. } => {
+            fold_node(left)?;
+            fold_node(right)?;
+            if let Some(e) = on {
+                fold_expr(e)?;
+            }
+        }
+        NodeKind::Sort { input, keys } => {
+            fold_node(input)?;
+            for k in keys {
+                fold_expr(&mut k.expr)?;
+            }
+        }
+        NodeKind::Limit { input, .. } | NodeKind::Distinct { input } => fold_node(input)?,
+        NodeKind::UnionAll { left, right } => {
+            fold_node(left)?;
+            fold_node(right)?;
+        }
+    }
+    Ok(())
+}
+
+/// Replaces literal-only, non-volatile sub-expressions with their value.
+fn fold_expr(e: &mut PExpr) -> Result<()> {
+    // Recurse first so children are already folded.
+    match e {
+        PExpr::Col(_) | PExpr::Lit(_) => return Ok(()),
+        PExpr::Unary { expr, .. } | PExpr::Not(expr) | PExpr::IsNull { expr, .. } => {
+            fold_expr(expr)?
+        }
+        PExpr::Binary { left, right, .. } => {
+            fold_expr(left)?;
+            fold_expr(right)?;
+        }
+        PExpr::InList { expr, list, .. } => {
+            fold_expr(expr)?;
+            for x in list {
+                fold_expr(x)?;
+            }
+        }
+        PExpr::Case { operand, branches, else_expr } => {
+            if let Some(o) = operand {
+                fold_expr(o)?;
+            }
+            for (c, v) in branches {
+                fold_expr(c)?;
+                fold_expr(v)?;
+            }
+            if let Some(x) = else_expr {
+                fold_expr(x)?;
+            }
+        }
+        PExpr::Func { args, .. } => {
+            for a in args {
+                fold_expr(a)?;
+            }
+        }
+        PExpr::Cast { expr, .. } => fold_expr(expr)?,
+        PExpr::Path { base, steps } => {
+            fold_expr(base)?;
+            for s in steps {
+                if let crate::plan::PStep::IndexExpr(x) = s {
+                    fold_expr(x)?;
+                }
+            }
+        }
+        PExpr::Like { expr, pattern, .. } => {
+            fold_expr(expr)?;
+            fold_expr(pattern)?;
+        }
+    }
+    let mut cols = Vec::new();
+    e.collect_cols(&mut cols);
+    if cols.is_empty() && !e.is_volatile() {
+        let chunk = crate::exec::Chunk { cols: Vec::new(), rows: 1 };
+        let parts = [(&chunk, 0usize)];
+        let mut ctx = ExecCtx::default();
+        // Expressions that error at fold time (e.g. 1/0) are left in place so
+        // the error surfaces at execution, matching engine semantics.
+        if let Ok(v) = eval(e, RowView::new(&parts), &mut ctx) {
+            *e = PExpr::Lit(v);
+        }
+    }
+    Ok(())
+}
+
+// ---- predicate pushdown ----------------------------------------------------
+
+fn conjuncts(e: PExpr, out: &mut Vec<PExpr>) {
+    if let PExpr::Binary { left, op: BinOp::And, right } = e {
+        conjuncts(*left, out);
+        conjuncts(*right, out);
+    } else {
+        out.push(e);
+    }
+}
+
+fn conjoin(mut parts: Vec<PExpr>) -> Option<PExpr> {
+    let mut acc = parts.pop()?;
+    while let Some(p) = parts.pop() {
+        acc = PExpr::Binary { left: Box::new(p), op: BinOp::And, right: Box::new(acc) };
+    }
+    Some(acc)
+}
+
+fn max_col(e: &PExpr) -> Option<usize> {
+    let mut cols = Vec::new();
+    e.collect_cols(&mut cols);
+    cols.into_iter().max()
+}
+
+fn pushdown(node: Node) -> Node {
+    let fields = node.fields;
+    let kind = match node.kind {
+        NodeKind::Filter { input, pred } => {
+            let input = Box::new(pushdown(*input));
+            return push_filter(*input, pred, fields);
+        }
+        NodeKind::Project { input, exprs } => {
+            NodeKind::Project { input: Box::new(pushdown(*input)), exprs }
+        }
+        NodeKind::Flatten { input, expr, outer } => {
+            NodeKind::Flatten { input: Box::new(pushdown(*input)), expr, outer }
+        }
+        NodeKind::Aggregate { input, groups, aggs } => {
+            NodeKind::Aggregate { input: Box::new(pushdown(*input)), groups, aggs }
+        }
+        NodeKind::Join { left, right, kind, on } => NodeKind::Join {
+            left: Box::new(pushdown(*left)),
+            right: Box::new(pushdown(*right)),
+            kind,
+            on,
+        },
+        NodeKind::Sort { input, keys } => {
+            NodeKind::Sort { input: Box::new(pushdown(*input)), keys }
+        }
+        NodeKind::Limit { input, n } => NodeKind::Limit { input: Box::new(pushdown(*input)), n },
+        NodeKind::Distinct { input } => NodeKind::Distinct { input: Box::new(pushdown(*input)) },
+        NodeKind::UnionAll { left, right } => NodeKind::UnionAll {
+            left: Box::new(pushdown(*left)),
+            right: Box::new(pushdown(*right)),
+        },
+        leaf @ (NodeKind::Scan { .. } | NodeKind::Values) => leaf,
+    };
+    Node { kind, fields }
+}
+
+/// Pushes the predicate as deep as is sound, rebuilding the filter above
+/// whatever could not move.
+fn push_filter(input: Node, pred: PExpr, fields: Vec<crate::plan::Field>) -> Node {
+    let mut parts = Vec::new();
+    conjuncts(pred, &mut parts);
+
+    match input.kind {
+        NodeKind::Project { input: pin, exprs } => {
+            // Substitute projection expressions into the predicate and move it
+            // below, unless a referenced projection expression is volatile.
+            let mut movable = Vec::new();
+            let mut stuck = Vec::new();
+            for p in parts {
+                let mut cols = Vec::new();
+                p.collect_cols(&mut cols);
+                if cols.iter().any(|&c| exprs[c].is_volatile()) {
+                    stuck.push(p);
+                } else {
+                    movable.push(p.substitute(&exprs));
+                }
+            }
+            let inner_fields = pin.fields.clone();
+            let mut below = *pin;
+            if let Some(mp) = conjoin(movable) {
+                below = push_filter(below, mp, inner_fields);
+            }
+            let proj = Node {
+                kind: NodeKind::Project { input: Box::new(below), exprs },
+                fields: fields.clone(),
+            };
+            wrap_filter(proj, stuck, fields)
+        }
+        NodeKind::Flatten { input: fin, expr, outer } => {
+            let in_arity = fin.arity();
+            let mut movable = Vec::new();
+            let mut stuck = Vec::new();
+            for p in parts {
+                // Pushing below an OUTER flatten is unsound for predicates that
+                // could reject rows the outer flatten must preserve only if they
+                // reference flatten outputs; input-only predicates commute.
+                match max_col(&p) {
+                    Some(m) if m < in_arity => movable.push(p),
+                    None => movable.push(p),
+                    _ => stuck.push(p),
+                }
+            }
+            let inner_fields = fin.fields.clone();
+            let mut below = *fin;
+            if let Some(mp) = conjoin(movable) {
+                below = push_filter(below, mp, inner_fields);
+            }
+            let fl = Node {
+                kind: NodeKind::Flatten { input: Box::new(below), expr, outer },
+                fields: fields.clone(),
+            };
+            wrap_filter(fl, stuck, fields)
+        }
+        NodeKind::Join { left, right, kind, on } => {
+            let la = left.arity();
+            let mut left_parts = Vec::new();
+            let mut right_parts = Vec::new();
+            let mut into_on = Vec::new();
+            let mut stuck = Vec::new();
+            for p in parts {
+                let mut cols = Vec::new();
+                p.collect_cols(&mut cols);
+                let all_left = !cols.is_empty() && cols.iter().all(|&c| c < la);
+                let all_right = !cols.is_empty() && cols.iter().all(|&c| c >= la);
+                match kind {
+                    JoinKind::Inner | JoinKind::Cross => {
+                        if all_left {
+                            left_parts.push(p);
+                        } else if all_right {
+                            right_parts.push(shift_right(&p, la));
+                        } else {
+                            // For inner joins, filtering after the join equals
+                            // filtering in the ON condition — moving the
+                            // conjunct there lets the executor extract
+                            // hash-join keys (turning a cross join emitted for
+                            // JSONiq's successive-for joins into a hash join).
+                            into_on.push(p);
+                        }
+                    }
+                    JoinKind::LeftOuter => {
+                        // Only left-side predicates commute with a left outer
+                        // join; right-side ones would change NULL-extension.
+                        if all_left {
+                            left_parts.push(p);
+                        } else {
+                            stuck.push(p);
+                        }
+                    }
+                }
+            }
+            let lf = left.fields.clone();
+            let rf = right.fields.clone();
+            let mut l = *left;
+            let mut r = *right;
+            if let Some(p) = conjoin(left_parts) {
+                l = push_filter(l, p, lf);
+            }
+            if let Some(p) = conjoin(right_parts) {
+                r = push_filter(r, p, rf);
+            }
+            let (kind, on) = if into_on.is_empty() {
+                (kind, on)
+            } else {
+                let mut all = Vec::new();
+                if let Some(o) = on {
+                    all.push(o);
+                }
+                all.extend(into_on);
+                (JoinKind::Inner, conjoin(all))
+            };
+            let j = Node {
+                kind: NodeKind::Join { left: Box::new(l), right: Box::new(r), kind, on },
+                fields: fields.clone(),
+            };
+            wrap_filter(j, stuck, fields)
+        }
+        NodeKind::UnionAll { left, right } => {
+            let lf = left.fields.clone();
+            let rf = right.fields.clone();
+            let pred = conjoin(parts).expect("at least one conjunct");
+            let l = push_filter(*left, pred.clone(), lf);
+            let r = push_filter(*right, pred, rf);
+            Node {
+                kind: NodeKind::UnionAll { left: Box::new(l), right: Box::new(r) },
+                fields,
+            }
+        }
+        NodeKind::Filter { input: fin, pred: inner } => {
+            // Merge adjacent filters and retry.
+            let mut merged = vec![inner];
+            merged.extend(parts);
+            let p = conjoin(merged).expect("non-empty");
+            push_filter(*fin, p, fields)
+        }
+        NodeKind::Scan { table, mut pushed, materialize } => {
+            // Copy comparison conjuncts into the scan for pruning; the filter
+            // itself stays above for exactness.
+            for p in &parts {
+                if let Some(sp) = scan_predicate(p) {
+                    pushed.push(sp);
+                }
+            }
+            let scan = Node {
+                kind: NodeKind::Scan { table, pushed, materialize },
+                fields: fields.clone(),
+            };
+            wrap_filter(scan, parts, fields)
+        }
+        other => {
+            // Sort/Limit/Aggregate/Distinct/Values: keep the filter in place.
+            let node = Node { kind: other, fields: input.fields };
+            wrap_filter(node, parts, fields)
+        }
+    }
+}
+
+fn wrap_filter(node: Node, parts: Vec<PExpr>, fields: Vec<crate::plan::Field>) -> Node {
+    match conjoin(parts) {
+        Some(pred) => Node {
+            kind: NodeKind::Filter { input: Box::new(node), pred },
+            fields,
+        },
+        None => node,
+    }
+}
+
+fn shift_right(e: &PExpr, la: usize) -> PExpr {
+    let max = max_col(e).unwrap_or(0);
+    let subs: Vec<PExpr> = (0..=max).map(|i| PExpr::Col(i.saturating_sub(la))).collect();
+    e.substitute(&subs)
+}
+
+/// Recognizes `col <cmp> literal` / `literal <cmp> col` conjuncts for pruning.
+fn scan_predicate(p: &PExpr) -> Option<ScanPredicate> {
+    let (l, op, r) = match p {
+        PExpr::Binary { left, op, right } => (left.as_ref(), *op, right.as_ref()),
+        _ => return None,
+    };
+    let cmp = |op: BinOp, flip: bool| -> Option<&'static str> {
+        Some(match (op, flip) {
+            (BinOp::Eq, _) => "=",
+            (BinOp::NotEq, _) => "<>",
+            (BinOp::Lt, false) => "<",
+            (BinOp::Lt, true) => ">",
+            (BinOp::LtEq, false) => "<=",
+            (BinOp::LtEq, true) => ">=",
+            (BinOp::Gt, false) => ">",
+            (BinOp::Gt, true) => "<",
+            (BinOp::GtEq, false) => ">=",
+            (BinOp::GtEq, true) => "<=",
+            _ => return None,
+        })
+    };
+    match (l, r) {
+        (PExpr::Col(c), PExpr::Lit(v)) if !v.is_null() => {
+            Some(ScanPredicate { col: *c, cmp: cmp(op, false)?, lit: v.clone() })
+        }
+        (PExpr::Lit(v), PExpr::Col(c)) if !v.is_null() => {
+            Some(ScanPredicate { col: *c, cmp: cmp(op, true)?, lit: v.clone() })
+        }
+        _ => None,
+    }
+}
+
+// ---- projection pruning ----------------------------------------------------
+
+/// Marks, per scan, the table columns the plan above actually consumes.
+fn prune_projection(node: &mut Node) {
+    let all: Vec<usize> = (0..node.arity()).collect();
+    mark(node, &all);
+}
+
+fn mark(node: &mut Node, required: &[usize]) {
+    match &mut node.kind {
+        NodeKind::Values => {}
+        NodeKind::Scan { materialize, pushed, .. } => {
+            for m in materialize.iter_mut() {
+                *m = false;
+            }
+            for &c in required {
+                materialize[c] = true;
+            }
+            // Pruning predicates read zone maps, not column data, but keep the
+            // column materialized for the exact filter above.
+            for p in pushed {
+                materialize[p.col] = true;
+            }
+        }
+        NodeKind::Project { input, exprs } => {
+            let mut need = Vec::new();
+            for &i in required {
+                exprs[i].collect_cols(&mut need);
+            }
+            dedup(&mut need);
+            mark(input, &need);
+        }
+        NodeKind::Filter { input, pred } => {
+            let mut need = required.to_vec();
+            pred.collect_cols(&mut need);
+            dedup(&mut need);
+            mark(input, &need);
+        }
+        NodeKind::Flatten { input, expr, .. } => {
+            let in_arity = input.arity();
+            let mut need: Vec<usize> =
+                required.iter().copied().filter(|&c| c < in_arity).collect();
+            expr.collect_cols(&mut need);
+            dedup(&mut need);
+            mark(input, &need);
+        }
+        NodeKind::Aggregate { input, groups, aggs } => {
+            let mut need = Vec::new();
+            for g in groups.iter() {
+                g.collect_cols(&mut need);
+            }
+            for a in aggs.iter() {
+                if let Some(e) = &a.arg {
+                    e.collect_cols(&mut need);
+                }
+            }
+            dedup(&mut need);
+            mark(input, &need);
+        }
+        NodeKind::Join { left, right, on, .. } => {
+            let la = left.arity();
+            let mut need = required.to_vec();
+            if let Some(e) = on {
+                e.collect_cols(&mut need);
+            }
+            let mut lneed: Vec<usize> = need.iter().copied().filter(|&c| c < la).collect();
+            let mut rneed: Vec<usize> =
+                need.iter().copied().filter(|&c| c >= la).map(|c| c - la).collect();
+            dedup(&mut lneed);
+            dedup(&mut rneed);
+            mark(left, &lneed);
+            mark(right, &rneed);
+        }
+        NodeKind::Sort { input, keys } => {
+            let mut need = required.to_vec();
+            for k in keys.iter() {
+                k.expr.collect_cols(&mut need);
+            }
+            dedup(&mut need);
+            mark(input, &need);
+        }
+        NodeKind::Limit { input, .. } => mark(input, required),
+        NodeKind::Distinct { input } => {
+            // DISTINCT compares whole rows, so everything is required.
+            let all: Vec<usize> = (0..input.arity()).collect();
+            mark(input, &all);
+        }
+        NodeKind::UnionAll { left, right } => {
+            mark(left, required);
+            mark(right, required);
+        }
+    }
+}
+
+fn dedup(v: &mut Vec<usize>) {
+    v.sort_unstable();
+    v.dedup();
+}

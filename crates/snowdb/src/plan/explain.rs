@@ -1,0 +1,237 @@
+//! Plan rendering for `EXPLAIN` and debugging.
+
+use std::fmt::Write;
+
+use super::{AggExpr, AggKind, CastType, Node, NodeKind, PExpr, PStep};
+use crate::sql::{BinOp, JoinKind, UnaryOp};
+
+/// Renders a bound plan as an indented operator tree.
+pub fn explain(node: &Node) -> String {
+    let mut out = String::new();
+    walk(node, 0, &mut out);
+    out
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn walk(node: &Node, depth: usize, out: &mut String) {
+    indent(depth, out);
+    match &node.kind {
+        NodeKind::Values => {
+            out.push_str("Values (1 row)\n");
+        }
+        NodeKind::Scan { table, pushed, materialize } => {
+            let cols: Vec<&str> = table
+                .schema()
+                .iter()
+                .zip(materialize)
+                .filter(|(_, &m)| m)
+                .map(|(c, _)| c.name.as_str())
+                .collect();
+            let _ = write!(out, "Scan {} cols=[{}]", table.name(), cols.join(", "));
+            if !pushed.is_empty() {
+                let preds: Vec<String> = pushed
+                    .iter()
+                    .map(|p| format!("#{} {} {:?}", p.col, p.cmp, p.lit))
+                    .collect();
+                let _ = write!(out, " prune=[{}]", preds.join(", "));
+            }
+            out.push('\n');
+        }
+        NodeKind::Project { input, exprs } => {
+            let rendered: Vec<String> = exprs.iter().map(expr_str).collect();
+            let _ = writeln!(out, "Project [{}]", rendered.join(", "));
+            walk(input, depth + 1, out);
+        }
+        NodeKind::Filter { input, pred } => {
+            let _ = writeln!(out, "Filter {}", expr_str(pred));
+            walk(input, depth + 1, out);
+        }
+        NodeKind::Flatten { input, expr, outer } => {
+            let _ = writeln!(
+                out,
+                "Flatten{} input={}",
+                if *outer { " OUTER" } else { "" },
+                expr_str(expr)
+            );
+            walk(input, depth + 1, out);
+        }
+        NodeKind::Aggregate { input, groups, aggs } => {
+            let g: Vec<String> = groups.iter().map(expr_str).collect();
+            let a: Vec<String> = aggs.iter().map(agg_str).collect();
+            let _ = writeln!(out, "Aggregate group=[{}] aggs=[{}]", g.join(", "), a.join(", "));
+            walk(input, depth + 1, out);
+        }
+        NodeKind::Join { left, right, kind, on } => {
+            let k = match kind {
+                JoinKind::Inner => "Inner",
+                JoinKind::LeftOuter => "LeftOuter",
+                JoinKind::Cross => "Cross",
+            };
+            let on_str = on.as_ref().map(expr_str).unwrap_or_default();
+            let _ = writeln!(out, "{k}Join on={on_str}");
+            walk(left, depth + 1, out);
+            walk(right, depth + 1, out);
+        }
+        NodeKind::Sort { input, keys } => {
+            let ks: Vec<String> = keys
+                .iter()
+                .map(|k| format!("{}{}", expr_str(&k.expr), if k.desc { " DESC" } else { "" }))
+                .collect();
+            let _ = writeln!(out, "Sort [{}]", ks.join(", "));
+            walk(input, depth + 1, out);
+        }
+        NodeKind::Limit { input, n } => {
+            let _ = writeln!(out, "Limit {n}");
+            walk(input, depth + 1, out);
+        }
+        NodeKind::UnionAll { left, right } => {
+            out.push_str("UnionAll\n");
+            walk(left, depth + 1, out);
+            walk(right, depth + 1, out);
+        }
+        NodeKind::Distinct { input } => {
+            out.push_str("Distinct\n");
+            walk(input, depth + 1, out);
+        }
+    }
+}
+
+fn agg_str(a: &AggExpr) -> String {
+    let name = match a.kind {
+        AggKind::CountStar => return "COUNT(*)".into(),
+        AggKind::Count => "COUNT",
+        AggKind::CountDistinct => "COUNT_DISTINCT",
+        AggKind::Sum => "SUM",
+        AggKind::Min => "MIN",
+        AggKind::Max => "MAX",
+        AggKind::Avg => "AVG",
+        AggKind::ArrayAgg => "ARRAY_AGG",
+        AggKind::AnyValue => "ANY_VALUE",
+        AggKind::BoolAnd => "BOOLAND_AGG",
+        AggKind::BoolOr => "BOOLOR_AGG",
+        AggKind::MinBy => "MIN_BY",
+        AggKind::MaxBy => "MAX_BY",
+    };
+    match (&a.arg, &a.arg2) {
+        (Some(x), Some(k)) => format!("{name}({}, {})", expr_str(x), expr_str(k)),
+        (Some(x), None) => format!("{name}({})", expr_str(x)),
+        _ => format!("{name}()"),
+    }
+}
+
+/// Compact textual form of a bound expression.
+pub fn expr_str(e: &PExpr) -> String {
+    match e {
+        PExpr::Col(i) => format!("#{i}"),
+        PExpr::Lit(v) => format!("{v:?}"),
+        PExpr::Unary { op, expr } => match op {
+            UnaryOp::Neg => format!("(-{})", expr_str(expr)),
+            UnaryOp::Plus => expr_str(expr),
+        },
+        PExpr::Binary { left, op, right } => {
+            let o = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Mod => "%",
+                BinOp::Eq => "=",
+                BinOp::NotEq => "<>",
+                BinOp::Lt => "<",
+                BinOp::LtEq => "<=",
+                BinOp::Gt => ">",
+                BinOp::GtEq => ">=",
+                BinOp::And => "AND",
+                BinOp::Or => "OR",
+                BinOp::Concat => "||",
+            };
+            format!("({} {o} {})", expr_str(left), expr_str(right))
+        }
+        PExpr::Not(x) => format!("(NOT {})", expr_str(x)),
+        PExpr::IsNull { expr, negated } => format!(
+            "({} IS {}NULL)",
+            expr_str(expr),
+            if *negated { "NOT " } else { "" }
+        ),
+        PExpr::InList { expr, list, negated } => {
+            let items: Vec<String> = list.iter().map(expr_str).collect();
+            format!(
+                "({} {}IN ({}))",
+                expr_str(expr),
+                if *negated { "NOT " } else { "" },
+                items.join(", ")
+            )
+        }
+        PExpr::Case { .. } => "CASE ...".into(),
+        PExpr::Func { f, args } => {
+            let items: Vec<String> = args.iter().map(expr_str).collect();
+            format!("{f:?}({})", items.join(", "))
+        }
+        PExpr::Cast { expr, ty } => {
+            let t = match ty {
+                CastType::Int => "INT",
+                CastType::Float => "DOUBLE",
+                CastType::Bool => "BOOLEAN",
+                CastType::Str => "VARCHAR",
+                CastType::Variant => "VARIANT",
+            };
+            format!("({}::{t})", expr_str(expr))
+        }
+        PExpr::Path { base, steps } => {
+            let mut s = expr_str(base);
+            for st in steps {
+                match st {
+                    PStep::Field(f) => {
+                        s.push(':');
+                        s.push_str(f);
+                    }
+                    PStep::Index(i) => {
+                        s.push_str(&format!("[{i}]"));
+                    }
+                    PStep::IndexExpr(e) => {
+                        s.push_str(&format!("[{}]", expr_str(e)));
+                    }
+                }
+            }
+            s
+        }
+        PExpr::Like { expr, pattern, negated } => format!(
+            "({} {}LIKE {})",
+            expr_str(expr),
+            if *negated { "NOT " } else { "" },
+            expr_str(pattern)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::storage::{ColumnDef, ColumnType};
+    use crate::{Database, Variant};
+
+    #[test]
+    fn explain_shows_operators_and_pruned_columns() {
+        let db = Database::new();
+        db.load_table(
+            "t",
+            vec![
+                ColumnDef::new("A", ColumnType::Int),
+                ColumnDef::new("B", ColumnType::Int),
+            ],
+            (0..3).map(|i| vec![Variant::Int(i), Variant::Int(i * 2)]),
+        )
+        .unwrap();
+        let plan = db.compile("SELECT a FROM t WHERE a > 1 ORDER BY a").unwrap();
+        let text = super::explain(&plan);
+        assert!(text.contains("Sort"), "{text}");
+        assert!(text.contains("Filter"), "{text}");
+        assert!(text.contains("Scan T"), "{text}");
+        assert!(text.contains("prune="), "{text}");
+        assert!(!text.contains(", B]"), "B must be pruned: {text}");
+    }
+}

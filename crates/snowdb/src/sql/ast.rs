@@ -1,0 +1,156 @@
+//! SQL abstract syntax tree.
+
+use crate::variant::Variant;
+
+/// A full query: set expression plus optional `ORDER BY` / `LIMIT`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    pub body: SetExpr,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<u64>,
+}
+
+/// Body of a query: a single `SELECT` or a `UNION ALL` chain.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SetExpr {
+    Select(Box<Select>),
+    UnionAll(Box<SetExpr>, Box<SetExpr>),
+    /// A parenthesized sub-query used as a set operand.
+    Query(Box<Query>),
+}
+
+/// One `SELECT ... FROM ... WHERE ... GROUP BY ... HAVING ...` block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Select {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Option<FromClause>,
+    pub selection: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+}
+
+/// One item of the select list.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelectItem {
+    /// `*` with optional Snowflake-style `EXCLUDE (a, b)`.
+    Wildcard { exclude: Vec<String> },
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// `expr [AS alias]`
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// `FROM` clause: a base relation plus a chain of joins and lateral flattens,
+/// applied in textual order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FromClause {
+    pub base: TableFactor,
+    pub items: Vec<FromItem>,
+}
+
+/// A join or lateral flatten following the base table factor.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FromItem {
+    Join { kind: JoinKind, factor: TableFactor, on: Option<Expr> },
+    /// `, LATERAL FLATTEN(INPUT => expr [, OUTER => TRUE]) [AS] alias`
+    Flatten { input: Expr, outer: bool, alias: String },
+}
+
+/// Base relation in `FROM`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TableFactor {
+    Table { name: String, alias: Option<String> },
+    Derived { query: Box<Query>, alias: Option<String> },
+}
+
+/// Join kinds supported by the dialect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    LeftOuter,
+    Cross,
+}
+
+/// A sort key.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub desc: bool,
+    /// `Some(true)` = NULLS FIRST, `Some(false)` = NULLS LAST, `None` = default.
+    pub nulls_first: Option<bool>,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+    /// String concatenation `||`.
+    Concat,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnaryOp {
+    Neg,
+    Plus,
+}
+
+/// One step of a variant path (`:a.b[0]`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum PathStep {
+    Field(String),
+    Index(i64),
+    /// Index given by an arbitrary expression (`x[i.value]`).
+    IndexExpr(Box<Expr>),
+}
+
+/// SQL scalar expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    Literal(Variant),
+    /// Possibly-qualified column reference: `x` or `t.x`.
+    Ident(Vec<String>),
+    /// Variant path access rooted at an expression: `col:f.g[0]` or `expr[i]`.
+    Path { base: Box<Expr>, steps: Vec<PathStep> },
+    Unary { op: UnaryOp, expr: Box<Expr> },
+    Binary { left: Box<Expr>, op: BinOp, right: Box<Expr> },
+    Not(Box<Expr>),
+    IsNull { expr: Box<Expr>, negated: bool },
+    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
+    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr>, negated: bool },
+    /// `expr [NOT] LIKE pattern` with `%` and `_` wildcards.
+    Like { expr: Box<Expr>, pattern: Box<Expr>, negated: bool },
+    Case {
+        operand: Option<Box<Expr>>,
+        branches: Vec<(Expr, Expr)>,
+        else_expr: Option<Box<Expr>>,
+    },
+    /// Function call; `distinct` covers `COUNT(DISTINCT x)`, `star` covers `COUNT(*)`.
+    Func { name: String, args: Vec<Expr>, distinct: bool, star: bool },
+    Cast { expr: Box<Expr>, ty: String },
+}
+
+impl Expr {
+    /// Integer literal helper.
+    pub fn int(i: i64) -> Expr {
+        Expr::Literal(Variant::Int(i))
+    }
+
+    /// Column reference helper.
+    pub fn col(name: &str) -> Expr {
+        Expr::Ident(vec![name.to_string()])
+    }
+}

@@ -1,0 +1,257 @@
+//! Statement-level SQL: queries plus the small DDL/DML surface the REPL and
+//! examples use (`CREATE TABLE`, `INSERT INTO ... VALUES`, `DROP TABLE`,
+//! `EXPLAIN`).
+
+use super::ast::{Expr, Query};
+use super::lexer::{tokenize, Token};
+use super::parser::parse_query;
+use crate::error::{Result, SnowError};
+use crate::storage::ColumnType;
+
+/// A parsed SQL statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    Query(Query),
+    Explain(Query),
+    CreateTable { name: String, columns: Vec<(String, ColumnType)> },
+    Insert { table: String, rows: Vec<Vec<Expr>> },
+    DropTable { name: String, if_exists: bool },
+}
+
+/// Parses one statement.
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let toks = tokenize(sql)?;
+    match toks.first() {
+        Some(t) if t.is_kw("EXPLAIN") => {
+            let rest = sql.trim_start();
+            let rest = &rest[rest.len().min(7)..]; // strip "EXPLAIN"
+            Ok(Statement::Explain(parse_query(rest)?))
+        }
+        Some(t) if t.is_kw("CREATE") => parse_create(&toks),
+        Some(t) if t.is_kw("INSERT") => parse_insert(sql, &toks),
+        Some(t) if t.is_kw("DROP") => parse_drop(&toks),
+        _ => Ok(Statement::Query(parse_query(sql)?)),
+    }
+}
+
+fn ident_at(toks: &[Token], i: usize) -> Result<String> {
+    match toks.get(i) {
+        Some(Token::Ident { text, .. }) => Ok(text.clone()),
+        other => Err(SnowError::Parse(format!("expected identifier, found {other:?}"))),
+    }
+}
+
+fn parse_create(toks: &[Token]) -> Result<Statement> {
+    // CREATE TABLE name ( col type [, ...] )
+    let mut i = 1;
+    if !toks.get(i).is_some_and(|t| t.is_kw("TABLE")) {
+        return Err(SnowError::Parse("expected CREATE TABLE".into()));
+    }
+    i += 1;
+    let name = ident_at(toks, i)?;
+    i += 1;
+    if !toks.get(i).is_some_and(|t| t.is_sym("(")) {
+        return Err(SnowError::Parse("expected '(' after table name".into()));
+    }
+    i += 1;
+    let mut columns = Vec::new();
+    loop {
+        let col = ident_at(toks, i)?;
+        i += 1;
+        let ty_name = ident_at(toks, i)?;
+        i += 1;
+        // Skip optional precision arguments like NUMBER(38, 0).
+        if toks.get(i).is_some_and(|t| t.is_sym("(")) {
+            while !toks.get(i).is_some_and(|t| t.is_sym(")")) {
+                i += 1;
+                if i > toks.len() {
+                    return Err(SnowError::Parse("unterminated type arguments".into()));
+                }
+            }
+            i += 1;
+        }
+        let ty = ColumnType::parse(&ty_name)
+            .ok_or_else(|| SnowError::Parse(format!("unknown column type '{ty_name}'")))?;
+        columns.push((col, ty));
+        if toks.get(i).is_some_and(|t| t.is_sym(",")) {
+            i += 1;
+            continue;
+        }
+        break;
+    }
+    if !toks.get(i).is_some_and(|t| t.is_sym(")")) {
+        return Err(SnowError::Parse("expected ')' to close column list".into()));
+    }
+    if columns.is_empty() {
+        return Err(SnowError::Parse("CREATE TABLE requires at least one column".into()));
+    }
+    Ok(Statement::CreateTable { name, columns })
+}
+
+fn parse_insert(sql: &str, toks: &[Token]) -> Result<Statement> {
+    // INSERT INTO name VALUES (expr, ...) [, (expr, ...)]*
+    if !(toks.get(1).is_some_and(|t| t.is_kw("INTO"))) {
+        return Err(SnowError::Parse("expected INSERT INTO".into()));
+    }
+    let table = ident_at(toks, 2)?;
+    if !toks.get(3).is_some_and(|t| t.is_kw("VALUES")) {
+        return Err(SnowError::Parse("expected VALUES".into()));
+    }
+    // Reuse the expression parser by rewriting each tuple into a SELECT list.
+    let values_pos = sql
+        .to_ascii_uppercase()
+        .find("VALUES")
+        .expect("VALUES keyword located by tokenizer");
+    let tail = &sql[values_pos + "VALUES".len()..];
+    let mut rows = Vec::new();
+    for tuple in split_tuples(tail)? {
+        let q = parse_query(&format!("SELECT {tuple}"))?;
+        match q.body {
+            super::ast::SetExpr::Select(sel) => {
+                let row: Vec<Expr> = sel
+                    .items
+                    .into_iter()
+                    .map(|it| match it {
+                        super::ast::SelectItem::Expr { expr, .. } => Ok(expr),
+                        other => Err(SnowError::Parse(format!(
+                            "invalid VALUES item {other:?}"
+                        ))),
+                    })
+                    .collect::<Result<_>>()?;
+                rows.push(row);
+            }
+            _ => return Err(SnowError::Parse("invalid VALUES list".into())),
+        }
+    }
+    if rows.is_empty() {
+        return Err(SnowError::Parse("VALUES requires at least one tuple".into()));
+    }
+    Ok(Statement::Insert { table, rows })
+}
+
+/// Splits `(a, b), (c, d)` into top-level tuples, respecting nesting and
+/// string literals.
+fn split_tuples(text: &str) -> Result<Vec<String>> {
+    let mut tuples = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    let mut in_str = false;
+    for c in text.chars() {
+        match c {
+            '\'' => {
+                in_str = !in_str;
+                if depth > 0 {
+                    current.push(c);
+                }
+            }
+            '(' if !in_str => {
+                if depth > 0 {
+                    current.push(c);
+                }
+                depth += 1;
+            }
+            ')' if !in_str => {
+                if depth == 0 {
+                    return Err(SnowError::Parse("unbalanced ')' in VALUES".into()));
+                }
+                depth -= 1;
+                if depth == 0 {
+                    tuples.push(std::mem::take(&mut current));
+                } else {
+                    current.push(c);
+                }
+            }
+            _ => {
+                if depth > 0 {
+                    current.push(c);
+                }
+            }
+        }
+    }
+    if depth != 0 || in_str {
+        return Err(SnowError::Parse("unterminated VALUES tuple".into()));
+    }
+    Ok(tuples)
+}
+
+fn parse_drop(toks: &[Token]) -> Result<Statement> {
+    // DROP TABLE [IF EXISTS] name
+    if !toks.get(1).is_some_and(|t| t.is_kw("TABLE")) {
+        return Err(SnowError::Parse("expected DROP TABLE".into()));
+    }
+    let mut i = 2;
+    let if_exists = toks.get(i).is_some_and(|t| t.is_kw("IF"))
+        && toks.get(i + 1).is_some_and(|t| t.is_kw("EXISTS"));
+    if if_exists {
+        i += 2;
+    }
+    let name = ident_at(toks, i)?;
+    Ok(Statement::DropTable { name, if_exists })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create_table() {
+        let s = parse_statement("CREATE TABLE t (a INT, b DOUBLE, c VARIANT)").unwrap();
+        match s {
+            Statement::CreateTable { name, columns } => {
+                assert_eq!(name, "T");
+                assert_eq!(columns.len(), 3);
+                assert_eq!(columns[0], ("A".to_string(), ColumnType::Int));
+                assert_eq!(columns[2].1, ColumnType::Variant);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_insert_values() {
+        let s =
+            parse_statement("INSERT INTO t VALUES (1, 'a'), (2 + 3, 'b,с(x)')").unwrap();
+        match s {
+            Statement::Insert { table, rows } => {
+                assert_eq!(table, "T");
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0].len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_drop_variants() {
+        assert!(matches!(
+            parse_statement("DROP TABLE t").unwrap(),
+            Statement::DropTable { if_exists: false, .. }
+        ));
+        assert!(matches!(
+            parse_statement("DROP TABLE IF EXISTS t").unwrap(),
+            Statement::DropTable { if_exists: true, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_explain_and_plain_queries() {
+        assert!(matches!(
+            parse_statement("EXPLAIN SELECT 1").unwrap(),
+            Statement::Explain(_)
+        ));
+        assert!(matches!(parse_statement("SELECT 1").unwrap(), Statement::Query(_)));
+    }
+
+    #[test]
+    fn rejects_malformed_ddl() {
+        for bad in [
+            "CREATE TABLE t",
+            "CREATE TABLE t ()",
+            "INSERT t VALUES (1)",
+            "INSERT INTO t VALUES",
+            "DROP t",
+        ] {
+            assert!(parse_statement(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+}

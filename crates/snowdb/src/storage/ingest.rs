@@ -1,0 +1,170 @@
+//! Schema-less ingestion: newline-delimited JSON → tables.
+//!
+//! Implements the paper's "in-situ processing without manual schema definition
+//! or data loading" staging path (§I): each document becomes a row, the column
+//! set is inferred from the data, and nested values land in `VARIANT` columns.
+
+use super::{ColumnDef, ColumnType};
+use crate::error::{Result, SnowError};
+use crate::variant::{parse_json, Variant};
+use crate::Database;
+
+/// How a column's type is inferred across documents.
+fn unify(a: ColumnType, b: ColumnType) -> ColumnType {
+    use ColumnType::*;
+    match (a, b) {
+        (x, y) if x == y => x,
+        // Numeric widening mirrors VARIANT's "lowest common type" (§II-B).
+        (Int, Float) | (Float, Int) => Float,
+        _ => Variant,
+    }
+}
+
+fn type_of(v: &Variant) -> Option<ColumnType> {
+    match v {
+        Variant::Null => None,
+        Variant::Int(_) => Some(ColumnType::Int),
+        Variant::Float(_) => Some(ColumnType::Float),
+        Variant::Bool(_) => Some(ColumnType::Bool),
+        Variant::Str(_) => Some(ColumnType::Str),
+        Variant::Array(_) | Variant::Object(_) => Some(ColumnType::Variant),
+    }
+}
+
+/// Infers a schema from parsed documents: one column per top-level key (in
+/// first-seen order), scalar types widened across documents, structures as
+/// `VARIANT`. All-null columns default to `VARIANT`.
+pub fn infer_schema(docs: &[Variant]) -> Result<Vec<ColumnDef>> {
+    let mut order: Vec<String> = Vec::new();
+    let mut types: std::collections::HashMap<String, Option<ColumnType>> = Default::default();
+    for d in docs {
+        let obj = d.as_object().ok_or_else(|| {
+            SnowError::Catalog("ingestion expects one JSON object per line".into())
+        })?;
+        for (k, v) in obj.iter() {
+            let key = k.to_uppercase();
+            let entry = match types.get_mut(&key) {
+                Some(e) => e,
+                None => {
+                    order.push(key.clone());
+                    types.entry(key.clone()).or_insert(None)
+                }
+            };
+            *entry = match (*entry, type_of(v)) {
+                (None, t) => t,
+                (t, None) => t,
+                (Some(a), Some(b)) => Some(unify(a, b)),
+            };
+        }
+    }
+    if order.is_empty() {
+        return Err(SnowError::Catalog("cannot infer a schema from zero documents".into()));
+    }
+    Ok(order
+        .into_iter()
+        .map(|name| {
+            let ty = types[&name].unwrap_or(ColumnType::Variant);
+            ColumnDef::new(name, ty)
+        })
+        .collect())
+}
+
+impl Database {
+    /// Loads newline-delimited JSON text into a table, inferring the schema.
+    /// Returns the number of rows loaded. Keys missing from a document load
+    /// as NULL; unknown keys seen later widen the schema.
+    pub fn load_jsonl(&self, table: &str, text: &str) -> Result<usize> {
+        let docs: Vec<Variant> = text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(parse_json)
+            .collect::<Result<_>>()?;
+        let schema = infer_schema(&docs)?;
+        let names: Vec<String> = schema.iter().map(|c| c.name.clone()).collect();
+        let n = docs.len();
+        self.load_table(
+            table,
+            schema,
+            docs.iter().map(|d| {
+                names
+                    .iter()
+                    .map(|name| {
+                        // Case-insensitive match back to the document's key.
+                        d.as_object()
+                            .and_then(|o| {
+                                o.iter()
+                                    .find(|(k, _)| k.eq_ignore_ascii_case(name))
+                                    .map(|(_, v)| v.clone())
+                            })
+                            .unwrap_or(Variant::Null)
+                    })
+                    .collect()
+            }),
+        )?;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infers_scalar_types_and_order() {
+        let docs = vec![
+            parse_json(r#"{"a": 1, "b": "x", "c": true}"#).unwrap(),
+            parse_json(r#"{"a": 2.5, "b": "y", "c": false}"#).unwrap(),
+        ];
+        let schema = infer_schema(&docs).unwrap();
+        assert_eq!(schema.len(), 3);
+        assert_eq!(schema[0], ColumnDef::new("A", ColumnType::Float)); // widened
+        assert_eq!(schema[1].ty, ColumnType::Str);
+        assert_eq!(schema[2].ty, ColumnType::Bool);
+    }
+
+    #[test]
+    fn conflicting_types_become_variant() {
+        let docs = vec![
+            parse_json(r#"{"a": 1}"#).unwrap(),
+            parse_json(r#"{"a": "one"}"#).unwrap(),
+        ];
+        let schema = infer_schema(&docs).unwrap();
+        assert_eq!(schema[0].ty, ColumnType::Variant);
+    }
+
+    #[test]
+    fn missing_keys_load_as_null_and_widen() {
+        let db = Database::new();
+        let n = db
+            .load_jsonl(
+                "t",
+                r#"{"a": 1}
+                   {"a": 2, "extra": [1, 2]}"#,
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+        let r = db.query("SELECT a, extra FROM t ORDER BY a").unwrap();
+        assert_eq!(r.rows[0][0], Variant::Int(1));
+        assert!(r.rows[0][1].is_null());
+        assert_eq!(r.rows[1][1], Variant::array(vec![Variant::Int(1), Variant::Int(2)]));
+    }
+
+    #[test]
+    fn nested_values_stay_queryable() {
+        let db = Database::new();
+        db.load_jsonl("t", r#"{"id": 1, "tags": [{"N": "x"}, {"N": "y"}]}"#).unwrap();
+        let r = db
+            .query("SELECT f.value:N FROM t, LATERAL FLATTEN(INPUT => tags) f ORDER BY 1")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0], Variant::str("x"));
+    }
+
+    #[test]
+    fn rejects_non_objects_and_empty_input() {
+        let db = Database::new();
+        assert!(db.load_jsonl("t", "[1, 2]").is_err());
+        assert!(db.load_jsonl("t", "").is_err());
+        assert!(db.load_jsonl("t", "not json").is_err());
+    }
+}

@@ -1,0 +1,253 @@
+//! Tables and micro-partitions.
+
+use std::sync::Arc;
+
+use super::{ColumnData, ColumnType, ZoneMap};
+use crate::error::{Result, SnowError};
+use crate::variant::Variant;
+
+/// Default number of rows per micro-partition.
+///
+/// Snowflake sizes partitions at 50–500 MB of uncompressed data; at the event
+/// sizes of the ADL workload this row count lands partitions in a proportionally
+/// scaled-down range while still giving the optimizer many partitions to prune.
+pub const DEFAULT_PARTITION_ROWS: usize = 4096;
+
+/// A column declaration: name plus declared type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: ColumnType,
+}
+
+impl ColumnDef {
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> ColumnDef {
+        ColumnDef { name: name.into(), ty }
+    }
+}
+
+/// One immutable horizontal shard of a table.
+#[derive(Clone, Debug)]
+pub struct MicroPartition {
+    columns: Vec<ColumnData>,
+    zone_maps: Vec<Option<ZoneMap>>,
+    column_bytes: Vec<u64>,
+    row_count: usize,
+}
+
+impl MicroPartition {
+    fn seal(columns: Vec<ColumnData>) -> MicroPartition {
+        let row_count = columns.first().map_or(0, ColumnData::len);
+        debug_assert!(columns.iter().all(|c| c.len() == row_count));
+        let zone_maps = columns.iter().map(ZoneMap::build).collect();
+        let column_bytes = columns.iter().map(ColumnData::estimated_size).collect();
+        MicroPartition { columns, zone_maps, column_bytes, row_count }
+    }
+
+    /// Number of rows in the partition.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// Column data by position.
+    pub fn column(&self, i: usize) -> &ColumnData {
+        &self.columns[i]
+    }
+
+    /// Zone map for column `i`, when available.
+    pub fn zone_map(&self, i: usize) -> Option<&ZoneMap> {
+        self.zone_maps[i].as_ref()
+    }
+
+    /// Estimated bytes of column `i`.
+    pub fn column_bytes(&self, i: usize) -> u64 {
+        self.column_bytes[i]
+    }
+
+    /// Total estimated bytes across all columns.
+    pub fn total_bytes(&self) -> u64 {
+        self.column_bytes.iter().sum()
+    }
+}
+
+/// An immutable snapshot of a table: schema plus sealed micro-partitions.
+///
+/// Tables are `Arc`-shared into query executions; ingest builds a fresh snapshot
+/// via [`TableBuilder`], which keeps queries free of locking on the data path.
+#[derive(Clone, Debug)]
+pub struct Table {
+    name: String,
+    schema: Vec<ColumnDef>,
+    partitions: Vec<Arc<MicroPartition>>,
+    row_count: usize,
+}
+
+impl Table {
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared schema.
+    pub fn schema(&self) -> &[ColumnDef] {
+        &self.schema
+    }
+
+    /// Position of a column by case-insensitive name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.schema.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Sealed partitions.
+    pub fn partitions(&self) -> &[Arc<MicroPartition>] {
+        &self.partitions
+    }
+
+    /// Total rows.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// Total estimated uncompressed bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.partitions.iter().map(|p| p.total_bytes()).sum()
+    }
+}
+
+/// Accumulates rows and seals them into micro-partitions.
+pub struct TableBuilder {
+    name: String,
+    schema: Vec<ColumnDef>,
+    partition_rows: usize,
+    sealed: Vec<Arc<MicroPartition>>,
+    open: Vec<ColumnData>,
+    open_rows: usize,
+    total_rows: usize,
+}
+
+impl TableBuilder {
+    /// Starts a builder with the default partition size.
+    pub fn new(name: impl Into<String>, schema: Vec<ColumnDef>) -> TableBuilder {
+        TableBuilder::with_partition_rows(name, schema, DEFAULT_PARTITION_ROWS)
+    }
+
+    /// Starts a builder with an explicit rows-per-partition bound.
+    pub fn with_partition_rows(
+        name: impl Into<String>,
+        schema: Vec<ColumnDef>,
+        partition_rows: usize,
+    ) -> TableBuilder {
+        assert!(partition_rows > 0, "partition size must be positive");
+        let open = schema.iter().map(|c| ColumnData::empty(c.ty)).collect();
+        TableBuilder {
+            name: name.into(),
+            schema,
+            partition_rows,
+            sealed: Vec::new(),
+            open,
+            open_rows: 0,
+            total_rows: 0,
+        }
+    }
+
+    /// Appends one row; the row must have exactly one value per schema column.
+    pub fn push_row(&mut self, row: &[Variant]) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(SnowError::Catalog(format!(
+                "row arity {} does not match schema arity {} for table {}",
+                row.len(),
+                self.schema.len(),
+                self.name
+            )));
+        }
+        for (col, v) in self.open.iter_mut().zip(row) {
+            col.push(v);
+        }
+        self.open_rows += 1;
+        self.total_rows += 1;
+        if self.open_rows >= self.partition_rows {
+            self.seal_open();
+        }
+        Ok(())
+    }
+
+    fn seal_open(&mut self) {
+        if self.open_rows == 0 {
+            return;
+        }
+        let cols = std::mem::replace(
+            &mut self.open,
+            self.schema.iter().map(|c| ColumnData::empty(c.ty)).collect(),
+        );
+        self.sealed.push(Arc::new(MicroPartition::seal(cols)));
+        self.open_rows = 0;
+    }
+
+    /// Seals any open partition and produces the immutable table.
+    pub fn finish(mut self) -> Table {
+        self.seal_open();
+        Table {
+            name: self.name,
+            schema: self.schema,
+            partitions: self.sealed,
+            row_count: self.total_rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_col(name: &str) -> ColumnDef {
+        ColumnDef::new(name, ColumnType::Int)
+    }
+
+    #[test]
+    fn builder_partitions_by_row_count() {
+        let mut b = TableBuilder::with_partition_rows("t", vec![int_col("a")], 3);
+        for i in 0..10 {
+            b.push_row(&[Variant::Int(i)]).unwrap();
+        }
+        let t = b.finish();
+        assert_eq!(t.row_count(), 10);
+        assert_eq!(t.partitions().len(), 4);
+        assert_eq!(t.partitions()[0].row_count(), 3);
+        assert_eq!(t.partitions()[3].row_count(), 1);
+    }
+
+    #[test]
+    fn builder_rejects_wrong_arity() {
+        let mut b = TableBuilder::new("t", vec![int_col("a"), int_col("b")]);
+        assert!(b.push_row(&[Variant::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn partition_zone_maps_cover_their_rows_only() {
+        let mut b = TableBuilder::with_partition_rows("t", vec![int_col("a")], 2);
+        for i in [1, 2, 100, 200] {
+            b.push_row(&[Variant::Int(i)]).unwrap();
+        }
+        let t = b.finish();
+        let zm0 = t.partitions()[0].zone_map(0).unwrap();
+        let zm1 = t.partitions()[1].zone_map(0).unwrap();
+        assert_eq!(zm0.max, Variant::Int(2));
+        assert_eq!(zm1.min, Variant::Int(100));
+    }
+
+    #[test]
+    fn column_index_is_case_insensitive() {
+        let t = TableBuilder::new("t", vec![int_col("Foo")]).finish();
+        assert_eq!(t.column_index("FOO"), Some(0));
+        assert_eq!(t.column_index("foo"), Some(0));
+        assert_eq!(t.column_index("bar"), None);
+    }
+
+    #[test]
+    fn empty_table_has_no_partitions() {
+        let t = TableBuilder::new("t", vec![int_col("a")]).finish();
+        assert_eq!(t.partitions().len(), 0);
+        assert_eq!(t.row_count(), 0);
+        assert_eq!(t.total_bytes(), 0);
+    }
+}

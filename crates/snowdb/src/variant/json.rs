@@ -1,0 +1,426 @@
+//! First-party JSON parser and serializer for [`Variant`].
+//!
+//! The engine deliberately does not depend on an external JSON crate: the paper's
+//! baselines differ precisely in *where* JSON parsing happens (the document-store
+//! comparator parses on the scan path), so the parser must be a measured,
+//! first-party component.
+
+use std::sync::Arc;
+
+use super::{Object, Variant};
+use crate::error::{Result, SnowError};
+
+/// Parses a JSON document into a [`Variant`].
+///
+/// Accepts standard JSON (RFC 8259): objects, arrays, strings with escapes,
+/// numbers (integers parsed as `Int`, anything with a fraction or exponent as
+/// `Float`), `true`/`false`/`null`. Trailing content after the document is an error.
+pub fn parse_json(text: &str) -> Result<Variant> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(SnowError::Json(format!(
+            "trailing characters at byte {} of JSON document",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+/// Serializes a [`Variant`] to compact JSON text.
+pub fn to_json(v: &Variant) -> String {
+    let mut out = String::with_capacity(64);
+    write_json(v, &mut out);
+    out
+}
+
+fn write_json(v: &Variant, out: &mut String) {
+    match v {
+        Variant::Null => out.push_str("null"),
+        Variant::Bool(true) => out.push_str("true"),
+        Variant::Bool(false) => out.push_str("false"),
+        Variant::Int(i) => {
+            out.push_str(itoa_buf(*i).as_str());
+        }
+        Variant::Float(f) => {
+            if f.is_finite() {
+                // Always emit a fractional or exponent part so round-tripping keeps
+                // the Float/Int distinction.
+                let s = format!("{f}");
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Variant::Str(s) => write_json_string(s, out),
+        Variant::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json(item, out);
+            }
+            out.push(']');
+        }
+        Variant::Object(obj) => {
+            out.push('{');
+            for (i, (k, val)) in obj.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(k, out);
+                out.push(':');
+                write_json(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn itoa_buf(i: i64) -> String {
+    i.to_string()
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(SnowError::Json(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Variant> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Variant::Str(Arc::from(self.string()?))),
+            Some(b't') => self.keyword("true", Variant::Bool(true)),
+            Some(b'f') => self.keyword("false", Variant::Bool(false)),
+            Some(b'n') => self.keyword("null", Variant::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(SnowError::Json(format!(
+                "unexpected character '{}' at byte {}",
+                b as char, self.pos
+            ))),
+            None => Err(SnowError::Json("unexpected end of input".into())),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str, v: Variant) -> Result<Variant> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(SnowError::Json(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn object(&mut self) -> Result<Variant> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        let mut obj = Object::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Variant::object(obj));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            obj.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => {
+                    return Err(SnowError::Json(format!(
+                        "expected ',' or '}}' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+        Ok(Variant::object(obj))
+    }
+
+    fn array(&mut self) -> Result<Variant> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Variant::array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => {
+                    return Err(SnowError::Json(format!(
+                        "expected ',' or ']' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+        Ok(Variant::array(items))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Surrogate pair handling.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((cp - 0xD800) << 10)
+                                        + (lo.wrapping_sub(0xDC00));
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            s.push(c.ok_or_else(|| {
+                                SnowError::Json(format!(
+                                    "invalid unicode escape at byte {}",
+                                    self.pos
+                                ))
+                            })?);
+                            continue;
+                        }
+                        _ => {
+                            return Err(SnowError::Json(format!(
+                                "invalid escape at byte {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest)
+                        .map_err(|_| SnowError::Json("invalid utf-8 in string".into()))?;
+                    let c = text.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(SnowError::Json("unterminated string".into())),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(SnowError::Json("truncated \\u escape".into()));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| SnowError::Json("invalid \\u escape".into()))?;
+        let cp = u32::from_str_radix(hex, 16)
+            .map_err(|_| SnowError::Json("invalid \\u escape".into()))?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Variant> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| SnowError::Json("invalid number".into()))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Variant::Float)
+                .map_err(|_| SnowError::Json(format!("invalid number '{text}'")))
+        } else {
+            // Fall back to float on i64 overflow, like Snowflake's lossy ingest.
+            match text.parse::<i64>() {
+                Ok(i) => Ok(Variant::Int(i)),
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Variant::Float)
+                    .map_err(|_| SnowError::Json(format!("invalid number '{text}'"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse_json("42").unwrap(), Variant::Int(42));
+        assert_eq!(parse_json("-7").unwrap(), Variant::Int(-7));
+        assert_eq!(parse_json("3.5").unwrap(), Variant::Float(3.5));
+        assert_eq!(parse_json("1e3").unwrap(), Variant::Float(1000.0));
+        assert_eq!(parse_json("true").unwrap(), Variant::Bool(true));
+        assert_eq!(parse_json("false").unwrap(), Variant::Bool(false));
+        assert_eq!(parse_json("null").unwrap(), Variant::Null);
+        assert_eq!(parse_json("\"hi\"").unwrap(), Variant::str("hi"));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse_json(r#"{"a": [1, {"b": null}], "c": "x"}"#).unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.len(), 2);
+        let a = obj.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a[0], Variant::Int(1));
+        assert!(a[1].get_field("b").is_null());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_json("1 2").is_err());
+        assert!(parse_json("{},").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["{", "[1,", "\"abc", "{\"a\" 1}", "tru", "01a", ""] {
+            assert!(parse_json(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let v = parse_json(r#""a\"b\\c\ndA""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "a\"b\\c\nd\u{41}");
+        let reser = to_json(&v);
+        assert_eq!(parse_json(&reser).unwrap(), v);
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let v = parse_json(r#""😀""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "\u{1F600}");
+    }
+
+    #[test]
+    fn float_serialization_keeps_type() {
+        let v = Variant::Float(2.0);
+        let s = to_json(&v);
+        assert_eq!(parse_json(&s).unwrap(), Variant::Float(2.0));
+    }
+
+    #[test]
+    fn roundtrip_compound() {
+        let src = r#"{"EVENT":1,"MET":{"pt":4.25,"phi":-1.5},"Muon":[{"pt":10.0,"charge":-1},{"pt":20.5,"charge":1}],"flags":[true,false,null]}"#;
+        let v = parse_json(src).unwrap();
+        let round = parse_json(&to_json(&v)).unwrap();
+        assert_eq!(v, round);
+    }
+}

@@ -1,0 +1,207 @@
+//! Equality, ordering, hashing, and numeric coercion for [`Variant`].
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+use super::Variant;
+
+/// Numeric coercion result for binary arithmetic: either both sides are integers
+/// or both are promoted to doubles, mirroring Snowflake's numeric tower as far as
+/// the workloads require.
+pub enum NumericPair {
+    Int(i64, i64),
+    Float(f64, f64),
+}
+
+impl NumericPair {
+    /// Coerces two variants to a common numeric representation, or `None` when
+    /// either side is not a number.
+    pub fn coerce(a: &Variant, b: &Variant) -> Option<NumericPair> {
+        match (a, b) {
+            (Variant::Int(x), Variant::Int(y)) => Some(NumericPair::Int(*x, *y)),
+            (Variant::Int(x), Variant::Float(y)) => Some(NumericPair::Float(*x as f64, *y)),
+            (Variant::Float(x), Variant::Int(y)) => Some(NumericPair::Float(*x, *y as f64)),
+            (Variant::Float(x), Variant::Float(y)) => Some(NumericPair::Float(*x, *y)),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Variant {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Variant::Null, Variant::Null) => true,
+            (Variant::Bool(a), Variant::Bool(b)) => a == b,
+            (Variant::Str(a), Variant::Str(b)) => a == b,
+            (Variant::Array(a), Variant::Array(b)) => a == b,
+            (Variant::Object(a), Variant::Object(b)) => a == b,
+            (a, b) => match NumericPair::coerce(a, b) {
+                Some(NumericPair::Int(x, y)) => x == y,
+                Some(NumericPair::Float(x, y)) => x == y,
+                None => false,
+            },
+        }
+    }
+}
+
+/// Total order over variants, used by `ORDER BY`, `MIN`/`MAX`, and zone maps.
+///
+/// Type rank: numbers < strings < booleans < arrays < objects < NULL, so that an
+/// ascending sort puts `NULL`s last (Snowflake's default). `NaN` sorts after all
+/// other numbers. Cross-type numeric values compare numerically.
+pub fn cmp_variants(a: &Variant, b: &Variant) -> Ordering {
+    fn rank(v: &Variant) -> u8 {
+        match v {
+            Variant::Int(_) | Variant::Float(_) => 0,
+            Variant::Str(_) => 1,
+            Variant::Bool(_) => 2,
+            Variant::Array(_) => 3,
+            Variant::Object(_) => 4,
+            Variant::Null => 5,
+        }
+    }
+    match (a, b) {
+        (Variant::Bool(x), Variant::Bool(y)) => x.cmp(y),
+        (Variant::Str(x), Variant::Str(y)) => x.cmp(y),
+        (Variant::Array(x), Variant::Array(y)) => {
+            for (xi, yi) in x.iter().zip(y.iter()) {
+                let c = cmp_variants(xi, yi);
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        (Variant::Object(x), Variant::Object(y)) => {
+            // Lexicographic over (key, value) pairs in insertion order; arbitrary
+            // but total, which is all sorting requires.
+            for ((kx, vx), (ky, vy)) in x.iter().zip(y.iter()) {
+                let c = kx.cmp(ky);
+                if c != Ordering::Equal {
+                    return c;
+                }
+                let c = cmp_variants(vx, vy);
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        (a, b) => match NumericPair::coerce(a, b) {
+            Some(NumericPair::Int(x, y)) => x.cmp(&y),
+            Some(NumericPair::Float(x, y)) => cmp_f64(x, y),
+            None => rank(a).cmp(&rank(b)),
+        },
+    }
+}
+
+fn cmp_f64(x: f64, y: f64) -> Ordering {
+    match x.partial_cmp(&y) {
+        Some(o) => o,
+        None => match (x.is_nan(), y.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => Ordering::Equal,
+        },
+    }
+}
+
+/// A hashable canonical form of a [`Variant`], used as a group-by / distinct /
+/// join key. Integral doubles canonicalize to integers so that `1` and `1.0`
+/// land in the same group, consistent with [`PartialEq`] above.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Key {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(u64),
+    Str(Arc<str>),
+    Array(Vec<Key>),
+    Object(Vec<(Arc<str>, Key)>),
+}
+
+impl Key {
+    /// Builds the canonical key for a variant.
+    pub fn of(v: &Variant) -> Key {
+        match v {
+            Variant::Null => Key::Null,
+            Variant::Bool(b) => Key::Bool(*b),
+            Variant::Int(i) => Key::Int(*i),
+            Variant::Float(f) => {
+                if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64
+                {
+                    Key::Int(*f as i64)
+                } else if f.is_nan() {
+                    Key::Float(f64::NAN.to_bits())
+                } else if *f == 0.0 {
+                    Key::Int(0)
+                } else {
+                    Key::Float(f.to_bits())
+                }
+            }
+            Variant::Str(s) => Key::Str(s.clone()),
+            Variant::Array(a) => Key::Array(a.iter().map(Key::of).collect()),
+            Variant::Object(o) => Key::Object(
+                o.iter().map(|(k, v)| (Arc::from(k), Key::of(v))).collect(),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variant::Object;
+
+    #[test]
+    fn numeric_equality_across_types() {
+        assert_eq!(Variant::Int(3), Variant::Float(3.0));
+        assert_ne!(Variant::Int(3), Variant::Float(3.5));
+        assert_ne!(Variant::Int(1), Variant::Bool(true));
+        assert_ne!(Variant::Int(0), Variant::Null);
+    }
+
+    #[test]
+    fn ordering_puts_nulls_last() {
+        let mut vals = vec![Variant::Null, Variant::Int(2), Variant::Float(1.5)];
+        vals.sort_by(cmp_variants);
+        assert_eq!(vals[0], Variant::Float(1.5));
+        assert_eq!(vals[1], Variant::Int(2));
+        assert!(vals[2].is_null());
+    }
+
+    #[test]
+    fn nan_sorts_after_numbers() {
+        assert_eq!(
+            cmp_variants(&Variant::Float(f64::NAN), &Variant::Float(1.0)),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn array_ordering_is_lexicographic() {
+        let a = Variant::array(vec![Variant::Int(1), Variant::Int(2)]);
+        let b = Variant::array(vec![Variant::Int(1), Variant::Int(3)]);
+        let c = Variant::array(vec![Variant::Int(1)]);
+        assert_eq!(cmp_variants(&a, &b), Ordering::Less);
+        assert_eq!(cmp_variants(&c, &a), Ordering::Less);
+    }
+
+    #[test]
+    fn keys_unify_int_and_integral_float() {
+        assert_eq!(Key::of(&Variant::Int(4)), Key::of(&Variant::Float(4.0)));
+        assert_ne!(Key::of(&Variant::Int(4)), Key::of(&Variant::Float(4.5)));
+        // Negative zero unifies with zero.
+        assert_eq!(Key::of(&Variant::Float(-0.0)), Key::of(&Variant::Int(0)));
+    }
+
+    #[test]
+    fn object_keys_include_structure() {
+        let mut o1 = Object::new();
+        o1.insert("a", Variant::Int(1));
+        let mut o2 = Object::new();
+        o2.insert("a", Variant::Int(2));
+        assert_ne!(Key::of(&Variant::object(o1)), Key::of(&Variant::object(o2)));
+    }
+}

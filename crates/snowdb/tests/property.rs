@@ -1,0 +1,173 @@
+//! Property-based tests for the engine's core data structures and invariants.
+
+use proptest::prelude::*;
+
+use snowdb::storage::{ColumnDef, ColumnType};
+use snowdb::variant::{cmp_variants, parse_json, to_json, Key, Object};
+use snowdb::{Database, Variant};
+
+/// Strategy producing arbitrary JSON-representable variants.
+fn arb_variant() -> impl Strategy<Value = Variant> {
+    let leaf = prop_oneof![
+        Just(Variant::Null),
+        any::<bool>().prop_map(Variant::Bool),
+        any::<i64>().prop_map(Variant::Int),
+        // Finite doubles only: JSON cannot carry NaN/inf.
+        (-1e15f64..1e15).prop_map(Variant::Float),
+        "[a-zA-Z0-9 _\\-\\.\"\\\\/\u{e9}\u{4e16}]{0,12}".prop_map(|s| Variant::str(&s)),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Variant::array),
+            prop::collection::vec(("[a-zA-Z][a-zA-Z0-9_]{0,6}", inner), 0..4).prop_map(
+                |pairs| {
+                    let mut o = Object::new();
+                    for (k, v) in pairs {
+                        o.insert(k.as_str(), v);
+                    }
+                    Variant::object(o)
+                }
+            ),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// JSON serialization round-trips every representable value.
+    #[test]
+    fn json_roundtrip(v in arb_variant()) {
+        let text = to_json(&v);
+        let back = parse_json(&text).expect("serialized JSON re-parses");
+        prop_assert_eq!(&v, &back);
+        // And serialization is stable across one round trip.
+        prop_assert_eq!(to_json(&back), text);
+    }
+
+    /// `cmp_variants` is a total order: antisymmetric and transitive on samples.
+    #[test]
+    fn cmp_is_total_order(a in arb_variant(), b in arb_variant(), c in arb_variant()) {
+        use std::cmp::Ordering::*;
+        let ab = cmp_variants(&a, &b);
+        let ba = cmp_variants(&b, &a);
+        prop_assert_eq!(ab, ba.reverse());
+        if cmp_variants(&a, &b) != Greater && cmp_variants(&b, &c) != Greater {
+            prop_assert_ne!(cmp_variants(&a, &c), Greater);
+        }
+    }
+
+    /// Canonical keys agree with equality: equal variants hash-key equally.
+    #[test]
+    fn key_respects_equality(v in arb_variant()) {
+        prop_assert_eq!(Key::of(&v), Key::of(&v.clone()));
+        // Int/Float unification.
+        if let Variant::Int(i) = &v {
+            if i.unsigned_abs() < (1u64 << 52) {
+                prop_assert_eq!(Key::of(&v), Key::of(&Variant::Float(*i as f64)));
+            }
+        }
+    }
+
+    /// Storage round-trip: values written to a VARIANT column come back equal,
+    /// regardless of partitioning.
+    #[test]
+    fn table_roundtrip(values in prop::collection::vec(arb_variant(), 1..40),
+                       part in 1usize..8) {
+        let db = Database::new();
+        db.load_table_with_partition_rows(
+            "t",
+            vec![ColumnDef::new("V", ColumnType::Variant)],
+            values.iter().cloned().map(|v| vec![v]),
+            part,
+        ).unwrap();
+        let r = db.query("SELECT v FROM t").unwrap();
+        prop_assert_eq!(r.rows.len(), values.len());
+        for (row, v) in r.rows.iter().zip(&values) {
+            prop_assert_eq!(&row[0], v);
+        }
+    }
+
+    /// The SQL lexer never panics, whatever the input.
+    #[test]
+    fn lexer_never_panics(s in "\\PC*") {
+        let _ = snowdb::sql::lexer::tokenize(&s);
+    }
+
+    /// The SQL parser never panics on arbitrary token soup.
+    #[test]
+    fn parser_never_panics(s in "[a-zA-Z0-9_ ,.()*'\"<>=:\\[\\]+-]*") {
+        let _ = snowdb::sql::parse_query(&s);
+    }
+
+    /// Zone-map pruning never changes results: a partitioned table filtered by
+    /// a range predicate returns the same rows as an unpartitioned one.
+    #[test]
+    fn pruning_preserves_results(values in prop::collection::vec(-1000i64..1000, 1..60),
+                                 lo in -1000i64..1000) {
+        let mk = |part: usize| {
+            let db = Database::new();
+            db.load_table_with_partition_rows(
+                "t",
+                vec![ColumnDef::new("X", ColumnType::Int)],
+                values.iter().map(|&v| vec![Variant::Int(v)]),
+                part,
+            ).unwrap();
+            let mut rows = db
+                .query(&format!("SELECT x FROM t WHERE x >= {lo}"))
+                .unwrap()
+                .rows;
+            rows.sort_by(|a, b| cmp_variants(&a[0], &b[0]));
+            rows
+        };
+        prop_assert_eq!(mk(4), mk(1000));
+    }
+
+    /// Aggregation invariant: COUNT(*) equals the sum of per-group COUNTs.
+    #[test]
+    fn group_counts_partition_the_table(values in prop::collection::vec(0i64..10, 1..60)) {
+        let db = Database::new();
+        db.load_table(
+            "t",
+            vec![ColumnDef::new("X", ColumnType::Int)],
+            values.iter().map(|&v| vec![Variant::Int(v)]),
+        ).unwrap();
+        let total = db.query("SELECT COUNT(*) FROM t").unwrap().rows[0][0]
+            .as_i64().unwrap();
+        let per_group: i64 = db
+            .query("SELECT x, COUNT(*) AS c FROM t GROUP BY x")
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| r[1].as_i64().unwrap())
+            .sum();
+        prop_assert_eq!(total, per_group);
+        prop_assert_eq!(total, values.len() as i64);
+    }
+
+    /// Flatten/reaggregate round-trip: unboxing an array column and
+    /// ARRAY_AGGing it back per row id reproduces the original arrays.
+    #[test]
+    fn flatten_reaggregate_roundtrip(
+        arrays in prop::collection::vec(prop::collection::vec(-100i64..100, 0..6), 1..20)
+    ) {
+        let db = Database::new();
+        db.load_table(
+            "t",
+            vec![ColumnDef::new("A", ColumnType::Variant)],
+            arrays.iter().map(|a| {
+                vec![Variant::array(a.iter().map(|&i| Variant::Int(i)).collect())]
+            }),
+        ).unwrap();
+        let r = db.query(
+            "SELECT any_value(a) AS orig, array_agg(f.value) AS rebuilt \
+             FROM (SELECT seq8() AS rid, a FROM t), \
+                  LATERAL FLATTEN(INPUT => a, OUTER => TRUE) f \
+             GROUP BY rid",
+        ).unwrap();
+        prop_assert_eq!(r.rows.len(), arrays.len());
+        for row in &r.rows {
+            prop_assert_eq!(&row[0], &row[1]);
+        }
+    }
+}

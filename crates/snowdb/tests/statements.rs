@@ -1,0 +1,90 @@
+//! End-to-end tests for the statement surface: DDL, DML, EXPLAIN, LIKE.
+
+use snowdb::engine::StatementResult;
+use snowdb::{Database, Variant};
+
+fn rows(r: StatementResult) -> Vec<Vec<Variant>> {
+    match r {
+        StatementResult::Rows(q) => q.rows,
+        StatementResult::Message(m) => panic!("expected rows, got message {m}"),
+    }
+}
+
+#[test]
+fn create_insert_query_drop_lifecycle() {
+    let db = Database::new();
+    db.execute("CREATE TABLE people (name VARCHAR, age INT)").unwrap();
+    db.execute("INSERT INTO people VALUES ('ada', 36), ('grace', 45 + 1)").unwrap();
+    db.execute("INSERT INTO people VALUES ('edsger', 40)").unwrap();
+    let r = rows(db.execute("SELECT name FROM people WHERE age > 39 ORDER BY name").unwrap());
+    assert_eq!(r, vec![vec![Variant::str("edsger")], vec![Variant::str("grace")]]);
+    db.execute("DROP TABLE people").unwrap();
+    assert!(db.execute("SELECT * FROM people").is_err());
+    // IF EXISTS tolerates missing tables.
+    db.execute("DROP TABLE IF EXISTS people").unwrap();
+    assert!(db.execute("DROP TABLE people").is_err());
+}
+
+#[test]
+fn create_duplicate_table_is_rejected() {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (a INT)").unwrap();
+    assert!(db.execute("CREATE TABLE t (a INT)").is_err());
+}
+
+#[test]
+fn insert_arity_mismatch_is_rejected() {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (a INT, b INT)").unwrap();
+    assert!(db.execute("INSERT INTO t VALUES (1)").is_err());
+}
+
+#[test]
+fn explain_returns_plan_text() {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (a INT, b INT)").unwrap();
+    match db.execute("EXPLAIN SELECT a FROM t WHERE a > 1").unwrap() {
+        StatementResult::Message(plan) => {
+            assert!(plan.contains("Scan T"), "{plan}");
+            assert!(plan.contains("Filter"), "{plan}");
+        }
+        other => panic!("{other:?}"),
+    }
+    // Also available directly.
+    let plan = db.explain("SELECT b FROM t").unwrap();
+    assert!(plan.contains("Project"), "{plan}");
+}
+
+#[test]
+fn like_patterns() {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (s VARCHAR)").unwrap();
+    db.execute("INSERT INTO t VALUES ('MFGR#1201'), ('MFGR#22'), ('other'), ('M_GR')")
+        .unwrap();
+    let r = rows(db.execute("SELECT s FROM t WHERE s LIKE 'MFGR#12%' ORDER BY s").unwrap());
+    assert_eq!(r, vec![vec![Variant::str("MFGR#1201")]]);
+    let r = rows(db.execute("SELECT COUNT(*) FROM t WHERE s LIKE 'M%'").unwrap());
+    assert_eq!(r[0][0], Variant::Int(3));
+    let r = rows(db.execute("SELECT COUNT(*) FROM t WHERE s LIKE 'M_GR'").unwrap());
+    assert_eq!(r[0][0], Variant::Int(1));
+    let r = rows(db.execute("SELECT COUNT(*) FROM t WHERE s NOT LIKE '%#%'").unwrap());
+    assert_eq!(r[0][0], Variant::Int(2));
+}
+
+#[test]
+fn like_with_null_is_null() {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (s VARCHAR)").unwrap();
+    db.execute("INSERT INTO t VALUES ('x')").unwrap();
+    let r = rows(db.execute("SELECT NULL LIKE 'x' FROM t").unwrap());
+    assert!(r[0][0].is_null());
+}
+
+#[test]
+fn like_empty_and_wildcard_edge_cases() {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (s VARCHAR)").unwrap();
+    db.execute("INSERT INTO t VALUES ('')").unwrap();
+    let r = rows(db.execute("SELECT s LIKE '%', s LIKE '_', s LIKE '' FROM t").unwrap());
+    assert_eq!(r[0], vec![Variant::Bool(true), Variant::Bool(false), Variant::Bool(true)]);
+}

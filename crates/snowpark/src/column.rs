@@ -1,0 +1,224 @@
+//! [`Col`]: a partial SQL sub-expression.
+
+use crate::{quote_ident, quote_str};
+
+/// A column expression. Like Snowpark's `Column`, a `Col` is not bound to any
+/// dataset: it is a fragment of SQL logic that becomes meaningful when plugged
+/// into a [`crate::DataFrame`] method (paper §III-B1).
+#[derive(Clone, Debug)]
+pub struct Col {
+    /// Rendered SQL for the expression (already parenthesized where needed).
+    sql: String,
+    /// Whether the expression is a plain (possibly qualified) column reference
+    /// or a `:`-path rooted at one; such expressions can be extended with
+    /// Snowflake path syntax instead of `GET` calls.
+    pathable: bool,
+}
+
+/// Sort direction for [`crate::DataFrame::sort`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SortOrder {
+    Asc,
+    Desc,
+}
+
+impl Col {
+    pub(crate) fn raw(sql: impl Into<String>) -> Col {
+        Col { sql: sql.into(), pathable: false }
+    }
+
+    pub(crate) fn reference(sql: impl Into<String>) -> Col {
+        Col { sql: sql.into(), pathable: true }
+    }
+
+    /// The rendered SQL of this expression.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    fn binary(&self, op: &str, rhs: &Col) -> Col {
+        Col::raw(format!("({} {op} {})", self.sql, rhs.sql))
+    }
+
+    // ---- arithmetic ----
+
+    pub fn add(&self, rhs: &Col) -> Col {
+        self.binary("+", rhs)
+    }
+
+    pub fn sub(&self, rhs: &Col) -> Col {
+        self.binary("-", rhs)
+    }
+
+    pub fn mul(&self, rhs: &Col) -> Col {
+        self.binary("*", rhs)
+    }
+
+    pub fn div(&self, rhs: &Col) -> Col {
+        self.binary("/", rhs)
+    }
+
+    pub fn rem(&self, rhs: &Col) -> Col {
+        self.binary("%", rhs)
+    }
+
+    pub fn neg(&self) -> Col {
+        Col::raw(format!("(- {})", self.sql))
+    }
+
+    // ---- comparison ----
+
+    pub fn eq(&self, rhs: &Col) -> Col {
+        self.binary("=", rhs)
+    }
+
+    pub fn neq(&self, rhs: &Col) -> Col {
+        self.binary("<>", rhs)
+    }
+
+    pub fn lt(&self, rhs: &Col) -> Col {
+        self.binary("<", rhs)
+    }
+
+    pub fn le(&self, rhs: &Col) -> Col {
+        self.binary("<=", rhs)
+    }
+
+    pub fn gt(&self, rhs: &Col) -> Col {
+        self.binary(">", rhs)
+    }
+
+    pub fn ge(&self, rhs: &Col) -> Col {
+        self.binary(">=", rhs)
+    }
+
+    pub fn between(&self, low: &Col, high: &Col) -> Col {
+        Col::raw(format!("({} BETWEEN {} AND {})", self.sql, low.sql, high.sql))
+    }
+
+    pub fn in_list(&self, items: &[Col]) -> Col {
+        let list: Vec<&str> = items.iter().map(|c| c.sql()).collect();
+        Col::raw(format!("({} IN ({}))", self.sql, list.join(", ")))
+    }
+
+    pub fn is_null(&self) -> Col {
+        Col::raw(format!("({} IS NULL)", self.sql))
+    }
+
+    pub fn is_not_null(&self) -> Col {
+        Col::raw(format!("({} IS NOT NULL)", self.sql))
+    }
+
+    // ---- boolean ----
+
+    pub fn and(&self, rhs: &Col) -> Col {
+        self.binary("AND", rhs)
+    }
+
+    pub fn or(&self, rhs: &Col) -> Col {
+        self.binary("OR", rhs)
+    }
+
+    pub fn not(&self) -> Col {
+        Col::raw(format!("(NOT {})", self.sql))
+    }
+
+    // ---- nested data access ----
+
+    /// Accesses a sub-field of a variant value (paper §IV-A).
+    ///
+    /// Emits Snowflake `:`/`.` path syntax when rooted at a column reference
+    /// and a `GET` call otherwise.
+    pub fn subfield(&self, name: &str) -> Col {
+        if self.pathable {
+            let sep = if self.sql.contains(':') { "." } else { ":" };
+            Col { sql: format!("{}{sep}{}", self.sql, quote_ident(name)), pathable: true }
+        } else {
+            Col::raw(format!("GET({}, {})", self.sql, quote_str(name)))
+        }
+    }
+
+    /// Accesses an array element by position.
+    pub fn element(&self, index: i64) -> Col {
+        if self.pathable && self.sql.contains(':') {
+            Col { sql: format!("{}[{index}]", self.sql), pathable: true }
+        } else {
+            Col::raw(format!("GET({}, {index})", self.sql))
+        }
+    }
+
+    // ---- misc ----
+
+    /// `expr :: TYPE`
+    pub fn cast(&self, ty: &str) -> Col {
+        Col::raw(format!("({} :: {ty})", self.sql))
+    }
+
+    /// Renders `expr AS alias` for select lists.
+    pub fn alias(&self, name: &str) -> AliasedCol {
+        AliasedCol { col: self.clone(), alias: Some(name.to_string()) }
+    }
+}
+
+/// A select-list item: expression plus optional alias.
+#[derive(Clone, Debug)]
+pub struct AliasedCol {
+    pub(crate) col: Col,
+    pub(crate) alias: Option<String>,
+}
+
+impl AliasedCol {
+    pub(crate) fn render(&self) -> String {
+        match &self.alias {
+            Some(a) => format!("{} AS {}", self.col.sql(), quote_ident(a)),
+            None => self.col.sql().to_string(),
+        }
+    }
+}
+
+impl From<Col> for AliasedCol {
+    fn from(col: Col) -> AliasedCol {
+        AliasedCol { col, alias: None }
+    }
+}
+
+impl From<&Col> for AliasedCol {
+    fn from(col: &Col) -> AliasedCol {
+        AliasedCol { col: col.clone(), alias: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::functions as f;
+
+    #[test]
+    fn operators_parenthesize() {
+        let e = f::col("A").add(&f::col("B")).mul(&f::lit(2));
+        assert_eq!(e.sql(), r#"(("A" + "B") * 2)"#);
+    }
+
+    #[test]
+    fn subfield_uses_path_syntax_on_references() {
+        let e = f::col("V").subfield("MUON").element(0).subfield("PT");
+        assert_eq!(e.sql(), r#""V":"MUON"[0]."PT""#);
+    }
+
+    #[test]
+    fn subfield_falls_back_to_get() {
+        let e = f::lit(1).add(&f::lit(2)).subfield("X");
+        assert_eq!(e.sql(), "GET((1 + 2), 'X')");
+    }
+
+    #[test]
+    fn comparison_and_logic() {
+        let e = f::col("A").ge(&f::lit(1)).and(&f::col("B").is_not_null().not());
+        assert_eq!(e.sql(), r#"(("A" >= 1) AND (NOT ("B" IS NOT NULL)))"#);
+    }
+
+    #[test]
+    fn cast_and_between() {
+        let e = f::col("X").cast("INT").between(&f::lit(1), &f::lit(5));
+        assert_eq!(e.sql(), r#"(("X" :: INT) BETWEEN 1 AND 5)"#);
+    }
+}

@@ -1,0 +1,50 @@
+//! `snowpark` — a lazy, dataframe-based client library for `snowdb`.
+//!
+//! This crate mirrors the Snowpark API surface the paper's translation layer
+//! uses (§II-D): a [`DataFrame`] logically encapsulates a fully executable SQL
+//! query, a [`Col`] represents a partial sub-expression that is meaningless
+//! until attached to a dataframe method, and [`functions`] holds the static
+//! constructors (`col`, `lit`, `array_agg`, `object_construct`, ...).
+//!
+//! Every transformation is lazy and composes SQL *text*: calling
+//! [`DataFrame::collect`] sends exactly one native SQL query to the engine, the
+//! property the paper's whole design rests on (no UDFs, no round trips, full
+//! optimizer visibility). The generated SQL is intentionally verbose nested
+//! `SELECT`s, matching the shape shown in the paper's Fig. 2b.
+
+mod column;
+mod dataframe;
+pub mod functions;
+mod session;
+
+pub use column::{Col, SortOrder};
+pub use dataframe::{DataFrame, GroupedFrame, JoinType};
+pub use session::Session;
+
+/// Quotes an identifier for SQL emission.
+pub(crate) fn quote_ident(name: &str) -> String {
+    let mut s = String::with_capacity(name.len() + 2);
+    s.push('"');
+    for c in name.chars() {
+        if c == '"' {
+            s.push('"');
+        }
+        s.push(c);
+    }
+    s.push('"');
+    s
+}
+
+/// Quotes a string literal for SQL emission.
+pub(crate) fn quote_str(value: &str) -> String {
+    let mut s = String::with_capacity(value.len() + 2);
+    s.push('\'');
+    for c in value.chars() {
+        if c == '\'' {
+            s.push('\'');
+        }
+        s.push(c);
+    }
+    s.push('\'');
+    s
+}

@@ -1,0 +1,50 @@
+//! [`Session`]: the connection between dataframes and an engine.
+
+use std::sync::Arc;
+
+use snowdb::Database;
+
+use crate::dataframe::DataFrame;
+use crate::quote_ident;
+
+/// A handle to a `snowdb` database through which dataframes execute.
+///
+/// In the real Snowpark a session wraps a network connection to the Snowflake
+/// service; here it wraps a shared handle to the embedded engine. Cloning is
+/// cheap and all clones address the same catalog.
+#[derive(Clone)]
+pub struct Session {
+    db: Arc<Database>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session").finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Opens a session over a database.
+    pub fn new(db: Arc<Database>) -> Session {
+        Session { db }
+    }
+
+    /// The underlying engine handle.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// A dataframe scanning a whole table, like Snowpark's `session.table(...)`.
+    /// Emits `SELECT * FROM (name)` — the same shape the paper's Fig. 2b shows.
+    pub fn table(&self, name: &str) -> DataFrame {
+        DataFrame::new(
+            self.clone(),
+            format!("SELECT * FROM ({})", quote_ident(&name.to_ascii_uppercase())),
+        )
+    }
+
+    /// A dataframe over a raw SQL query.
+    pub fn sql(&self, sql: &str) -> DataFrame {
+        DataFrame::new(self.clone(), sql.to_string())
+    }
+}

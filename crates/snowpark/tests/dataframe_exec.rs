@@ -1,0 +1,142 @@
+//! Executes dataframe pipelines end to end against an embedded engine,
+//! including the paper's Fig. 2 example.
+
+use std::sync::Arc;
+
+use snowdb::storage::{ColumnDef, ColumnType};
+use snowdb::variant::parse_json;
+use snowdb::{Database, Variant};
+use snowpark::functions as f;
+use snowpark::{JoinType, Session, SortOrder};
+
+fn orders_session() -> Session {
+    let db = Database::new();
+    db.load_table(
+        "orders",
+        vec![
+            ColumnDef::new("O_TOTALPRICE", ColumnType::Float),
+            ColumnDef::new("O_CLERK", ColumnType::Str),
+        ],
+        vec![
+            vec![Variant::Float(95000.0), Variant::str("clerk1")],
+            vec![Variant::Float(100000.0), Variant::str("clerk1")],
+            vec![Variant::Float(110000.0), Variant::str("clerk2")],
+            vec![Variant::Float(50000.0), Variant::str("clerk3")],
+        ],
+    )
+    .unwrap();
+    Session::new(Arc::new(db))
+}
+
+#[test]
+fn fig2_snowpark_example() {
+    // The paper's Fig. 2a pipeline, expressed with this crate's API.
+    let session = orders_session();
+    let df = session.table("orders");
+    let lower = f::lit(90000);
+    let upper = f::lit(120000);
+    let total_price = f::col("O_TOTALPRICE");
+    let clerks = f::col("O_CLERK");
+    let out = df
+        .where_(&total_price.between(&lower, &upper))
+        .select([f::count_distinct(&clerks)])
+        .collect()
+        .unwrap();
+    assert_eq!(out.rows[0][0], Variant::Int(2));
+}
+
+#[test]
+fn lazy_composition_is_a_single_query() {
+    let session = orders_session();
+    let df = session
+        .table("orders")
+        .where_(&f::col("O_TOTALPRICE").gt(&f::lit(60000)))
+        .select([f::col("O_CLERK").alias("C")])
+        .distinct()
+        .sort(&[(f::col("C"), SortOrder::Asc)]);
+    // Still no execution; the SQL is one self-contained statement.
+    assert!(df.sql().starts_with("SELECT"));
+    let res = df.collect().unwrap();
+    assert_eq!(res.rows.len(), 2);
+    assert_eq!(res.rows[0][0], Variant::str("clerk1"));
+}
+
+#[test]
+fn flatten_group_by_reaggregate() {
+    let db = Database::new();
+    db.load_table(
+        "events",
+        vec![
+            ColumnDef::new("EVENT", ColumnType::Int),
+            ColumnDef::new("JET", ColumnType::Variant),
+        ],
+        vec![
+            vec![Variant::Int(1), parse_json(r#"[{"PT": 10.0}, {"PT": 50.0}]"#).unwrap()],
+            vec![Variant::Int(2), parse_json(r#"[]"#).unwrap()],
+        ],
+    )
+    .unwrap();
+    let session = Session::new(Arc::new(db));
+    let df = session
+        .table("events")
+        .with_column("RID", &f::seq8())
+        .flatten(&f::col("JET"), "F", true)
+        .group_by(&[f::col("RID")])
+        .agg([
+            f::any_value(&f::col("EVENT")).alias("EVENT"),
+            f::array_agg(&f::col_of("F", "VALUE").subfield("PT")).alias("PTS"),
+        ])
+        .sort(&[(f::col("EVENT"), SortOrder::Asc)]);
+    let res = df.collect().unwrap();
+    assert_eq!(res.rows.len(), 2);
+    // Event 1 keeps both jets; event 2 (empty array, outer flatten) gets [].
+    assert_eq!(
+        res.rows[0][2],
+        Variant::array(vec![Variant::Float(10.0), Variant::Float(50.0)])
+    );
+    assert_eq!(res.rows[1][2], Variant::array(vec![]));
+}
+
+#[test]
+fn join_with_aliases() {
+    let session = orders_session();
+    let left = session.table("orders").select([
+        f::col("O_CLERK").alias("CK"),
+        f::col("O_TOTALPRICE").alias("P"),
+    ]);
+    let right = session
+        .table("orders")
+        .group_by(&[f::col("O_CLERK")])
+        .agg([f::sum(&f::col("O_TOTALPRICE")).alias("TOTAL")]);
+    let joined = left.join(
+        &right,
+        JoinType::Inner,
+        "L",
+        "R",
+        Some(&f::col_of("L", "CK").eq(&f::col_of("R", "O_CLERK"))),
+    );
+    let res = joined.collect().unwrap();
+    assert_eq!(res.rows.len(), 4);
+}
+
+#[test]
+fn union_all_and_limit() {
+    let session = orders_session();
+    let a = session.table("orders").select([f::col("O_CLERK")]);
+    let b = session.table("orders").select([f::col("O_CLERK")]);
+    let res = a.union_all(&b).limit(5).collect().unwrap();
+    assert_eq!(res.rows.len(), 5);
+}
+
+#[test]
+fn count_convenience() {
+    let session = orders_session();
+    assert_eq!(session.table("orders").count().unwrap(), 4);
+}
+
+#[test]
+fn drop_columns_excludes() {
+    let session = orders_session();
+    let res = session.table("orders").drop_columns(&["O_TOTALPRICE"]).collect().unwrap();
+    assert_eq!(res.columns, vec!["O_CLERK"]);
+}

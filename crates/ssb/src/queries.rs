@@ -1,0 +1,294 @@
+//! The thirteen SSB queries (paper §V-G), each as handwritten SQL and as a
+//! JSONiq formulation using successive `for` clauses over collections with
+//! join predicates in `where` (paper §II-E: "SQL JOINs can be expressed as
+//! successive for clauses").
+//!
+//! The JSONiq version returns one *object* per result row, so its translation
+//! carries an extra `OBJECT_CONSTRUCT` — exactly the overhead the paper
+//! observes for SSB at low scale factors. The test suite compares the two by
+//! wrapping handwritten rows into objects using [`SsbQuery::keys`].
+
+/// One SSB query in both formulations.
+#[derive(Clone, Debug)]
+pub struct SsbQuery {
+    pub id: &'static str,
+    pub jsoniq: String,
+    pub sql: String,
+    /// Output object keys, in handwritten-SQL column order.
+    pub keys: Vec<&'static str>,
+}
+
+/// All thirteen queries.
+pub fn queries() -> Vec<SsbQuery> {
+    vec![
+        q1x("q1.1", "$d.D_YEAR eq 1993", "$lo.LO_DISCOUNT ge 1 and $lo.LO_DISCOUNT le 3 and $lo.LO_QUANTITY lt 25",
+            "D_YEAR = 1993", "LO_DISCOUNT BETWEEN 1 AND 3 AND LO_QUANTITY < 25"),
+        q1x("q1.2", "$d.D_YEARMONTHNUM eq 199401", "$lo.LO_DISCOUNT ge 4 and $lo.LO_DISCOUNT le 6 and $lo.LO_QUANTITY ge 26 and $lo.LO_QUANTITY le 35",
+            "D_YEARMONTHNUM = 199401", "LO_DISCOUNT BETWEEN 4 AND 6 AND LO_QUANTITY BETWEEN 26 AND 35"),
+        q1x("q1.3", "$d.D_WEEKNUMINYEAR eq 6 and $d.D_YEAR eq 1994", "$lo.LO_DISCOUNT ge 5 and $lo.LO_DISCOUNT le 7 and $lo.LO_QUANTITY ge 26 and $lo.LO_QUANTITY le 35",
+            "D_WEEKNUMINYEAR = 6 AND D_YEAR = 1994", "LO_DISCOUNT BETWEEN 5 AND 7 AND LO_QUANTITY BETWEEN 26 AND 35"),
+        q2x("q2.1", r#"$p.P_CATEGORY eq "MFGR#12""#, r#"$s.S_REGION eq "AMERICA""#,
+            "P_CATEGORY = 'MFGR#12'", "S_REGION = 'AMERICA'"),
+        q2x("q2.2", r#"$p.P_BRAND1 ge "MFGR#2221" and $p.P_BRAND1 le "MFGR#2228""#, r#"$s.S_REGION eq "ASIA""#,
+            "P_BRAND1 BETWEEN 'MFGR#2221' AND 'MFGR#2228'", "S_REGION = 'ASIA'"),
+        q2x("q2.3", r#"$p.P_BRAND1 eq "MFGR#2221""#, r#"$s.S_REGION eq "EUROPE""#,
+            "P_BRAND1 = 'MFGR#2221'", "S_REGION = 'EUROPE'"),
+        q3x("q3.1", "C_NATION", "S_NATION",
+            r#"$c.C_REGION eq "ASIA" and $s.S_REGION eq "ASIA" and $d.D_YEAR ge 1992 and $d.D_YEAR le 1997"#,
+            "C_REGION = 'ASIA' AND S_REGION = 'ASIA' AND D_YEAR BETWEEN 1992 AND 1997"),
+        q3x("q3.2", "C_CITY", "S_CITY",
+            r#"$c.C_NATION eq "UNITED STATES" and $s.S_NATION eq "UNITED STATES" and $d.D_YEAR ge 1992 and $d.D_YEAR le 1997"#,
+            "C_NATION = 'UNITED STATES' AND S_NATION = 'UNITED STATES' AND D_YEAR BETWEEN 1992 AND 1997"),
+        q3x("q3.3", "C_CITY", "S_CITY",
+            r#"($c.C_CITY eq "UNITED KI1" or $c.C_CITY eq "UNITED KI5") and ($s.S_CITY eq "UNITED KI1" or $s.S_CITY eq "UNITED KI5") and $d.D_YEAR ge 1992 and $d.D_YEAR le 1997"#,
+            "C_CITY IN ('UNITED KI1', 'UNITED KI5') AND S_CITY IN ('UNITED KI1', 'UNITED KI5') AND D_YEAR BETWEEN 1992 AND 1997"),
+        q3x("q3.4", "C_CITY", "S_CITY",
+            r#"($c.C_CITY eq "UNITED KI1" or $c.C_CITY eq "UNITED KI5") and ($s.S_CITY eq "UNITED KI1" or $s.S_CITY eq "UNITED KI5") and $d.D_YEARMONTH eq "Dec1997""#,
+            "C_CITY IN ('UNITED KI1', 'UNITED KI5') AND S_CITY IN ('UNITED KI1', 'UNITED KI5') AND D_YEARMONTH = 'Dec1997'"),
+        q4_1(),
+        q4_2(),
+        q4_3(),
+    ]
+}
+
+/// Fetches one query by id.
+pub fn query(id: &str) -> SsbQuery {
+    queries()
+        .into_iter()
+        .find(|q| q.id == id)
+        .unwrap_or_else(|| panic!("unknown SSB query '{id}'"))
+}
+
+/// Q1.x family: revenue delta from discount changes; lineorder ⋈ date.
+fn q1x(
+    id: &'static str,
+    jq_date: &str,
+    jq_lo: &str,
+    sql_date: &str,
+    sql_lo: &str,
+) -> SsbQuery {
+    // Top-level FLWOR with a constant grouping key: the `where` stays a real
+    // filter, so the optimizer can turn the collection cross joins into hash
+    // joins (a `sum(<FLWOR>)` wrapper would route the join predicates through
+    // the nested-query flag machinery instead).
+    let jsoniq = format!(
+        r#"for $lo in collection("lineorder")
+for $d in collection("ddate")
+where $lo.LO_ORDERDATE eq $d.D_DATEKEY and {jq_date} and {jq_lo}
+let $val := $lo.LO_EXTENDEDPRICE * $lo.LO_DISCOUNT
+group by $g := 1
+return {{"revenue": sum($val)}}"#
+    );
+    let sql = format!(
+        "SELECT SUM(LO_EXTENDEDPRICE * LO_DISCOUNT) AS REVENUE \
+         FROM LINEORDER JOIN DDATE ON LO_ORDERDATE = D_DATEKEY \
+         WHERE {sql_date} AND {sql_lo}"
+    );
+    SsbQuery { id, jsoniq, sql, keys: vec!["revenue"] }
+}
+
+/// Q2.x family: revenue by year and brand; lineorder ⋈ date ⋈ part ⋈ supplier.
+fn q2x(
+    id: &'static str,
+    jq_part: &str,
+    jq_supp: &str,
+    sql_part: &str,
+    sql_supp: &str,
+) -> SsbQuery {
+    let jsoniq = format!(
+        r#"for $lo in collection("lineorder")
+for $d in collection("ddate")
+for $p in collection("part")
+for $s in collection("supplier")
+where $lo.LO_ORDERDATE eq $d.D_DATEKEY
+  and $lo.LO_PARTKEY eq $p.P_PARTKEY
+  and $lo.LO_SUPPKEY eq $s.S_SUPPKEY
+  and {jq_part} and {jq_supp}
+group by $year := $d.D_YEAR, $brand := $p.P_BRAND1
+order by $year, $brand
+return {{"d_year": $year, "p_brand1": $brand, "revenue": sum($lo.LO_REVENUE)}}"#
+    );
+    let sql = format!(
+        "SELECT D_YEAR, P_BRAND1, SUM(LO_REVENUE) AS REVENUE \
+         FROM LINEORDER \
+           JOIN DDATE ON LO_ORDERDATE = D_DATEKEY \
+           JOIN PART ON LO_PARTKEY = P_PARTKEY \
+           JOIN SUPPLIER ON LO_SUPPKEY = S_SUPPKEY \
+         WHERE {sql_part} AND {sql_supp} \
+         GROUP BY D_YEAR, P_BRAND1 ORDER BY D_YEAR, P_BRAND1"
+    );
+    SsbQuery { id, jsoniq, sql, keys: vec!["d_year", "p_brand1", "revenue"] }
+}
+
+/// Q3.x family: revenue by customer/supplier geography and year.
+fn q3x(
+    id: &'static str,
+    c_col: &'static str,
+    s_col: &'static str,
+    jq_where: &str,
+    sql_where: &str,
+) -> SsbQuery {
+    let (ck, sk) = (c_col.to_lowercase(), s_col.to_lowercase());
+    let jsoniq = format!(
+        r#"for $lo in collection("lineorder")
+for $c in collection("customer")
+for $s in collection("supplier")
+for $d in collection("ddate")
+where $lo.LO_CUSTKEY eq $c.C_CUSTKEY
+  and $lo.LO_SUPPKEY eq $s.S_SUPPKEY
+  and $lo.LO_ORDERDATE eq $d.D_DATEKEY
+  and {jq_where}
+group by $ck := $c.{c_col}, $sk := $s.{s_col}, $year := $d.D_YEAR
+order by $year ascending, sum($lo.LO_REVENUE) descending
+return {{"{ck}": $ck, "{sk}": $sk, "d_year": $year, "revenue": sum($lo.LO_REVENUE)}}"#
+    );
+    let sql = format!(
+        "SELECT {c_col}, {s_col}, D_YEAR, SUM(LO_REVENUE) AS REVENUE \
+         FROM LINEORDER \
+           JOIN CUSTOMER ON LO_CUSTKEY = C_CUSTKEY \
+           JOIN SUPPLIER ON LO_SUPPKEY = S_SUPPKEY \
+           JOIN DDATE ON LO_ORDERDATE = D_DATEKEY \
+         WHERE {sql_where} \
+         GROUP BY {c_col}, {s_col}, D_YEAR \
+         ORDER BY D_YEAR ASC, REVENUE DESC"
+    );
+    let keys = match c_col {
+        "C_NATION" => vec!["c_nation", "s_nation", "d_year", "revenue"],
+        _ => vec!["c_city", "s_city", "d_year", "revenue"],
+    };
+    SsbQuery { id, jsoniq, sql, keys }
+}
+
+/// Q4.1: profit by year and customer nation over the Americas.
+fn q4_1() -> SsbQuery {
+    let jsoniq = r#"for $lo in collection("lineorder")
+for $c in collection("customer")
+for $s in collection("supplier")
+for $p in collection("part")
+for $d in collection("ddate")
+where $lo.LO_CUSTKEY eq $c.C_CUSTKEY
+  and $lo.LO_SUPPKEY eq $s.S_SUPPKEY
+  and $lo.LO_PARTKEY eq $p.P_PARTKEY
+  and $lo.LO_ORDERDATE eq $d.D_DATEKEY
+  and $c.C_REGION eq "AMERICA" and $s.S_REGION eq "AMERICA"
+  and ($p.P_MFGR eq "MFGR#1" or $p.P_MFGR eq "MFGR#2")
+let $profit := $lo.LO_REVENUE - $lo.LO_SUPPLYCOST
+group by $year := $d.D_YEAR, $nation := $c.C_NATION
+order by $year, $nation
+return {"d_year": $year, "c_nation": $nation, "profit": sum($profit)}"#
+        .to_string();
+    let sql = "SELECT D_YEAR, C_NATION, SUM(LO_REVENUE - LO_SUPPLYCOST) AS PROFIT \
+               FROM LINEORDER \
+                 JOIN CUSTOMER ON LO_CUSTKEY = C_CUSTKEY \
+                 JOIN SUPPLIER ON LO_SUPPKEY = S_SUPPKEY \
+                 JOIN PART ON LO_PARTKEY = P_PARTKEY \
+                 JOIN DDATE ON LO_ORDERDATE = D_DATEKEY \
+               WHERE C_REGION = 'AMERICA' AND S_REGION = 'AMERICA' \
+                 AND P_MFGR IN ('MFGR#1', 'MFGR#2') \
+               GROUP BY D_YEAR, C_NATION ORDER BY D_YEAR, C_NATION"
+        .to_string();
+    SsbQuery { id: "q4.1", jsoniq, sql, keys: vec!["d_year", "c_nation", "profit"] }
+}
+
+/// Q4.2: profit drill-down into supplier nation and part category.
+fn q4_2() -> SsbQuery {
+    let jsoniq = r#"for $lo in collection("lineorder")
+for $c in collection("customer")
+for $s in collection("supplier")
+for $p in collection("part")
+for $d in collection("ddate")
+where $lo.LO_CUSTKEY eq $c.C_CUSTKEY
+  and $lo.LO_SUPPKEY eq $s.S_SUPPKEY
+  and $lo.LO_PARTKEY eq $p.P_PARTKEY
+  and $lo.LO_ORDERDATE eq $d.D_DATEKEY
+  and $c.C_REGION eq "AMERICA" and $s.S_REGION eq "AMERICA"
+  and ($d.D_YEAR eq 1997 or $d.D_YEAR eq 1998)
+  and ($p.P_MFGR eq "MFGR#1" or $p.P_MFGR eq "MFGR#2")
+let $profit := $lo.LO_REVENUE - $lo.LO_SUPPLYCOST
+group by $year := $d.D_YEAR, $nation := $s.S_NATION, $cat := $p.P_CATEGORY
+order by $year, $nation, $cat
+return {"d_year": $year, "s_nation": $nation, "p_category": $cat,
+        "profit": sum($profit)}"#
+        .to_string();
+    let sql = "SELECT D_YEAR, S_NATION, P_CATEGORY, SUM(LO_REVENUE - LO_SUPPLYCOST) AS PROFIT \
+               FROM LINEORDER \
+                 JOIN CUSTOMER ON LO_CUSTKEY = C_CUSTKEY \
+                 JOIN SUPPLIER ON LO_SUPPKEY = S_SUPPKEY \
+                 JOIN PART ON LO_PARTKEY = P_PARTKEY \
+                 JOIN DDATE ON LO_ORDERDATE = D_DATEKEY \
+               WHERE C_REGION = 'AMERICA' AND S_REGION = 'AMERICA' \
+                 AND D_YEAR IN (1997, 1998) AND P_MFGR IN ('MFGR#1', 'MFGR#2') \
+               GROUP BY D_YEAR, S_NATION, P_CATEGORY \
+               ORDER BY D_YEAR, S_NATION, P_CATEGORY"
+        .to_string();
+    SsbQuery {
+        id: "q4.2",
+        jsoniq,
+        sql,
+        keys: vec!["d_year", "s_nation", "p_category", "profit"],
+    }
+}
+
+/// Q4.3: profit at the brand level for United States suppliers.
+fn q4_3() -> SsbQuery {
+    let jsoniq = r#"for $lo in collection("lineorder")
+for $c in collection("customer")
+for $s in collection("supplier")
+for $p in collection("part")
+for $d in collection("ddate")
+where $lo.LO_CUSTKEY eq $c.C_CUSTKEY
+  and $lo.LO_SUPPKEY eq $s.S_SUPPKEY
+  and $lo.LO_PARTKEY eq $p.P_PARTKEY
+  and $lo.LO_ORDERDATE eq $d.D_DATEKEY
+  and $c.C_REGION eq "AMERICA" and $s.S_NATION eq "UNITED STATES"
+  and ($d.D_YEAR eq 1997 or $d.D_YEAR eq 1998)
+  and $p.P_CATEGORY eq "MFGR#14"
+let $profit := $lo.LO_REVENUE - $lo.LO_SUPPLYCOST
+group by $year := $d.D_YEAR, $city := $s.S_CITY, $brand := $p.P_BRAND1
+order by $year, $city, $brand
+return {"d_year": $year, "s_city": $city, "p_brand1": $brand,
+        "profit": sum($profit)}"#
+        .to_string();
+    let sql = "SELECT D_YEAR, S_CITY, P_BRAND1, SUM(LO_REVENUE - LO_SUPPLYCOST) AS PROFIT \
+               FROM LINEORDER \
+                 JOIN CUSTOMER ON LO_CUSTKEY = C_CUSTKEY \
+                 JOIN SUPPLIER ON LO_SUPPKEY = S_SUPPKEY \
+                 JOIN PART ON LO_PARTKEY = P_PARTKEY \
+                 JOIN DDATE ON LO_ORDERDATE = D_DATEKEY \
+               WHERE C_REGION = 'AMERICA' AND S_NATION = 'UNITED STATES' \
+                 AND D_YEAR IN (1997, 1998) AND P_CATEGORY = 'MFGR#14' \
+               GROUP BY D_YEAR, S_CITY, P_BRAND1 \
+               ORDER BY D_YEAR, S_CITY, P_BRAND1"
+        .to_string();
+    SsbQuery { id: "q4.3", jsoniq, sql, keys: vec!["d_year", "s_city", "p_brand1", "profit"] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_queries() {
+        let qs = queries();
+        assert_eq!(qs.len(), 13);
+        let ids: Vec<_> = qs.iter().map(|q| q.id).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "q1.1", "q1.2", "q1.3", "q2.1", "q2.2", "q2.3", "q3.1", "q3.2", "q3.3",
+                "q3.4", "q4.1", "q4.2", "q4.3"
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert_eq!(query("q3.2").keys, vec!["c_city", "s_city", "d_year", "revenue"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown SSB query")]
+    fn unknown_id_panics() {
+        query("q9.9");
+    }
+}

@@ -1,0 +1,189 @@
+//! `jsoniq-repl` — the interactive client of the paper's §III-A1: submit
+//! JSONiq queries, see the generated SQL, and execute them on the embedded
+//! Snowflake-like engine (or the reference interpreter).
+//!
+//! ```text
+//! cargo run --bin jsoniq-repl                       # demo dataset preloaded
+//! cargo run --bin jsoniq-repl -- events=data.jsonl  # load JSONL into a table
+//! ```
+//!
+//! Queries may span lines and end with `;`. Commands:
+//!   \sql        toggle printing the generated SQL
+//!   \explain    EXPLAIN the next query instead of running it
+//!   \interp     toggle interpreter mode (default: translate + execute)
+//!   \strategy   toggle flag-column / JOIN-based nested-query strategy
+//!   \tables     list tables
+//!   \q          quit
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+use snowq::jsoniq_core::interp::{DatabaseCollections, Interpreter};
+use snowq::jsoniq_core::snowflake::{translate_query, NestedStrategy};
+use snowq::snowdb::storage::{ColumnDef, ColumnType};
+use snowq::snowdb::variant::parse_json;
+use snowq::snowdb::{Database, Variant};
+
+fn main() {
+    let db = Arc::new(Database::new());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        load_demo(&db);
+        println!("loaded demo collection 'events' ({} rows)", db.table("EVENTS").unwrap().row_count());
+    } else {
+        for spec in &args {
+            let (table, path) = spec
+                .split_once('=')
+                .unwrap_or_else(|| panic!("expected table=file.jsonl, got '{spec}'"));
+            load_jsonl(&db, table, path);
+            println!(
+                "loaded '{}' ({} rows)",
+                table,
+                db.table(table).map(|t| t.row_count()).unwrap_or(0)
+            );
+        }
+    }
+
+    let mut show_sql = true;
+    let mut explain_next = false;
+    let mut interp_mode = false;
+    let mut strategy = NestedStrategy::FlagColumn;
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    print_prompt(&buffer);
+    for line in stdin.lock().lines() {
+        let line = line.expect("stdin readable");
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('\\') {
+            match trimmed {
+                "\\q" => break,
+                "\\sql" => {
+                    show_sql = !show_sql;
+                    println!("show SQL: {show_sql}");
+                }
+                "\\explain" => {
+                    explain_next = true;
+                    println!("next query will be explained");
+                }
+                "\\interp" => {
+                    interp_mode = !interp_mode;
+                    println!("interpreter mode: {interp_mode}");
+                }
+                "\\strategy" => {
+                    strategy = match strategy {
+                        NestedStrategy::FlagColumn => NestedStrategy::JoinBased,
+                        NestedStrategy::JoinBased => NestedStrategy::FlagColumn,
+                    };
+                    println!("nested-query strategy: {strategy:?}");
+                }
+                "\\tables" => println!("{:?}", db.table_names()),
+                other => println!("unknown command {other}"),
+            }
+            print_prompt(&buffer);
+            continue;
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        if !trimmed.ends_with(';') {
+            print_prompt(&buffer);
+            continue;
+        }
+        let query = buffer.trim_end().trim_end_matches(';').to_string();
+        buffer.clear();
+        if explain_next {
+            explain_next = false;
+            match translate_query(db.clone(), &query, strategy) {
+                Ok(df) => match db.explain(df.sql()) {
+                    Ok(plan) => println!("{plan}"),
+                    Err(e) => println!("explain error: {e}"),
+                },
+                Err(e) => println!("translation error: {e}"),
+            }
+        } else {
+            run_query(&db, &query, show_sql, interp_mode, strategy);
+        }
+        print_prompt(&buffer);
+    }
+}
+
+fn print_prompt(buffer: &str) {
+    if buffer.is_empty() {
+        print!("jsoniq> ");
+    } else {
+        print!("   ...> ");
+    }
+    std::io::stdout().flush().ok();
+}
+
+fn run_query(
+    db: &Arc<Database>,
+    query: &str,
+    show_sql: bool,
+    interp_mode: bool,
+    strategy: NestedStrategy,
+) {
+    if interp_mode {
+        let provider = DatabaseCollections { db };
+        match Interpreter::new(&provider).eval_query(query) {
+            Ok(items) => {
+                for item in &items {
+                    println!("{item}");
+                }
+                println!("({} items, interpreted locally)", items.len());
+            }
+            Err(e) => println!("error: {e}"),
+        }
+        return;
+    }
+    match translate_query(db.clone(), query, strategy) {
+        Ok(df) => {
+            if show_sql {
+                println!("-- generated SQL:\n{}\n", df.sql());
+            }
+            match df.collect() {
+                Ok(res) => {
+                    for row in &res.rows {
+                        println!("{}", row[0]);
+                    }
+                    println!(
+                        "({} rows; compile {:?}, execute {:?}, {} bytes scanned)",
+                        res.rows.len(),
+                        res.profile.compile_time,
+                        res.profile.exec_time,
+                        res.profile.scan.bytes_scanned
+                    );
+                }
+                Err(e) => println!("execution error: {e}"),
+            }
+        }
+        Err(e) => println!("translation error: {e}"),
+    }
+}
+
+/// Loads a JSONL file through the engine's schema-inferring ingestion path.
+fn load_jsonl(db: &Database, table: &str, path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    db.load_jsonl(table, &text)
+        .unwrap_or_else(|e| panic!("cannot load {path}: {e}"));
+}
+
+fn load_demo(db: &Database) {
+    let rows = [
+        (1i64, r#"{"PT": 27.5, "PHI": 0.3}"#, r#"[{"PT": 31.0, "ETA": 0.2}]"#),
+        (2, r#"{"PT": 14.0, "PHI": -1.0}"#, r#"[{"PT": 11.0, "ETA": 1.4}, {"PT": 52.0, "ETA": 0.9}]"#),
+        (3, r#"{"PT": 99.9, "PHI": 2.2}"#, r#"[]"#),
+    ];
+    db.load_table(
+        "events",
+        vec![
+            ColumnDef::new("EVENT", ColumnType::Int),
+            ColumnDef::new("MET", ColumnType::Variant),
+            ColumnDef::new("JET", ColumnType::Variant),
+        ],
+        rows.iter().map(|(id, met, jet)| {
+            vec![Variant::Int(*id), parse_json(met).unwrap(), parse_json(jet).unwrap()]
+        }),
+    )
+    .expect("demo loads");
+}

@@ -1,0 +1,130 @@
+//! Differential test for SSB: the translated JSONiq queries must produce the
+//! same result sets as the handwritten SQL (paper §V-G: "identical performance
+//! as handwritten reference SQL implementations" presupposes identical
+//! results). The JSONiq side emits objects; handwritten rows are wrapped into
+//! objects using each query's key list.
+
+use std::sync::Arc;
+
+use snowq::jsoniq_core::interp::{DatabaseCollections, Interpreter};
+use snowq::jsoniq_core::snowflake::{translate_query, NestedStrategy};
+use snowq::snowdb::variant::{cmp_variants, Object};
+use snowq::snowdb::{Database, Variant};
+use snowq::ssb::{self, SsbConfig};
+
+fn db(lineorders: usize) -> Arc<Database> {
+    let d = Database::new();
+    ssb::load_ssb(&d, &SsbConfig { lineorders, seed: 11, partition_rows: 512 });
+    Arc::new(d)
+}
+
+fn run_translated(db: &Arc<Database>, jsoniq: &str) -> Vec<Variant> {
+    let df = translate_query(db.clone(), jsoniq, NestedStrategy::FlagColumn)
+        .unwrap_or_else(|e| panic!("translation failed: {e}"));
+    df.collect()
+        .unwrap_or_else(|e| panic!("translated SQL failed: {e}\n{}", df.sql()))
+        .rows
+        .into_iter()
+        .map(|mut r| r.remove(0))
+        .collect()
+}
+
+fn run_handwritten(db: &Database, sql: &str, keys: &[&str]) -> Vec<Variant> {
+    db.query(sql)
+        .unwrap_or_else(|e| panic!("handwritten SQL failed: {e}"))
+        .rows
+        .into_iter()
+        .map(|row| {
+            let mut o = Object::with_capacity(keys.len());
+            for (k, v) in keys.iter().zip(row) {
+                o.insert(*k, v);
+            }
+            Variant::object(o)
+        })
+        .collect()
+}
+
+fn sorted(mut v: Vec<Variant>) -> Vec<Variant> {
+    v.sort_by(cmp_variants);
+    v
+}
+
+fn check(id: &str, lineorders: usize) {
+    check_inner(id, lineorders, true)
+}
+
+fn check_inner(id: &str, lineorders: usize, require_rows: bool) {
+    let db = db(lineorders);
+    let q = ssb::query(id);
+    let translated = sorted(run_translated(&db, &q.jsoniq));
+    let mut hand = sorted(run_handwritten(&db, &q.sql, &q.keys));
+    // Documented divergence: with no matching rows the JSONiq group-by yields
+    // no groups, while the SQL global aggregate yields one NULL row; normalize
+    // by dropping the NULL row.
+    if q.keys == ["revenue"] {
+        hand.retain(|h| !h.get_field("revenue").is_null());
+    }
+    assert_eq!(translated, hand, "[{id}] translated vs handwritten");
+    if require_rows {
+        assert!(!hand.is_empty(), "[{id}] produced no rows");
+    }
+}
+
+#[test]
+fn q1_family() {
+    check("q1.1", 4000);
+    check("q1.2", 20000);
+    check("q1.3", 40000);
+}
+
+#[test]
+fn q2_family() {
+    check("q2.1", 4000);
+    check("q2.2", 4000);
+    check("q2.3", 4000);
+}
+
+#[test]
+fn q3_family() {
+    check("q3.1", 4000);
+    check("q3.2", 6000);
+    check("q3.3", 20000);
+    // Q3.4 is so selective (two specific cities x one month) that the scaled
+    // dataset rarely produces matches; both sides must still agree.
+    check_inner("q3.4", 20000, false);
+}
+
+#[test]
+fn q4_family() {
+    check("q4.1", 4000);
+    check("q4.2", 8000);
+    check("q4.3", 20000);
+}
+
+#[test]
+fn q1_1_matches_interpreter_at_tiny_scale() {
+    // The interpreter materializes the full cross product, so keep it tiny.
+    let db = db(200);
+    let q = ssb::query("q1.1");
+    let provider = DatabaseCollections { db: &db };
+    let interp = Interpreter::new(&provider).eval_query(&q.jsoniq).unwrap();
+    let translated = run_translated(&db, &q.jsoniq);
+    assert_eq!(sorted(interp), sorted(translated));
+}
+
+#[test]
+fn order_by_revenue_descending_is_respected() {
+    // Q3.1 orders by year asc then revenue desc; verify on the translated side.
+    let db = db(8000);
+    let q = ssb::query("q3.1");
+    let rows = run_translated(&db, &q.jsoniq);
+    let mut prev: Option<(i64, i64)> = None;
+    for obj in &rows {
+        let year = obj.get_field("d_year").as_i64().unwrap();
+        let rev = obj.get_field("revenue").as_i64().unwrap();
+        if let Some((py, pr)) = prev {
+            assert!(year > py || (year == py && rev <= pr), "ordering violated");
+        }
+        prev = Some((year, rev));
+    }
+}
