@@ -54,5 +54,28 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_compile, bench_end_to_end);
+/// Serial vs morsel-parallel executor on the handwritten ADL queries. With
+/// `threads = 1` the pipeline runs fully inline (no threads spawned), so the
+/// delta isolates the work-stealing dispatcher plus batch plumbing overhead;
+/// speedups require `available_parallelism() > 1`.
+fn bench_executor_threads(c: &mut Criterion) {
+    let db = bench::experiments::adl_db(EVENTS);
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut group = c.benchmark_group("executor");
+    group.sample_size(10);
+    for q in adl::queries::queries("hep") {
+        group.bench_function(format!("{}-serial", q.id), |b| {
+            db.set_threads(Some(1));
+            b.iter(|| std::hint::black_box(db.query(&q.handwritten_sql).expect("runs").rows.len()))
+        });
+        group.bench_function(format!("{}-parallel-{threads}t", q.id), |b| {
+            db.set_threads(Some(threads));
+            b.iter(|| std::hint::black_box(db.query(&q.handwritten_sql).expect("runs").rows.len()))
+        });
+        db.set_threads(None);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_end_to_end, bench_executor_threads);
 criterion_main!(benches);

@@ -7,8 +7,10 @@ use std::time::{Duration, Instant};
 use parking_lot::RwLock;
 
 use crate::error::{Result, SnowError};
-use crate::exec::{execute, ExecCtx};
+use crate::exec::metrics::OpMetrics;
+use crate::exec::{pipeline, ExecCtx};
 use crate::optimize::optimize;
+use crate::plan::physical::{lower, PhysNode};
 use crate::plan::{bind_query, Catalog, Node};
 use crate::sql::{parse_query, parse_statement, Statement};
 use crate::storage::{ColumnDef, ScanStats, Table, TableBuilder};
@@ -16,11 +18,14 @@ use crate::variant::Variant;
 
 /// Timing and scan metrics for one query, split exactly like the paper's §V:
 /// compilation (parse + bind + optimize) versus execution, plus bytes scanned.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct QueryProfile {
     pub compile_time: Duration,
     pub exec_time: Duration,
     pub scan: ScanStats,
+    /// Per-operator metrics tree mirroring the executed plan (rows in/out,
+    /// batches, busy time, peak intermediate rows, parallelism).
+    pub metrics: Option<OpMetrics>,
 }
 
 impl QueryProfile {
@@ -59,6 +64,10 @@ impl QueryResult {
 #[derive(Default)]
 pub struct Database {
     tables: RwLock<HashMap<String, Arc<Table>>>,
+    /// Explicit worker-thread override; `None` falls back to the
+    /// `SNOWDB_THREADS` environment variable, then to the machine's
+    /// available parallelism.
+    threads: RwLock<Option<usize>>,
 }
 
 struct CatalogView<'a>(&'a Database);
@@ -139,29 +148,100 @@ impl Database {
         optimize(bound)
     }
 
+    /// Overrides the worker-thread count for this database's queries.
+    /// `None` restores the default resolution (`SNOWDB_THREADS` environment
+    /// variable, then available parallelism); values are clamped to ≥ 1.
+    pub fn set_threads(&self, threads: Option<usize>) {
+        *self.threads.write() = threads.map(|t| t.max(1));
+    }
+
+    /// Worker count for the next query: explicit override, else the
+    /// `SNOWDB_THREADS` environment variable (re-read per query), else the
+    /// machine's available parallelism. 1 means fully inline serial
+    /// execution — no threads are spawned.
+    pub fn effective_threads(&self) -> usize {
+        if let Some(t) = *self.threads.read() {
+            return t;
+        }
+        if let Some(t) = std::env::var("SNOWDB_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+        {
+            return t.max(1);
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+
     /// Runs a SQL query end to end, reporting a per-phase [`QueryProfile`].
     pub fn query(&self, sql: &str) -> Result<QueryResult> {
         let t0 = Instant::now();
         let plan = self.compile(sql)?;
         let compile_time = t0.elapsed();
 
-        let t1 = Instant::now();
-        let mut ctx = ExecCtx::default();
-        let chunk = execute(&plan, &mut ctx)?;
-        let exec_time = t1.elapsed();
+        let (batches, phys_metrics, ctx, exec_time) = self.run_physical(&plan)?;
 
         let columns = plan.fields.iter().map(|f| f.name.clone()).collect();
-        let rows = (0..chunk.rows).map(|r| chunk.row(r)).collect();
+        let mut rows = Vec::with_capacity(pipeline::total_rows(&batches));
+        for chunk in batches {
+            // Result boundary: drain each batch's columns into row vectors —
+            // values are moved, never cloned per cell.
+            rows.extend(chunk.into_rows());
+        }
         Ok(QueryResult {
             columns,
             rows,
-            profile: QueryProfile { compile_time, exec_time, scan: ctx.stats },
+            profile: QueryProfile {
+                compile_time,
+                exec_time,
+                scan: ctx.stats,
+                metrics: Some(phys_metrics),
+            },
         })
+    }
+
+    /// Executes an optimized plan on the morsel-parallel pipeline, returning
+    /// batches, the metrics snapshot, the execution context, and wall time.
+    fn run_physical(
+        &self,
+        plan: &Node,
+    ) -> Result<(Vec<crate::exec::Chunk>, OpMetrics, ExecCtx, Duration)> {
+        let threads = self.effective_threads();
+        let t = Instant::now();
+        let phys: PhysNode<'_> = lower(plan, threads);
+        let mut ctx = ExecCtx::default();
+        let batches = pipeline::execute_physical(&phys, &mut ctx)?;
+        let exec_time = t.elapsed();
+        Ok((batches, phys.snapshot(), ctx, exec_time))
     }
 
     /// Renders the optimized plan of a query (`EXPLAIN`).
     pub fn explain(&self, sql: &str) -> Result<String> {
         Ok(crate::plan::explain(&self.compile(sql)?))
+    }
+
+    /// Runs the query and renders its plan annotated with the measured
+    /// per-operator metrics (`EXPLAIN ANALYZE`).
+    pub fn explain_analyze(&self, sql: &str) -> Result<String> {
+        let plan = self.compile(sql)?;
+        self.explain_analyze_plan(&plan)
+    }
+
+    fn explain_analyze_plan(&self, plan: &Node) -> Result<String> {
+        let (batches, metrics, ctx, exec_time) = self.run_physical(plan)?;
+        let rows = pipeline::total_rows(&batches);
+        let mut out = crate::plan::explain_analyze(plan, &metrics);
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!(
+                "-- {} row(s) in {:.3?}; {} bytes scanned, {}/{} partitions\n",
+                rows,
+                exec_time,
+                ctx.stats.bytes_scanned,
+                ctx.stats.partitions_scanned,
+                ctx.stats.partitions_total,
+            ),
+        );
+        Ok(out)
     }
 
     /// Executes any statement: queries return rows, DDL/DML return a message.
@@ -176,6 +256,11 @@ impl Database {
                 let bound = crate::plan::bind_query(&q, &CatalogView(self))?;
                 let plan = crate::optimize::optimize(bound)?;
                 Ok(StatementResult::Message(crate::plan::explain(&plan)))
+            }
+            Statement::ExplainAnalyze(q) => {
+                let bound = crate::plan::bind_query(&q, &CatalogView(self))?;
+                let plan = crate::optimize::optimize(bound)?;
+                Ok(StatementResult::Message(self.explain_analyze_plan(&plan)?))
             }
             Statement::CreateTable { name, columns } => {
                 if self.table(&name).is_some() {

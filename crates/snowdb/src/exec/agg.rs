@@ -151,6 +151,108 @@ impl Accumulator {
         Ok(())
     }
 
+    /// Folds another partial state of the same kind into this one.
+    ///
+    /// `other` must come from a *later* slice of the input than `self`:
+    /// order-sensitive aggregates (`ARRAY_AGG` concatenation, `ANY_VALUE`
+    /// first-wins, `MIN`/`MAX`/`MIN_BY`/`MAX_BY` first-among-ties) reproduce
+    /// the serial row-order result only when partials merge in input order.
+    /// `SUM`/`AVG` merges are mathematically correct but not guaranteed
+    /// bit-identical to a serial fold for floats (addition is not
+    /// associative); the parallel executor folds those kinds serially instead.
+    pub fn merge(&mut self, other: Accumulator) -> Result<()> {
+        match (self, other) {
+            (Accumulator::CountStar(n), Accumulator::CountStar(m))
+            | (Accumulator::Count(n), Accumulator::Count(m)) => *n += m,
+            (Accumulator::CountDistinct(set), Accumulator::CountDistinct(o)) => {
+                set.extend(o);
+            }
+            (Accumulator::Sum { acc }, Accumulator::Sum { acc: o }) => {
+                if let Some(v) = o {
+                    let next = match acc.take() {
+                        None => v,
+                        Some(cur) => add(&cur, &v)?,
+                    };
+                    *acc = Some(next);
+                }
+            }
+            (Accumulator::Min(m), Accumulator::Min(o)) => {
+                if let Some(v) = o {
+                    // Strict comparison keeps the earlier slice's value on
+                    // ties, matching the serial first-among-equals choice.
+                    if m.as_ref()
+                        .is_none_or(|cur| cmp_variants(&v, cur) == std::cmp::Ordering::Less)
+                    {
+                        *m = Some(v);
+                    }
+                }
+            }
+            (Accumulator::Max(m), Accumulator::Max(o)) => {
+                if let Some(v) = o {
+                    if m.as_ref()
+                        .is_none_or(|cur| cmp_variants(&v, cur) == std::cmp::Ordering::Greater)
+                    {
+                        *m = Some(v);
+                    }
+                }
+            }
+            (Accumulator::Avg { sum, n }, Accumulator::Avg { sum: s, n: m }) => {
+                *sum += s;
+                *n += m;
+            }
+            (Accumulator::ArrayAgg(items), Accumulator::ArrayAgg(o)) => {
+                items.extend(o);
+            }
+            (Accumulator::AnyValue(slot), Accumulator::AnyValue(o)) => {
+                if slot.is_none() {
+                    *slot = o;
+                }
+            }
+            (Accumulator::BoolAnd(b), Accumulator::BoolAnd(o)) => {
+                if let Some(x) = o {
+                    *b = Some(b.unwrap_or(true) && x);
+                }
+            }
+            (Accumulator::BoolOr(b), Accumulator::BoolOr(o)) => {
+                if let Some(x) = o {
+                    *b = Some(b.unwrap_or(false) || x);
+                }
+            }
+            (
+                Accumulator::MinBy { key: cur, value },
+                Accumulator::MinBy { key: Some(k), value: v },
+            ) => {
+                if cur
+                    .as_ref()
+                    .is_none_or(|c| cmp_variants(&k, c) == std::cmp::Ordering::Less)
+                {
+                    *cur = Some(k);
+                    *value = v;
+                }
+            }
+            (
+                Accumulator::MaxBy { key: cur, value },
+                Accumulator::MaxBy { key: Some(k), value: v },
+            ) => {
+                if cur
+                    .as_ref()
+                    .is_none_or(|c| cmp_variants(&k, c) == std::cmp::Ordering::Greater)
+                {
+                    *cur = Some(k);
+                    *value = v;
+                }
+            }
+            (Accumulator::MinBy { .. }, Accumulator::MinBy { key: None, .. })
+            | (Accumulator::MaxBy { .. }, Accumulator::MaxBy { key: None, .. }) => {}
+            _ => {
+                return Err(SnowError::Exec(
+                    "internal: merging mismatched accumulator kinds".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
     /// Final value of the aggregate.
     pub fn finish(self) -> Variant {
         match self {
@@ -269,6 +371,50 @@ mod tests {
             Variant::Float(1.5)
         );
         assert_eq!(run(AggKind::Avg, &[]), Variant::Null);
+    }
+
+    #[test]
+    fn merge_in_order_matches_serial_fold() {
+        let vals = [
+            Variant::Int(4),
+            Variant::Null,
+            Variant::Int(4),
+            Variant::Int(1),
+            Variant::Int(9),
+        ];
+        for kind in [
+            AggKind::CountStar,
+            AggKind::Count,
+            AggKind::CountDistinct,
+            AggKind::Min,
+            AggKind::Max,
+            AggKind::ArrayAgg,
+            AggKind::AnyValue,
+        ] {
+            let serial = run(kind, &vals);
+            for split in 0..=vals.len() {
+                let mut a = Accumulator::new(kind);
+                for v in &vals[..split] {
+                    a.update(v).unwrap();
+                }
+                let mut b = Accumulator::new(kind);
+                for v in &vals[split..] {
+                    b.update(v).unwrap();
+                }
+                a.merge(b).unwrap();
+                assert_eq!(a.finish(), serial, "kind {kind:?} split {split}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_min_by_keeps_earlier_slice_on_ties() {
+        let mut a = Accumulator::new(AggKind::MinBy);
+        a.update2(&Variant::from("first"), &Variant::Int(1)).unwrap();
+        let mut b = Accumulator::new(AggKind::MinBy);
+        b.update2(&Variant::from("second"), &Variant::Int(1)).unwrap();
+        a.merge(b).unwrap();
+        assert_eq!(a.finish(), Variant::from("first"));
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Per-operator execution metrics.
+//!
+//! Every physical operator owns an [`OpMetricsCell`]: a set of atomic counters
+//! that workers update concurrently while the morsel-parallel executor runs.
+//! After execution the cells are snapshotted into an [`OpMetrics`] tree that
+//! mirrors the plan shape; [`crate::engine::QueryProfile`] carries it and
+//! `EXPLAIN ANALYZE` renders it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Concurrent metric counters for one physical operator.
+#[derive(Debug, Default)]
+pub struct OpMetricsCell {
+    rows_in: AtomicU64,
+    rows_out: AtomicU64,
+    batches_out: AtomicU64,
+    /// Cumulative time spent inside the operator, summed across workers.
+    busy_nanos: AtomicU64,
+    /// Peak number of intermediate rows held at once (max over batches for
+    /// streaming operators, total output for materializing ones).
+    peak_rows: AtomicU64,
+}
+
+impl OpMetricsCell {
+    /// Records one produced batch with its consumed/produced row counts.
+    pub fn record_batch(&self, rows_in: u64, rows_out: u64, busy: Duration) {
+        self.rows_in.fetch_add(rows_in, Ordering::Relaxed);
+        self.rows_out.fetch_add(rows_out, Ordering::Relaxed);
+        self.batches_out.fetch_add(1, Ordering::Relaxed);
+        self.busy_nanos.fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+        self.peak(rows_out);
+    }
+
+    /// Records consumed rows without producing a batch (pipeline breakers
+    /// account input and output separately).
+    pub fn add_rows_in(&self, rows: u64) {
+        self.rows_in.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Records produced batches without consuming input (sources).
+    pub fn add_output(&self, rows: u64, batches: u64) {
+        self.rows_out.fetch_add(rows, Ordering::Relaxed);
+        self.batches_out.fetch_add(batches, Ordering::Relaxed);
+        self.peak(rows);
+    }
+
+    /// Adds operator-busy wall time (summed across workers).
+    pub fn add_busy(&self, busy: Duration) {
+        self.busy_nanos.fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Raises the peak-intermediate-rows watermark.
+    pub fn peak(&self, rows: u64) {
+        self.peak_rows.fetch_max(rows, Ordering::Relaxed);
+    }
+
+    /// Immutable snapshot (taken after execution completes).
+    pub fn snapshot(
+        &self,
+        name: String,
+        parallelism: usize,
+        children: Vec<OpMetrics>,
+    ) -> OpMetrics {
+        OpMetrics {
+            name,
+            rows_in: self.rows_in.load(Ordering::Relaxed),
+            rows_out: self.rows_out.load(Ordering::Relaxed),
+            batches: self.batches_out.load(Ordering::Relaxed),
+            busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
+            peak_rows: self.peak_rows.load(Ordering::Relaxed),
+            parallelism,
+            children,
+        }
+    }
+}
+
+/// One node of the per-operator metrics tree reported in
+/// [`crate::engine::QueryProfile`].
+#[derive(Clone, Debug, Default)]
+pub struct OpMetrics {
+    /// Operator label, e.g. `Scan HEP` or `Aggregate`.
+    pub name: String,
+    pub rows_in: u64,
+    pub rows_out: u64,
+    pub batches: u64,
+    /// Time spent inside the operator, summed across workers (can exceed the
+    /// query's wall time under parallelism).
+    pub busy: Duration,
+    pub peak_rows: u64,
+    /// Worker count the operator ran with.
+    pub parallelism: usize,
+    pub children: Vec<OpMetrics>,
+}
+
+impl OpMetrics {
+    /// Total operators in the tree.
+    pub fn op_count(&self) -> usize {
+        1 + self.children.iter().map(OpMetrics::op_count).sum::<usize>()
+    }
+
+    /// The annotation `EXPLAIN ANALYZE` appends to a plan line.
+    pub fn annotation(&self) -> String {
+        format!(
+            "rows={} batches={} time={:.3?} peak={}{}",
+            self.rows_out,
+            self.batches,
+            self.busy,
+            self.peak_rows,
+            if self.parallelism > 1 {
+                format!(" workers={}", self.parallelism)
+            } else {
+                String::new()
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let cell = OpMetricsCell::default();
+        cell.record_batch(100, 40, Duration::from_micros(5));
+        cell.record_batch(50, 60, Duration::from_micros(3));
+        let m = cell.snapshot("Filter".into(), 4, Vec::new());
+        assert_eq!(m.rows_in, 150);
+        assert_eq!(m.rows_out, 100);
+        assert_eq!(m.batches, 2);
+        assert_eq!(m.peak_rows, 60);
+        assert_eq!(m.busy, Duration::from_micros(8));
+        assert_eq!(m.parallelism, 4);
+        assert!(m.annotation().contains("workers=4"));
+    }
+}

@@ -2,6 +2,8 @@
 
 pub mod agg;
 pub mod expr;
+pub mod metrics;
+pub mod pipeline;
 
 pub use expr::{eval, truth, RowView};
 
@@ -38,6 +40,23 @@ impl Chunk {
             dst.push(src[row].clone());
         }
         self.rows += 1;
+    }
+
+    /// Consumes the chunk into row vectors without cloning any cell: each
+    /// column is drained once and its values moved into place. This is the
+    /// result-boundary path; [`Chunk::row`] stays for callers that only
+    /// borrow the chunk.
+    pub fn into_rows(self) -> Vec<Vec<Variant>> {
+        let arity = self.cols.len();
+        let mut out: Vec<Vec<Variant>> =
+            (0..self.rows).map(|_| Vec::with_capacity(arity)).collect();
+        for col in self.cols {
+            debug_assert_eq!(col.len(), out.len());
+            for (row, v) in out.iter_mut().zip(col) {
+                row.push(v);
+            }
+        }
+        out
     }
 }
 
@@ -375,6 +394,18 @@ fn exec_join(
 ) -> Result<Chunk> {
     let l = execute(left, ctx)?;
     let r = execute(right, ctx)?;
+    join_chunks(&l, &r, kind, on, ctx)
+}
+
+/// Joins two materialized chunks (the serial reference implementation; the
+/// batched executor falls back to it when the ON predicate is volatile).
+fn join_chunks(
+    l: &Chunk,
+    r: &Chunk,
+    kind: JoinKind,
+    on: &Option<PExpr>,
+    ctx: &mut ExecCtx,
+) -> Result<Chunk> {
     let la = l.cols.len();
     let ra = r.cols.len();
     let mut out = Chunk::empty(la + ra);
@@ -386,7 +417,7 @@ fn exec_join(
 
     let residual_ok = |out_ctx: &mut ExecCtx, lr: usize, rr: usize| -> Result<bool> {
         for e in &residual {
-            let parts = [(&l, lr), (&r, rr)];
+            let parts = [(l, lr), (r, rr)];
             let v = eval(e, RowView::new(&parts), out_ctx)?;
             if truth(&v)? != Some(true) {
                 return Ok(false);
@@ -429,7 +460,7 @@ fn exec_join(
     // Hash join: build on the right side.
     let mut table: HashMap<Vec<Key>, Vec<usize>> = HashMap::new();
     for rr in 0..r.rows {
-        let parts = [(&r, rr)];
+        let parts = [(r, rr)];
         let view = RowView::new(&parts);
         let mut key = Vec::with_capacity(equi.len());
         let mut has_null = false;
@@ -447,7 +478,7 @@ fn exec_join(
         }
     }
     for lr in 0..l.rows {
-        let parts = [(&l, lr)];
+        let parts = [(l, lr)];
         let view = RowView::new(&parts);
         let mut key = Vec::with_capacity(equi.len());
         let mut has_null = false;
@@ -477,6 +508,38 @@ fn exec_join(
     Ok(out)
 }
 
+/// Compares two values under one sort key (shared by the serial and batched
+/// sort implementations so their orders are identical).
+fn cmp_sort_values(k: &SortKey, va: &Variant, vb: &Variant) -> std::cmp::Ordering {
+    // Explicit NULL placement overrides the natural order.
+    let nulls_first = k.nulls_first.unwrap_or(k.desc);
+    match (va.is_null(), vb.is_null()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => {
+            if nulls_first {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            }
+        }
+        (false, true) => {
+            if nulls_first {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Less
+            }
+        }
+        (false, false) => {
+            let base = cmp_variants(va, vb);
+            if k.desc {
+                base.reverse()
+            } else {
+                base
+            }
+        }
+    }
+}
+
 fn exec_sort(input: &Node, keys: &[SortKey], ctx: &mut ExecCtx) -> Result<Chunk> {
     let inp = execute(input, ctx)?;
     // Evaluate all keys up front.
@@ -492,34 +555,7 @@ fn exec_sort(input: &Node, keys: &[SortKey], ctx: &mut ExecCtx) -> Result<Chunk>
     let mut order: Vec<usize> = (0..inp.rows).collect();
     order.sort_by(|&a, &b| {
         for (k, col) in keys.iter().zip(&key_cols) {
-            let (va, vb) = (&col[a], &col[b]);
-            // Explicit NULL placement overrides the natural order.
-            let nulls_first = k.nulls_first.unwrap_or(k.desc);
-            let c = match (va.is_null(), vb.is_null()) {
-                (true, true) => std::cmp::Ordering::Equal,
-                (true, false) => {
-                    if nulls_first {
-                        std::cmp::Ordering::Less
-                    } else {
-                        std::cmp::Ordering::Greater
-                    }
-                }
-                (false, true) => {
-                    if nulls_first {
-                        std::cmp::Ordering::Greater
-                    } else {
-                        std::cmp::Ordering::Less
-                    }
-                }
-                (false, false) => {
-                    let base = cmp_variants(va, vb);
-                    if k.desc {
-                        base.reverse()
-                    } else {
-                        base
-                    }
-                }
-            };
+            let c = cmp_sort_values(k, &col[a], &col[b]);
             if c != std::cmp::Ordering::Equal {
                 return c;
             }

@@ -1,0 +1,944 @@
+//! Morsel-parallel batched execution.
+//!
+//! The serial executor in [`super`] materializes every operator's full result
+//! as one [`Chunk`]. This module replaces that at query time with a
+//! partition-parallel physical pipeline:
+//!
+//! - every operator produces an ordered list of batches (≤ [`BATCH_ROWS`]
+//!   rows each) instead of one whole-table chunk;
+//! - `Scan → Filter → Project` chains are *fused*: each worker claims a
+//!   micro-partition from the work-stealing [`crate::storage::morsel`]
+//!   dispatcher, materializes it in batches, and pushes each batch through
+//!   the fused stages before claiming more work;
+//! - filter/project/flatten over non-scan inputs map over batches in
+//!   parallel; aggregate, join and sort are pipeline breakers that build
+//!   thread-local partial state merged at the barrier;
+//! - every operator updates the [`OpMetricsCell`] of its
+//!   [`PhysNode`](crate::plan::physical::PhysNode), producing the
+//!   per-operator metrics tree reported in
+//!   [`QueryProfile`](crate::engine::QueryProfile).
+//!
+//! # Determinism contract
+//!
+//! Parallel execution must be *byte-identical* to serial execution:
+//!
+//! - all merges happen in partition/batch index order (the dispatcher hands
+//!   out indices, results are reassembled sorted by index);
+//! - `SEQ8()` gets its counter base per batch from a prefix sum over the
+//!   input batch row counts, so row ids match the serial row order exactly;
+//!   the same prefix-sum scheme gives `FLATTEN`'s `SEQ` column its parent row
+//!   index;
+//! - aggregate partials merge in batch order ([`Accumulator::merge`]), which
+//!   preserves first-seen group order and first-among-ties semantics;
+//!   `SUM`/`AVG` fold serially over the ordered batches because float
+//!   addition is not associative;
+//! - when several batches fail, the error with the lowest batch index wins —
+//!   the one serial execution would have reported;
+//! - volatile expressions outside projections (a `SEQ8()` in a filter or join
+//!   condition) fall back to the serial reference implementation.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crate::error::{Result, SnowError};
+use crate::plan::physical::PhysNode;
+use crate::plan::{AggExpr, AggKind, NodeKind, PExpr, SortKey};
+use crate::sql::JoinKind;
+use crate::storage::morsel::try_parallel_indexed;
+use crate::variant::{Key, Variant};
+
+use super::agg::Accumulator;
+use super::{
+    cmp_sort_values, eval, join_chunks, split_join_on, truth, Chunk, ExecCtx, RowView,
+};
+
+/// Target rows per batch. Matches the default micro-partition size so a
+/// partition usually maps to one batch.
+pub const BATCH_ROWS: usize = 4096;
+
+/// Executes a physical plan to completion, returning the ordered batch list.
+///
+/// Scan statistics accumulate into `ctx.stats` exactly as under the serial
+/// executor (per-worker stats are summed, so `bytes_scanned` and partition
+/// counts are identical for any thread count).
+pub fn execute_physical(p: &PhysNode<'_>, ctx: &mut ExecCtx) -> Result<Vec<Chunk>> {
+    match &p.logical.kind {
+        NodeKind::Values => {
+            p.metrics.add_output(1, 1);
+            Ok(vec![Chunk { cols: Vec::new(), rows: 1 }])
+        }
+        NodeKind::Scan { .. } => exec_scan(p, &[], ctx),
+        NodeKind::Filter { .. } | NodeKind::Project { .. } => {
+            if let Some((scan, stages)) = fused_chain(p) {
+                exec_scan(scan, &stages, ctx)
+            } else {
+                match &p.logical.kind {
+                    NodeKind::Filter { pred, .. } => exec_filter(p, pred, ctx),
+                    NodeKind::Project { exprs, .. } => exec_project(p, exprs, ctx),
+                    _ => unreachable!(),
+                }
+            }
+        }
+        NodeKind::Flatten { expr, outer, .. } => exec_flatten(p, expr, *outer, ctx),
+        NodeKind::Aggregate { groups, aggs, .. } => exec_aggregate(p, groups, aggs, ctx),
+        NodeKind::Join { kind, on, .. } => exec_join(p, *kind, on, ctx),
+        NodeKind::Sort { keys, .. } => exec_sort(p, keys, ctx),
+        NodeKind::Limit { n, .. } => exec_limit(p, *n, ctx),
+        NodeKind::UnionAll { .. } => exec_union(p, ctx),
+        NodeKind::Distinct { .. } => exec_distinct(p, ctx),
+    }
+}
+
+/// Total rows across a batch list.
+pub fn total_rows(batches: &[Chunk]) -> usize {
+    batches.iter().map(|c| c.rows).sum()
+}
+
+/// Concatenates a batch list into one chunk (moves, no cell clones).
+pub fn concat_batches(batches: Vec<Chunk>, arity: usize) -> Chunk {
+    let mut iter = batches.into_iter();
+    let Some(mut first) = iter.next() else {
+        return Chunk::empty(arity);
+    };
+    for c in iter {
+        for (dst, src) in first.cols.iter_mut().zip(c.cols) {
+            dst.extend(src);
+        }
+        first.rows += c.rows;
+    }
+    first
+}
+
+/// Splits a chunk into batches of at most [`BATCH_ROWS`] rows (moves, no cell
+/// clones). Zero-row chunks produce an empty list.
+fn split_into_batches(mut chunk: Chunk) -> Vec<Chunk> {
+    if chunk.rows == 0 {
+        return Vec::new();
+    }
+    if chunk.rows <= BATCH_ROWS {
+        return vec![chunk];
+    }
+    let mut out = Vec::with_capacity(chunk.rows.div_ceil(BATCH_ROWS));
+    while chunk.rows > BATCH_ROWS {
+        let mut head = Vec::with_capacity(chunk.cols.len());
+        for col in chunk.cols.iter_mut() {
+            let tail = col.split_off(BATCH_ROWS);
+            head.push(std::mem::replace(col, tail));
+        }
+        chunk.rows -= BATCH_ROWS;
+        out.push(Chunk { cols: head, rows: BATCH_ROWS });
+    }
+    out.push(chunk);
+    out
+}
+
+/// Output arity of a batch list, falling back to the plan's schema when the
+/// list is empty.
+fn batches_arity(batches: &[Chunk], p: &PhysNode<'_>) -> usize {
+    batches.first().map_or(p.logical.arity(), |c| c.cols.len())
+}
+
+/// Exclusive prefix sum of batch row counts: the global index of each batch's
+/// first row, which seeds the deterministic `SEQ8()` / `FLATTEN` bases.
+fn row_bases(batches: &[Chunk]) -> Vec<usize> {
+    let mut bases = Vec::with_capacity(batches.len());
+    let mut acc = 0usize;
+    for c in batches {
+        bases.push(acc);
+        acc += c.rows;
+    }
+    bases
+}
+
+// ---------------------------------------------------------------------------
+// Fused scan pipeline
+// ---------------------------------------------------------------------------
+
+/// Walks a `Filter`/`Project` chain down to a `Scan`, returning the scan node
+/// and the stages bottom-up, or `None` when the chain is broken. Volatile
+/// projections are excluded: they need the global row index for `SEQ8()`,
+/// which a streaming fused stage does not know.
+fn fused_chain<'b, 'a>(
+    p: &'b PhysNode<'a>,
+) -> Option<(&'b PhysNode<'a>, Vec<&'b PhysNode<'a>>)> {
+    let mut stages = Vec::new();
+    let mut cur = p;
+    loop {
+        match &cur.logical.kind {
+            NodeKind::Filter { pred, .. } if !pred.is_volatile() => {
+                stages.push(cur);
+                cur = &cur.children[0];
+            }
+            NodeKind::Project { exprs, .. }
+                if !exprs.iter().any(PExpr::is_volatile) =>
+            {
+                stages.push(cur);
+                cur = &cur.children[0];
+            }
+            NodeKind::Scan { .. } => {
+                stages.reverse();
+                return Some((cur, stages));
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Applies one fused stage to a batch, updating the stage's metrics.
+fn apply_stage(stage: &PhysNode<'_>, chunk: Chunk, ctx: &mut ExecCtx) -> Result<Chunk> {
+    let start = Instant::now();
+    let rows_in = chunk.rows as u64;
+    let out = match &stage.logical.kind {
+        NodeKind::Filter { pred, .. } => filter_batch(pred, &chunk, ctx)?,
+        NodeKind::Project { exprs, .. } => project_batch(exprs, &chunk, ctx, 0)?,
+        _ => unreachable!("fused stages are filters and projections"),
+    };
+    stage.metrics.record_batch(rows_in, out.rows as u64, start.elapsed());
+    Ok(out)
+}
+
+/// Scans a table partition-parallel, pushing each materialized batch through
+/// the fused `stages` before the morsel barrier. Workers keep private
+/// [`ScanStats`](crate::storage::ScanStats) that are summed in partition
+/// order, so the accounting is exact and thread-count independent.
+fn exec_scan(
+    scan: &PhysNode<'_>,
+    stages: &[&PhysNode<'_>],
+    ctx: &mut ExecCtx,
+) -> Result<Vec<Chunk>> {
+    let NodeKind::Scan { table, pushed, materialize } = &scan.logical.kind else {
+        unreachable!("exec_scan on a non-scan node")
+    };
+    let parts = table.partitions();
+    let arity = table.schema().len();
+    let results = try_parallel_indexed(parts.len(), scan.parallelism, |pi| {
+        let part = &parts[pi];
+        let mut wctx = ExecCtx::default();
+        wctx.stats.partitions_total = 1;
+        // Zone-map pruning: skip the partition when any pushed predicate
+        // proves no row can match. Pruned partitions contribute zero bytes.
+        let prunable = pushed.iter().any(|p| {
+            part.zone_map(p.col).is_some_and(|zm| !zm.may_match(p.cmp, &p.lit))
+        });
+        if prunable {
+            return Ok((Vec::new(), wctx.stats));
+        }
+        wctx.stats.partitions_scanned = 1;
+        wctx.stats.rows_scanned = part.row_count() as u64;
+        for (i, m) in materialize.iter().enumerate() {
+            if *m {
+                wctx.stats.bytes_scanned += part.column_bytes(i);
+            }
+        }
+        let mut out = Vec::new();
+        let n = part.row_count();
+        let mut lo = 0usize;
+        while lo < n {
+            let start = Instant::now();
+            let hi = (lo + BATCH_ROWS).min(n);
+            let mut cols: Vec<Vec<Variant>> = Vec::with_capacity(arity);
+            for (i, mat) in materialize.iter().enumerate().take(arity) {
+                let mut col = Vec::with_capacity(hi - lo);
+                if *mat {
+                    let data = part.column(i);
+                    for r in lo..hi {
+                        col.push(data.get(r));
+                    }
+                } else {
+                    // Unreferenced columns are never read; fill with nulls to
+                    // keep positional addressing intact.
+                    col.resize(hi - lo, Variant::Null);
+                }
+                cols.push(col);
+            }
+            let mut chunk = Chunk { cols, rows: hi - lo };
+            scan.metrics.record_batch(0, chunk.rows as u64, start.elapsed());
+            for stage in stages {
+                chunk = apply_stage(stage, chunk, &mut wctx)?;
+            }
+            if chunk.rows > 0 {
+                out.push(chunk);
+            }
+            lo = hi;
+        }
+        Ok((out, wctx.stats))
+    })?;
+    let mut batches = Vec::new();
+    for (mut chunks, stats) in results {
+        ctx.stats.merge(&stats);
+        batches.append(&mut chunks);
+    }
+    Ok(batches)
+}
+
+// ---------------------------------------------------------------------------
+// Streaming operators over batch lists
+// ---------------------------------------------------------------------------
+
+fn filter_batch(pred: &PExpr, inp: &Chunk, ctx: &mut ExecCtx) -> Result<Chunk> {
+    let mut keep = Vec::with_capacity(inp.rows);
+    for r in 0..inp.rows {
+        let parts = [(inp, r)];
+        let v = eval(pred, RowView::new(&parts), ctx)?;
+        if truth(&v)? == Some(true) {
+            keep.push(r);
+        }
+    }
+    let cols = inp
+        .cols
+        .iter()
+        .map(|c| keep.iter().map(|&r| c[r].clone()).collect())
+        .collect();
+    Ok(Chunk { cols, rows: keep.len() })
+}
+
+/// Projects one batch. `seq_base` is the global index of the batch's first
+/// row: setting the counter to `base + r` before each row reproduces the
+/// serial per-projection-site `SEQ8()` numbering (the serial executor holds
+/// the counter at `r` when row `r` starts; see `NodeKind::Project` in
+/// [`super::execute`]).
+fn project_batch(
+    exprs: &[PExpr],
+    inp: &Chunk,
+    ctx: &mut ExecCtx,
+    seq_base: i64,
+) -> Result<Chunk> {
+    let mut cols: Vec<Vec<Variant>> =
+        exprs.iter().map(|_| Vec::with_capacity(inp.rows)).collect();
+    let saved_seq = ctx.seq_counter;
+    for r in 0..inp.rows {
+        ctx.seq_counter = seq_base + r as i64;
+        let parts = [(inp, r)];
+        let view = RowView::new(&parts);
+        for (e, out) in exprs.iter().zip(cols.iter_mut()) {
+            out.push(eval(e, view, ctx)?);
+        }
+    }
+    ctx.seq_counter = saved_seq;
+    Ok(Chunk { cols, rows: inp.rows })
+}
+
+fn exec_filter(p: &PhysNode<'_>, pred: &PExpr, ctx: &mut ExecCtx) -> Result<Vec<Chunk>> {
+    let input = execute_physical(&p.children[0], ctx)?;
+    if pred.is_volatile() {
+        // Serial fallback keeps the SEQ8 stream identical to the reference
+        // executor (a volatile filter predicate does not occur in bound
+        // plans today, but must not silently change meaning if it does).
+        let mut out = Vec::new();
+        for c in &input {
+            let start = Instant::now();
+            let f = filter_batch(pred, c, ctx)?;
+            p.metrics.record_batch(c.rows as u64, f.rows as u64, start.elapsed());
+            if f.rows > 0 {
+                out.push(f);
+            }
+        }
+        return Ok(out);
+    }
+    let batches = try_parallel_indexed(input.len(), p.parallelism, |bi| {
+        let start = Instant::now();
+        let mut wctx = ExecCtx::default();
+        let out = filter_batch(pred, &input[bi], &mut wctx)?;
+        p.metrics.record_batch(input[bi].rows as u64, out.rows as u64, start.elapsed());
+        Ok(out)
+    })?;
+    Ok(batches.into_iter().filter(|c| c.rows > 0).collect())
+}
+
+fn exec_project(
+    p: &PhysNode<'_>,
+    exprs: &[PExpr],
+    ctx: &mut ExecCtx,
+) -> Result<Vec<Chunk>> {
+    let input = execute_physical(&p.children[0], ctx)?;
+    let bases = row_bases(&input);
+    // Volatile projections parallelize too: each batch knows its global row
+    // base, so SEQ8 ids are assigned exactly as in serial row order. The
+    // per-worker context leaves the caller's counter untouched, mirroring the
+    // serial executor's save/restore.
+    let batches = try_parallel_indexed(input.len(), p.parallelism, |bi| {
+        let start = Instant::now();
+        let mut wctx = ExecCtx::default();
+        let out = project_batch(exprs, &input[bi], &mut wctx, bases[bi] as i64)?;
+        p.metrics.record_batch(input[bi].rows as u64, out.rows as u64, start.elapsed());
+        Ok(out)
+    })?;
+    Ok(batches.into_iter().filter(|c| c.rows > 0).collect())
+}
+
+/// Flattens one batch. `row_base` is the global index of the batch's first
+/// row; the emitted `SEQ` column carries `row_base + r`, the parent row's
+/// index in the whole flatten input, as in the serial executor.
+fn flatten_batch(
+    expr: &PExpr,
+    outer: bool,
+    inp: &Chunk,
+    ctx: &mut ExecCtx,
+    row_base: i64,
+) -> Result<Chunk> {
+    let in_arity = inp.cols.len();
+    let mut out = Chunk::empty(in_arity + 5);
+    for r in 0..inp.rows {
+        let parts = [(inp, r)];
+        let v = eval(expr, RowView::new(&parts), ctx)?;
+        let emit = |out: &mut Chunk,
+                    value: Variant,
+                    index: Variant,
+                    key: Variant,
+                    this: Variant| {
+            for (i, col) in out.cols.iter_mut().enumerate().take(in_arity) {
+                col.push(inp.cols[i][r].clone());
+            }
+            out.cols[in_arity].push(value);
+            out.cols[in_arity + 1].push(index);
+            out.cols[in_arity + 2].push(key);
+            out.cols[in_arity + 3].push(Variant::Int(row_base + r as i64));
+            out.cols[in_arity + 4].push(this);
+            out.rows += 1;
+        };
+        match &v {
+            Variant::Array(items) if !items.is_empty() => {
+                for (i, item) in items.iter().enumerate() {
+                    emit(&mut out, item.clone(), Variant::Int(i as i64), Variant::Null, v.clone());
+                }
+            }
+            Variant::Object(obj) if !obj.is_empty() => {
+                for (k, val) in obj.iter() {
+                    emit(&mut out, val.clone(), Variant::Null, Variant::from(k), v.clone());
+                }
+            }
+            _ => {
+                if outer {
+                    emit(&mut out, Variant::Null, Variant::Null, Variant::Null, v.clone());
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn exec_flatten(
+    p: &PhysNode<'_>,
+    expr: &PExpr,
+    outer: bool,
+    ctx: &mut ExecCtx,
+) -> Result<Vec<Chunk>> {
+    let input = execute_physical(&p.children[0], ctx)?;
+    let bases = row_bases(&input);
+    if expr.is_volatile() {
+        let mut out = Vec::new();
+        for (bi, c) in input.iter().enumerate() {
+            let start = Instant::now();
+            let f = flatten_batch(expr, outer, c, ctx, bases[bi] as i64)?;
+            p.metrics.record_batch(c.rows as u64, f.rows as u64, start.elapsed());
+            if f.rows > 0 {
+                out.push(f);
+            }
+        }
+        return Ok(out);
+    }
+    let batches = try_parallel_indexed(input.len(), p.parallelism, |bi| {
+        let start = Instant::now();
+        let mut wctx = ExecCtx::default();
+        let out = flatten_batch(expr, outer, &input[bi], &mut wctx, bases[bi] as i64)?;
+        p.metrics.record_batch(input[bi].rows as u64, out.rows as u64, start.elapsed());
+        Ok(out)
+    })?;
+    Ok(batches.into_iter().filter(|c| c.rows > 0).collect())
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline breakers
+// ---------------------------------------------------------------------------
+
+/// Hash-aggregate state: groups in first-seen order plus accumulator rows.
+#[derive(Default)]
+struct AggState {
+    index: HashMap<Vec<Key>, usize>,
+    index1: HashMap<Key, usize>,
+    group_vals: Vec<Vec<Variant>>,
+    states: Vec<Vec<Accumulator>>,
+}
+
+impl AggState {
+    /// Folds one batch into the state (serial reference semantics: rows in
+    /// order, group entries keep insertion order, single-key fast path).
+    fn fold(
+        &mut self,
+        groups: &[PExpr],
+        aggs: &[AggExpr],
+        inp: &Chunk,
+        ctx: &mut ExecCtx,
+    ) -> Result<()> {
+        let single = groups.len() == 1;
+        for r in 0..inp.rows {
+            let parts = [(inp, r)];
+            let view = RowView::new(&parts);
+            let mut gv = Vec::with_capacity(groups.len());
+            for g in groups {
+                gv.push(eval(g, view, ctx)?);
+            }
+            let slot = if single {
+                let key = Key::of(&gv[0]);
+                match self.index1.get(&key) {
+                    Some(&s) => s,
+                    None => {
+                        let s = self.states.len();
+                        self.index1.insert(key, s);
+                        self.group_vals.push(std::mem::take(&mut gv));
+                        self.states
+                            .push(aggs.iter().map(|a| Accumulator::new(a.kind)).collect());
+                        s
+                    }
+                }
+            } else {
+                let key: Vec<Key> = gv.iter().map(Key::of).collect();
+                match self.index.get(&key) {
+                    Some(&s) => s,
+                    None => {
+                        let s = self.states.len();
+                        self.index.insert(key, s);
+                        self.group_vals.push(std::mem::take(&mut gv));
+                        self.states
+                            .push(aggs.iter().map(|a| Accumulator::new(a.kind)).collect());
+                        s
+                    }
+                }
+            };
+            for (a, st) in aggs.iter().zip(self.states[slot].iter_mut()) {
+                let v = match &a.arg {
+                    Some(e) => eval(e, view, ctx)?,
+                    None => Variant::Null,
+                };
+                match &a.arg2 {
+                    Some(k) => {
+                        let kv = eval(k, view, ctx)?;
+                        st.update2(&v, &kv)?;
+                    }
+                    None => st.update(&v)?,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges a later partial into this one, in input order: new groups
+    /// append (preserving global first-seen order), existing groups merge
+    /// accumulators.
+    fn merge(&mut self, other: AggState, single: bool) -> Result<()> {
+        for (gv, accs) in other.group_vals.into_iter().zip(other.states) {
+            let slot = if single {
+                let key = Key::of(&gv[0]);
+                match self.index1.get(&key) {
+                    Some(&s) => Some(s),
+                    None => {
+                        self.index1.insert(key, self.states.len());
+                        None
+                    }
+                }
+            } else {
+                let key: Vec<Key> = gv.iter().map(Key::of).collect();
+                match self.index.get(&key) {
+                    Some(&s) => Some(s),
+                    None => {
+                        self.index.insert(key, self.states.len());
+                        None
+                    }
+                }
+            };
+            match slot {
+                Some(s) => {
+                    for (st, acc) in self.states[s].iter_mut().zip(accs) {
+                        st.merge(acc)?;
+                    }
+                }
+                None => {
+                    self.group_vals.push(gv);
+                    self.states.push(accs);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// True when per-batch partial states of this kind merge to the exact serial
+/// result. `SUM`/`AVG` are excluded: float addition is not associative, so
+/// only a serial fold in row order is bit-reproducible.
+fn exactly_mergeable(kind: AggKind) -> bool {
+    !matches!(kind, AggKind::Sum | AggKind::Avg)
+}
+
+fn exec_aggregate(
+    p: &PhysNode<'_>,
+    groups: &[PExpr],
+    aggs: &[AggExpr],
+    ctx: &mut ExecCtx,
+) -> Result<Vec<Chunk>> {
+    let input = execute_physical(&p.children[0], ctx)?;
+    let in_rows = total_rows(&input) as u64;
+    p.metrics.add_rows_in(in_rows);
+    p.metrics.peak(in_rows);
+    let start = Instant::now();
+
+    let volatile = groups.iter().any(PExpr::is_volatile)
+        || aggs.iter().any(|a| {
+            a.arg.as_ref().is_some_and(PExpr::is_volatile)
+                || a.arg2.as_ref().is_some_and(PExpr::is_volatile)
+        });
+    let single = groups.len() == 1;
+    let parallel = !volatile
+        && aggs.iter().all(|a| exactly_mergeable(a.kind))
+        && p.parallelism > 1
+        && input.len() > 1;
+
+    let mut state = if parallel {
+        // Thread-local partial aggregation per batch, merged at the barrier
+        // in batch order so group order and tie-breaks match serial.
+        let partials = try_parallel_indexed(input.len(), p.parallelism, |bi| {
+            let mut wctx = ExecCtx::default();
+            let mut st = AggState::default();
+            st.fold(groups, aggs, &input[bi], &mut wctx)?;
+            Ok(st)
+        })?;
+        let mut merged = AggState::default();
+        for partial in partials {
+            merged.merge(partial, single)?;
+        }
+        merged
+    } else {
+        let mut st = AggState::default();
+        for c in &input {
+            st.fold(groups, aggs, c, ctx)?;
+        }
+        st
+    };
+
+    // Global aggregation over zero rows still yields one row.
+    if groups.is_empty() && state.states.is_empty() {
+        state.group_vals.push(Vec::new());
+        state.states.push(aggs.iter().map(|a| Accumulator::new(a.kind)).collect());
+    }
+
+    let n_out = state.group_vals.len();
+    let mut cols: Vec<Vec<Variant>> =
+        vec![Vec::with_capacity(n_out); groups.len() + aggs.len()];
+    for (gv, st) in state.group_vals.into_iter().zip(state.states) {
+        for (i, v) in gv.into_iter().enumerate() {
+            cols[i].push(v);
+        }
+        for (j, acc) in st.into_iter().enumerate() {
+            cols[groups.len() + j].push(acc.finish());
+        }
+    }
+    p.metrics.add_busy(start.elapsed());
+    let batches = split_into_batches(Chunk { cols, rows: n_out });
+    p.metrics.add_output(n_out as u64, batches.len() as u64);
+    Ok(batches)
+}
+
+fn exec_join(
+    p: &PhysNode<'_>,
+    kind: JoinKind,
+    on: &Option<PExpr>,
+    ctx: &mut ExecCtx,
+) -> Result<Vec<Chunk>> {
+    let l_batches = execute_physical(&p.children[0], ctx)?;
+    let r_batches = execute_physical(&p.children[1], ctx)?;
+    let la = batches_arity(&l_batches, &p.children[0]);
+    let ra = batches_arity(&r_batches, &p.children[1]);
+    let l_rows = total_rows(&l_batches) as u64;
+    let r_rows = total_rows(&r_batches) as u64;
+    p.metrics.add_rows_in(l_rows + r_rows);
+    p.metrics.peak(l_rows + r_rows);
+    let start = Instant::now();
+
+    // The build side is materialized whole for O(1) row addressing — same
+    // memory shape as the serial executor.
+    let r = concat_batches(r_batches, ra);
+
+    if on.as_ref().is_some_and(PExpr::is_volatile) {
+        // Serial reference fallback for volatile join conditions.
+        let l = concat_batches(l_batches, la);
+        let out = join_chunks(&l, &r, kind, on, ctx)?;
+        p.metrics.add_busy(start.elapsed());
+        let batches = split_into_batches(out);
+        p.metrics
+            .add_output(batches.iter().map(|c| c.rows as u64).sum(), batches.len() as u64);
+        return Ok(batches);
+    }
+
+    let (equi, residual) = match on {
+        Some(e) => split_join_on(e, la),
+        None => (Vec::new(), Vec::new()),
+    };
+
+    // Hash join: build on the right side (serial — the build is a hash
+    // insert in row order; probe is the parallel phase).
+    let hash: Option<HashMap<Vec<Key>, Vec<usize>>> = if equi.is_empty() {
+        None
+    } else {
+        let mut table: HashMap<Vec<Key>, Vec<usize>> = HashMap::new();
+        let mut bctx = ExecCtx::default();
+        for rr in 0..r.rows {
+            let parts = [(&r, rr)];
+            let view = RowView::new(&parts);
+            let mut key = Vec::with_capacity(equi.len());
+            let mut has_null = false;
+            for (_, rk) in &equi {
+                let v = eval(rk, view, &mut bctx)?;
+                if v.is_null() {
+                    has_null = true;
+                    break;
+                }
+                key.push(Key::of(&v));
+            }
+            // NULL keys never match in SQL equality.
+            if !has_null {
+                table.entry(key).or_default().push(rr);
+            }
+        }
+        Some(table)
+    };
+
+    let probe = |lb: &Chunk| -> Result<Chunk> {
+        let mut wctx = ExecCtx::default();
+        let mut out = Chunk::empty(la + ra);
+        let residual_ok = |wctx: &mut ExecCtx, lr: usize, rr: usize| -> Result<bool> {
+            for e in &residual {
+                let parts = [(lb, lr), (&r, rr)];
+                let v = eval(e, RowView::new(&parts), wctx)?;
+                if truth(&v)? != Some(true) {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        };
+        let emit = |out: &mut Chunk, lr: usize, rr: Option<usize>| {
+            for (i, col) in out.cols.iter_mut().enumerate().take(la) {
+                col.push(lb.cols[i][lr].clone());
+            }
+            for (i, col) in out.cols.iter_mut().enumerate().skip(la) {
+                match rr {
+                    Some(rr) => col.push(r.cols[i - la][rr].clone()),
+                    None => col.push(Variant::Null),
+                }
+            }
+            out.rows += 1;
+        };
+        match &hash {
+            None => {
+                // Nested-loop join for cross joins and non-equi conditions.
+                for lr in 0..lb.rows {
+                    let mut matched = false;
+                    for rr in 0..r.rows {
+                        if residual_ok(&mut wctx, lr, rr)? {
+                            emit(&mut out, lr, Some(rr));
+                            matched = true;
+                        }
+                    }
+                    if kind == JoinKind::LeftOuter && !matched {
+                        emit(&mut out, lr, None);
+                    }
+                }
+            }
+            Some(table) => {
+                for lr in 0..lb.rows {
+                    let parts = [(lb, lr)];
+                    let view = RowView::new(&parts);
+                    let mut key = Vec::with_capacity(equi.len());
+                    let mut has_null = false;
+                    for (lk, _) in &equi {
+                        let v = eval(lk, view, &mut wctx)?;
+                        if v.is_null() {
+                            has_null = true;
+                            break;
+                        }
+                        key.push(Key::of(&v));
+                    }
+                    let mut matched = false;
+                    if !has_null {
+                        if let Some(rows) = table.get(&key) {
+                            for &rr in rows {
+                                if residual_ok(&mut wctx, lr, rr)? {
+                                    emit(&mut out, lr, Some(rr));
+                                    matched = true;
+                                }
+                            }
+                        }
+                    }
+                    if kind == JoinKind::LeftOuter && !matched {
+                        emit(&mut out, lr, None);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    };
+
+    let batches = try_parallel_indexed(l_batches.len(), p.parallelism, |bi| {
+        let t0 = Instant::now();
+        let out = probe(&l_batches[bi])?;
+        p.metrics
+            .record_batch(l_batches[bi].rows as u64, out.rows as u64, t0.elapsed());
+        Ok(out)
+    })?;
+    p.metrics.add_busy(start.elapsed());
+    Ok(batches.into_iter().filter(|c| c.rows > 0).collect())
+}
+
+fn exec_sort(p: &PhysNode<'_>, keys: &[SortKey], ctx: &mut ExecCtx) -> Result<Vec<Chunk>> {
+    let input = execute_physical(&p.children[0], ctx)?;
+    let in_rows = total_rows(&input);
+    p.metrics.add_rows_in(in_rows as u64);
+    p.metrics.peak(in_rows as u64);
+    let start = Instant::now();
+
+    let volatile = keys.iter().any(|k| k.expr.is_volatile());
+    // Key evaluation parallelizes per batch; each result is key-major.
+    let key_cols: Vec<Vec<Vec<Variant>>> = if volatile {
+        let mut all = Vec::with_capacity(input.len());
+        for c in &input {
+            all.push(eval_sort_keys(keys, c, ctx)?);
+        }
+        all
+    } else {
+        try_parallel_indexed(input.len(), p.parallelism, |bi| {
+            let mut wctx = ExecCtx::default();
+            eval_sort_keys(keys, &input[bi], &mut wctx)
+        })?
+    };
+
+    // Global merge: a stable sort over (batch, row) in input order applies
+    // the exact comparator of the serial executor, so the permutation — and
+    // therefore tie order — is identical.
+    let mut order: Vec<(u32, u32)> = Vec::with_capacity(in_rows);
+    for (bi, c) in input.iter().enumerate() {
+        for r in 0..c.rows {
+            order.push((bi as u32, r as u32));
+        }
+    }
+    order.sort_by(|&(ab, ar), &(bb, br)| {
+        for (ki, k) in keys.iter().enumerate() {
+            let va = &key_cols[ab as usize][ki][ar as usize];
+            let vb = &key_cols[bb as usize][ki][br as usize];
+            let c = cmp_sort_values(k, va, vb);
+            if c != std::cmp::Ordering::Equal {
+                return c;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+
+    // Parallel gather into output batches.
+    let arity = batches_arity(&input, &p.children[0]);
+    let n_batches = in_rows.div_ceil(BATCH_ROWS);
+    let batches = try_parallel_indexed(n_batches, p.parallelism, |ob| {
+        let t0 = Instant::now();
+        let lo = ob * BATCH_ROWS;
+        let hi = (lo + BATCH_ROWS).min(in_rows);
+        let mut cols: Vec<Vec<Variant>> = vec![Vec::with_capacity(hi - lo); arity];
+        for &(bi, r) in &order[lo..hi] {
+            for (i, col) in cols.iter_mut().enumerate() {
+                col.push(input[bi as usize].cols[i][r as usize].clone());
+            }
+        }
+        let out = Chunk { cols, rows: hi - lo };
+        p.metrics.record_batch(0, out.rows as u64, t0.elapsed());
+        Ok(out)
+    })?;
+    p.metrics.add_busy(start.elapsed());
+    Ok(batches)
+}
+
+fn eval_sort_keys(
+    keys: &[SortKey],
+    inp: &Chunk,
+    ctx: &mut ExecCtx,
+) -> Result<Vec<Vec<Variant>>> {
+    let mut out = Vec::with_capacity(keys.len());
+    for k in keys {
+        let mut col = Vec::with_capacity(inp.rows);
+        for r in 0..inp.rows {
+            let parts = [(inp, r)];
+            col.push(eval(&k.expr, RowView::new(&parts), ctx)?);
+        }
+        out.push(col);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Serial batch-list operators
+// ---------------------------------------------------------------------------
+
+fn exec_limit(p: &PhysNode<'_>, n: u64, ctx: &mut ExecCtx) -> Result<Vec<Chunk>> {
+    let input = execute_physical(&p.children[0], ctx)?;
+    let start = Instant::now();
+    let mut remaining = n as usize;
+    let mut out = Vec::new();
+    for mut c in input {
+        if remaining == 0 {
+            break;
+        }
+        p.metrics.add_rows_in(c.rows as u64);
+        if c.rows > remaining {
+            for col in c.cols.iter_mut() {
+                col.truncate(remaining);
+            }
+            c.rows = remaining;
+        }
+        remaining -= c.rows;
+        p.metrics.add_output(c.rows as u64, 1);
+        out.push(c);
+    }
+    p.metrics.add_busy(start.elapsed());
+    Ok(out)
+}
+
+fn exec_union(p: &PhysNode<'_>, ctx: &mut ExecCtx) -> Result<Vec<Chunk>> {
+    let mut l = execute_physical(&p.children[0], ctx)?;
+    let r = execute_physical(&p.children[1], ctx)?;
+    let start = Instant::now();
+    if batches_arity(&l, &p.children[0]) != batches_arity(&r, &p.children[1]) {
+        return Err(SnowError::Exec("UNION ALL arity mismatch".into()));
+    }
+    let rows = (total_rows(&l) + total_rows(&r)) as u64;
+    l.extend(r);
+    p.metrics.add_rows_in(rows);
+    p.metrics.add_output(rows, l.len() as u64);
+    p.metrics.add_busy(start.elapsed());
+    Ok(l)
+}
+
+fn exec_distinct(p: &PhysNode<'_>, ctx: &mut ExecCtx) -> Result<Vec<Chunk>> {
+    let input = execute_physical(&p.children[0], ctx)?;
+    let start = Instant::now();
+    let in_rows = total_rows(&input) as u64;
+    p.metrics.add_rows_in(in_rows);
+    p.metrics.peak(in_rows);
+    // One hash set over the batches in input order: first occurrence wins,
+    // as in the serial executor.
+    let arity = batches_arity(&input, &p.children[0]);
+    let mut seen = std::collections::HashSet::new();
+    let mut out: Vec<Chunk> = Vec::new();
+    let mut cur = Chunk::empty(arity);
+    for c in &input {
+        for r in 0..c.rows {
+            let key: Vec<Key> = c.cols.iter().map(|col| Key::of(&col[r])).collect();
+            if seen.insert(key) {
+                cur.push_row_from(c, r);
+                if cur.rows == BATCH_ROWS {
+                    out.push(std::mem::replace(&mut cur, Chunk::empty(arity)));
+                }
+            }
+        }
+    }
+    if cur.rows > 0 {
+        out.push(cur);
+    }
+    let out_rows: u64 = out.iter().map(|c| c.rows as u64).sum();
+    p.metrics.add_output(out_rows, out.len() as u64);
+    p.metrics.add_busy(start.elapsed());
+    Ok(out)
+}

@@ -31,5 +31,6 @@ pub mod storage;
 pub mod variant;
 
 pub use engine::{Database, QueryProfile, QueryResult};
+pub use exec::metrics::OpMetrics;
 pub use error::{Result, SnowError};
 pub use variant::Variant;

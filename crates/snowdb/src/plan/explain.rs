@@ -1,14 +1,25 @@
-//! Plan rendering for `EXPLAIN` and debugging.
+//! Plan rendering for `EXPLAIN`, `EXPLAIN ANALYZE`, and debugging.
 
 use std::fmt::Write;
 
 use super::{AggExpr, AggKind, CastType, Node, NodeKind, PExpr, PStep};
+use crate::exec::metrics::OpMetrics;
 use crate::sql::{BinOp, JoinKind, UnaryOp};
 
 /// Renders a bound plan as an indented operator tree.
 pub fn explain(node: &Node) -> String {
     let mut out = String::new();
-    walk(node, 0, &mut out);
+    walk(node, 0, None, &mut out);
+    out
+}
+
+/// Renders a bound plan annotated with measured per-operator metrics: the
+/// `EXPLAIN ANALYZE` body. The metrics tree mirrors the plan shape (it is the
+/// snapshot of the physical plan lowered from `node`), so the two are walked
+/// in lockstep.
+pub fn explain_analyze(node: &Node, metrics: &OpMetrics) -> String {
+    let mut out = String::new();
+    walk(node, 0, Some(metrics), &mut out);
     out
 }
 
@@ -18,12 +29,23 @@ fn indent(depth: usize, out: &mut String) {
     }
 }
 
-fn walk(node: &Node, depth: usize, out: &mut String) {
+fn walk(node: &Node, depth: usize, metrics: Option<&OpMetrics>, out: &mut String) {
     indent(depth, out);
+    out.push_str(&node_line(node));
+    if let Some(m) = metrics {
+        let _ = write!(out, "  [{}]", m.annotation());
+    }
+    out.push('\n');
+    for (i, child) in node.kind.inputs().into_iter().enumerate() {
+        walk(child, depth + 1, metrics.and_then(|m| m.children.get(i)), out);
+    }
+}
+
+/// One operator line, without trailing newline or children.
+fn node_line(node: &Node) -> String {
+    let mut out = String::new();
     match &node.kind {
-        NodeKind::Values => {
-            out.push_str("Values (1 row)\n");
-        }
+        NodeKind::Values => out.push_str("Values (1 row)"),
         NodeKind::Scan { table, pushed, materialize } => {
             let cols: Vec<&str> = table
                 .schema()
@@ -40,65 +62,50 @@ fn walk(node: &Node, depth: usize, out: &mut String) {
                     .collect();
                 let _ = write!(out, " prune=[{}]", preds.join(", "));
             }
-            out.push('\n');
         }
-        NodeKind::Project { input, exprs } => {
+        NodeKind::Project { exprs, .. } => {
             let rendered: Vec<String> = exprs.iter().map(expr_str).collect();
-            let _ = writeln!(out, "Project [{}]", rendered.join(", "));
-            walk(input, depth + 1, out);
+            let _ = write!(out, "Project [{}]", rendered.join(", "));
         }
-        NodeKind::Filter { input, pred } => {
-            let _ = writeln!(out, "Filter {}", expr_str(pred));
-            walk(input, depth + 1, out);
+        NodeKind::Filter { pred, .. } => {
+            let _ = write!(out, "Filter {}", expr_str(pred));
         }
-        NodeKind::Flatten { input, expr, outer } => {
-            let _ = writeln!(
+        NodeKind::Flatten { expr, outer, .. } => {
+            let _ = write!(
                 out,
                 "Flatten{} input={}",
                 if *outer { " OUTER" } else { "" },
                 expr_str(expr)
             );
-            walk(input, depth + 1, out);
         }
-        NodeKind::Aggregate { input, groups, aggs } => {
+        NodeKind::Aggregate { groups, aggs, .. } => {
             let g: Vec<String> = groups.iter().map(expr_str).collect();
             let a: Vec<String> = aggs.iter().map(agg_str).collect();
-            let _ = writeln!(out, "Aggregate group=[{}] aggs=[{}]", g.join(", "), a.join(", "));
-            walk(input, depth + 1, out);
+            let _ = write!(out, "Aggregate group=[{}] aggs=[{}]", g.join(", "), a.join(", "));
         }
-        NodeKind::Join { left, right, kind, on } => {
+        NodeKind::Join { kind, on, .. } => {
             let k = match kind {
                 JoinKind::Inner => "Inner",
                 JoinKind::LeftOuter => "LeftOuter",
                 JoinKind::Cross => "Cross",
             };
             let on_str = on.as_ref().map(expr_str).unwrap_or_default();
-            let _ = writeln!(out, "{k}Join on={on_str}");
-            walk(left, depth + 1, out);
-            walk(right, depth + 1, out);
+            let _ = write!(out, "{k}Join on={on_str}");
         }
-        NodeKind::Sort { input, keys } => {
+        NodeKind::Sort { keys, .. } => {
             let ks: Vec<String> = keys
                 .iter()
                 .map(|k| format!("{}{}", expr_str(&k.expr), if k.desc { " DESC" } else { "" }))
                 .collect();
-            let _ = writeln!(out, "Sort [{}]", ks.join(", "));
-            walk(input, depth + 1, out);
+            let _ = write!(out, "Sort [{}]", ks.join(", "));
         }
-        NodeKind::Limit { input, n } => {
-            let _ = writeln!(out, "Limit {n}");
-            walk(input, depth + 1, out);
+        NodeKind::Limit { n, .. } => {
+            let _ = write!(out, "Limit {n}");
         }
-        NodeKind::UnionAll { left, right } => {
-            out.push_str("UnionAll\n");
-            walk(left, depth + 1, out);
-            walk(right, depth + 1, out);
-        }
-        NodeKind::Distinct { input } => {
-            out.push_str("Distinct\n");
-            walk(input, depth + 1, out);
-        }
+        NodeKind::UnionAll { .. } => out.push_str("UnionAll"),
+        NodeKind::Distinct { .. } => out.push_str("Distinct"),
     }
+    out
 }
 
 fn agg_str(a: &AggExpr) -> String {

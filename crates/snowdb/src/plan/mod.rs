@@ -2,9 +2,10 @@
 
 pub mod binder;
 mod explain;
+pub mod physical;
 
 pub use binder::{bind_query, Catalog};
-pub use explain::{expr_str, explain};
+pub use explain::{explain, explain_analyze, expr_str};
 
 use std::sync::Arc;
 
@@ -428,6 +429,25 @@ pub enum NodeKind {
     Limit { input: Box<Node>, n: u64 },
     UnionAll { left: Box<Node>, right: Box<Node> },
     Distinct { input: Box<Node> },
+}
+
+impl NodeKind {
+    /// The operator's input nodes, in order.
+    pub fn inputs(&self) -> Vec<&Node> {
+        match self {
+            NodeKind::Scan { .. } | NodeKind::Values => Vec::new(),
+            NodeKind::Project { input, .. }
+            | NodeKind::Filter { input, .. }
+            | NodeKind::Flatten { input, .. }
+            | NodeKind::Aggregate { input, .. }
+            | NodeKind::Sort { input, .. }
+            | NodeKind::Limit { input, .. }
+            | NodeKind::Distinct { input } => vec![input],
+            NodeKind::Join { left, right, .. } | NodeKind::UnionAll { left, right } => {
+                vec![left, right]
+            }
+        }
+    }
 }
 
 impl Node {

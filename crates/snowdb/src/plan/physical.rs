@@ -1,0 +1,93 @@
+//! Physical plans: the logical plan annotated for morsel-parallel execution.
+//!
+//! Lowering walks the bound (and optimized) logical [`Node`] tree and produces
+//! a mirror tree of [`PhysNode`]s, each carrying
+//! - whether the operator is a *pipeline breaker* (must consume its whole
+//!   input before emitting: hash aggregate, hash join, sort, distinct);
+//! - the degree of parallelism the executor will use for it;
+//! - an [`OpMetricsCell`] that workers update concurrently during execution.
+//!
+//! The physical tree borrows the logical plan rather than copying it: operator
+//! semantics stay defined in one place and lowering stays cheap enough to run
+//! per query.
+
+use crate::exec::metrics::{OpMetrics, OpMetricsCell};
+use crate::plan::{Node, NodeKind};
+
+/// One operator of the physical plan.
+#[derive(Debug)]
+pub struct PhysNode<'a> {
+    /// The logical operator this node executes.
+    pub logical: &'a Node,
+    /// Children in the same order as the logical node's inputs.
+    pub children: Vec<PhysNode<'a>>,
+    /// True when the operator must materialize its entire input before
+    /// emitting output (aggregate, join, sort, distinct).
+    pub breaker: bool,
+    /// Worker count the executor will use for this operator's parallel phase
+    /// (1 = inherently serial).
+    pub parallelism: usize,
+    /// Concurrent metric counters, snapshotted after execution.
+    pub metrics: OpMetricsCell,
+}
+
+/// Lowers a logical plan for execution with `threads` workers.
+pub fn lower(plan: &Node, threads: usize) -> PhysNode<'_> {
+    let threads = threads.max(1);
+    let children = plan.kind.inputs().into_iter().map(|c| lower(c, threads)).collect();
+    let (breaker, parallelism) = match &plan.kind {
+        // Scans parallelize across micro-partitions (the morsel unit), so a
+        // table with fewer partitions than workers caps the useful degree.
+        NodeKind::Scan { table, .. } => {
+            (false, threads.min(table.partitions().len().max(1)))
+        }
+        NodeKind::Values => (false, 1),
+        // Filters and projections map over batches. Volatile projections
+        // (SEQ8) still parallelize: the executor assigns each batch its
+        // deterministic counter base from a prefix sum over the input.
+        NodeKind::Project { .. } | NodeKind::Filter { .. } => (false, threads),
+        NodeKind::Flatten { .. } => (false, threads),
+        // Pipeline breakers: thread-local partial states merged at the
+        // barrier (aggregate), build + parallel probe (join), parallel key
+        // evaluation then a global merge (sort).
+        NodeKind::Aggregate { .. } | NodeKind::Join { .. } | NodeKind::Sort { .. } => {
+            (true, threads)
+        }
+        // Distinct keeps one hash set in input order; limit and union only
+        // splice batch lists.
+        NodeKind::Distinct { .. } | NodeKind::Limit { .. } | NodeKind::UnionAll { .. } => {
+            (true, 1)
+        }
+    };
+    PhysNode { logical: plan, children, breaker, parallelism, metrics: OpMetricsCell::default() }
+}
+
+impl PhysNode<'_> {
+    /// Short operator label used in metrics and `EXPLAIN ANALYZE`.
+    pub fn op_name(&self) -> String {
+        match &self.logical.kind {
+            NodeKind::Scan { table, .. } => format!("Scan {}", table.name()),
+            NodeKind::Values => "Values".into(),
+            NodeKind::Project { .. } => "Project".into(),
+            NodeKind::Filter { .. } => "Filter".into(),
+            NodeKind::Flatten { .. } => "Flatten".into(),
+            NodeKind::Aggregate { .. } => "Aggregate".into(),
+            NodeKind::Join { kind, .. } => format!("{kind:?}Join"),
+            NodeKind::Sort { .. } => "Sort".into(),
+            NodeKind::Limit { .. } => "Limit".into(),
+            NodeKind::UnionAll { .. } => "UnionAll".into(),
+            NodeKind::Distinct { .. } => "Distinct".into(),
+        }
+    }
+
+    /// Snapshots the metrics tree (call after execution completes).
+    pub fn snapshot(&self) -> OpMetrics {
+        let children = self.children.iter().map(PhysNode::snapshot).collect();
+        self.metrics.snapshot(self.op_name(), self.parallelism, children)
+    }
+
+    /// Number of operators in this subtree.
+    pub fn op_count(&self) -> usize {
+        1 + self.children.iter().map(PhysNode::op_count).sum::<usize>()
+    }
+}

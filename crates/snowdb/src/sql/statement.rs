@@ -13,6 +13,9 @@ use crate::storage::ColumnType;
 pub enum Statement {
     Query(Query),
     Explain(Query),
+    /// `EXPLAIN ANALYZE <query>`: run the query and render the plan annotated
+    /// with measured per-operator metrics.
+    ExplainAnalyze(Query),
     CreateTable { name: String, columns: Vec<(String, ColumnType)> },
     Insert { table: String, rows: Vec<Vec<Expr>> },
     DropTable { name: String, if_exists: bool },
@@ -25,6 +28,11 @@ pub fn parse_statement(sql: &str) -> Result<Statement> {
         Some(t) if t.is_kw("EXPLAIN") => {
             let rest = sql.trim_start();
             let rest = &rest[rest.len().min(7)..]; // strip "EXPLAIN"
+            if toks.get(1).is_some_and(|t| t.is_kw("ANALYZE")) {
+                let rest = rest.trim_start();
+                let rest = &rest[rest.len().min(7)..]; // strip "ANALYZE"
+                return Ok(Statement::ExplainAnalyze(parse_query(rest)?));
+            }
             Ok(Statement::Explain(parse_query(rest)?))
         }
         Some(t) if t.is_kw("CREATE") => parse_create(&toks),
@@ -240,6 +248,23 @@ mod tests {
             Statement::Explain(_)
         ));
         assert!(matches!(parse_statement("SELECT 1").unwrap(), Statement::Query(_)));
+    }
+
+    #[test]
+    fn parses_explain_analyze() {
+        assert!(matches!(
+            parse_statement("EXPLAIN ANALYZE SELECT 1").unwrap(),
+            Statement::ExplainAnalyze(_)
+        ));
+        assert!(matches!(
+            parse_statement("  explain   analyze SELECT 1").unwrap(),
+            Statement::ExplainAnalyze(_)
+        ));
+        // A table named ANALYZE must not trigger the ANALYZE path.
+        assert!(matches!(
+            parse_statement("EXPLAIN SELECT a FROM analyze_log").unwrap(),
+            Statement::Explain(_)
+        ));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //!   the quantity reported in the paper's §V-E.
 
 pub mod ingest;
+pub mod morsel;
 mod table;
 
 pub use ingest::infer_schema;

@@ -1,0 +1,128 @@
+//! Morsel dispatching: work-stealing distribution of independent work items
+//! (micro-partitions, batches) across a fixed worker pool.
+//!
+//! The scheduling model follows morsel-driven parallelism: instead of
+//! statically slicing the partition list per worker, every worker claims the
+//! next unprocessed index from a shared atomic cursor, so a worker that lands
+//! on cheap (e.g. zone-map-pruned) partitions immediately steals more work
+//! rather than idling at the barrier. Results are reassembled in index order,
+//! which is what lets the parallel executor produce byte-identical output to
+//! the serial one.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Shared claim cursor over `0..total`.
+pub struct MorselDispatcher {
+    cursor: AtomicUsize,
+    total: usize,
+}
+
+impl MorselDispatcher {
+    pub fn new(total: usize) -> MorselDispatcher {
+        MorselDispatcher { cursor: AtomicUsize::new(0), total }
+    }
+
+    /// Claims the next unprocessed index, or `None` when the range is drained.
+    pub fn claim(&self) -> Option<usize> {
+        // fetch_add hands every claimed index to exactly one worker; indices
+        // claimed past `total` are harmless (the cursor saturates at
+        // total + workers).
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+        (i < self.total).then_some(i)
+    }
+}
+
+/// Runs `work(i)` for every `i in 0..total` on up to `threads` workers and
+/// returns the results in index order.
+///
+/// With `threads <= 1` (or a trivially small range) the work runs inline on
+/// the calling thread — no spawning — which is the degradation path for
+/// `SNOWDB_THREADS=1`. Every item is processed even if some items fail;
+/// callers that hand out `Result`s pick the lowest-index error so the
+/// reported error never depends on worker timing.
+pub fn parallel_indexed<R, F>(total: usize, threads: usize, work: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if threads <= 1 || total <= 1 {
+        return (0..total).map(work).collect();
+    }
+    let dispatcher = MorselDispatcher::new(total);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(total));
+    let workers = threads.min(total);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                // Buffer locally; take the shared lock once per worker.
+                let mut local = Vec::new();
+                while let Some(i) = dispatcher.claim() {
+                    local.push((i, work(i)));
+                }
+                collected.lock().unwrap_or_else(|e| e.into_inner()).extend(local);
+            });
+        }
+    });
+    let mut pairs = collected.into_inner().unwrap_or_else(|e| e.into_inner());
+    pairs.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(pairs.len(), total);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// [`parallel_indexed`] over fallible work: returns all results in index
+/// order, or the error with the lowest index (the one serial execution would
+/// have hit first), independent of worker timing.
+pub fn try_parallel_indexed<R, E, F>(
+    total: usize,
+    threads: usize,
+    work: F,
+) -> Result<Vec<R>, E>
+where
+    R: Send,
+    E: Send,
+    F: Fn(usize) -> Result<R, E> + Sync,
+{
+    let mut out = Vec::with_capacity(total);
+    for r in parallel_indexed(total, threads, work) {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_index_order() {
+        for threads in [1, 2, 4, 7] {
+            let out = parallel_indexed(100, threads, |i| i * 3);
+            assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_index_claimed_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        parallel_indexed(64, 4, |i| hits[i].fetch_add(1, Ordering::Relaxed));
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn lowest_index_error_wins() {
+        for threads in [1, 3] {
+            let err = try_parallel_indexed(32, threads, |i| {
+                if i % 10 == 7 { Err(i) } else { Ok(i) }
+            })
+            .unwrap_err();
+            assert_eq!(err, 7);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_ranges() {
+        assert!(parallel_indexed(0, 4, |i| i).is_empty());
+        assert_eq!(parallel_indexed(1, 4, |i| i + 1), vec![1]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Serial-vs-parallel equivalence for the morsel-parallel executor.
+//!
+//! The determinism contract: for any query, running with `threads = 1`
+//! (fully inline, no threads spawned) and with any `threads > 1` must
+//! produce byte-identical result rows *and* byte-identical scan accounting
+//! (`partitions_total` / `partitions_scanned` / `bytes_scanned`). Zone-map
+//! pruning decisions are made per micro-partition before any worker touches
+//! its columns, so pruned partitions contribute exactly zero bytes no matter
+//! how many workers race over the partition cursor.
+
+use snowdb::storage::{ColumnDef, ColumnType, ScanStats};
+use snowdb::{Database, Variant};
+
+const THREADS: &[usize] = &[2, 4, 8];
+
+/// 100 int rows split into 10 micro-partitions of 10 rows each, so zone maps
+/// give each partition a disjoint `[lo, hi]` range.
+fn prunable_db() -> Database {
+    let db = Database::new();
+    db.load_table_with_partition_rows(
+        "t",
+        vec![ColumnDef::new("X", ColumnType::Int)],
+        (0..100).map(|i| vec![Variant::Int(i)]),
+        10,
+    )
+    .unwrap();
+    db
+}
+
+fn run(db: &Database, threads: usize, sql: &str) -> (Vec<Vec<Variant>>, ScanStats) {
+    db.set_threads(Some(threads));
+    let r = db.query(sql).unwrap_or_else(|e| panic!("[threads={threads}] {sql}: {e}"));
+    (r.rows, r.profile.scan)
+}
+
+/// Asserts rows and all three scan-stat fields are identical across thread
+/// counts, returning the serial baseline for further checks.
+fn assert_thread_invariant(db: &Database, sql: &str) -> (Vec<Vec<Variant>>, ScanStats) {
+    let (rows1, stats1) = run(db, 1, sql);
+    for &n in THREADS {
+        let (rows_n, stats_n) = run(db, n, sql);
+        assert_eq!(rows1, rows_n, "rows differ at threads={n} for {sql}");
+        assert_eq!(
+            stats1.partitions_total, stats_n.partitions_total,
+            "partitions_total differs at threads={n} for {sql}"
+        );
+        assert_eq!(
+            stats1.partitions_scanned, stats_n.partitions_scanned,
+            "partitions_scanned differs at threads={n} for {sql}"
+        );
+        assert_eq!(
+            stats1.bytes_scanned, stats_n.bytes_scanned,
+            "bytes_scanned differs at threads={n} for {sql}"
+        );
+    }
+    (rows1, stats1)
+}
+
+#[test]
+fn pruned_scan_stats_identical_across_thread_counts() {
+    let db = prunable_db();
+    let (rows, stats) = assert_thread_invariant(&db, "SELECT x FROM t WHERE x >= 95");
+    assert_eq!(rows.len(), 5);
+    assert_eq!(stats.partitions_total, 10);
+    assert_eq!(stats.partitions_scanned, 1);
+
+    // Pruned partitions contribute zero bytes: the 1-partition scan reads
+    // exactly one tenth of the (uniformly partitioned) full-scan volume.
+    let (_, full) = assert_thread_invariant(&db, "SELECT x FROM t");
+    assert_eq!(full.partitions_scanned, 10);
+    assert!(stats.bytes_scanned > 0);
+    assert!(
+        stats.bytes_scanned < full.bytes_scanned,
+        "pruned scan must read strictly less than a full scan"
+    );
+}
+
+#[test]
+fn fully_pruned_scan_reads_zero_bytes() {
+    let db = prunable_db();
+    let (rows, stats) = assert_thread_invariant(&db, "SELECT x FROM t WHERE x >= 1000");
+    assert!(rows.is_empty());
+    assert_eq!(stats.partitions_total, 10);
+    assert_eq!(stats.partitions_scanned, 0);
+    assert_eq!(stats.bytes_scanned, 0, "pruned partitions must contribute zero bytes");
+}
+
+#[test]
+fn aggregates_joins_sorts_identical_across_thread_counts() {
+    let db = prunable_db();
+    // Group order, accumulator merge order, and float sums must all match the
+    // serial reference exactly.
+    assert_thread_invariant(
+        &db,
+        "SELECT x % 7 AS g, COUNT(*) AS c, SUM(x) AS s, MIN(x) AS lo, MAX(x) AS hi \
+         FROM t GROUP BY x % 7 ORDER BY g",
+    );
+    assert_thread_invariant(
+        &db,
+        "SELECT a.x AS ax, b.x AS bx FROM t a JOIN t b ON a.x = b.x WHERE a.x < 23 ORDER BY ax",
+    );
+    assert_thread_invariant(&db, "SELECT x FROM t ORDER BY x % 10, x DESC");
+    assert_thread_invariant(&db, "SELECT DISTINCT x % 5 AS m FROM t ORDER BY m");
+    assert_thread_invariant(
+        &db,
+        "SELECT AVG(x) AS a FROM t WHERE x < 50 UNION ALL SELECT AVG(x) FROM t",
+    );
+}
+
+#[test]
+fn seq8_stream_identical_across_thread_counts() {
+    let db = prunable_db();
+    // SEQ8 must number rows 0..N in serial scan order even when partitions are
+    // materialized by racing workers.
+    let (rows, _) = assert_thread_invariant(&db, "SELECT SEQ8() AS s, x FROM t");
+    assert_eq!(rows.len(), 100);
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row[0], Variant::Int(i as i64), "SEQ8 gap at row {i}");
+        assert_eq!(row[1], Variant::Int(i as i64));
+    }
+    // ...including downstream of a pruning filter (counter restarts per query).
+    let (rows, _) = assert_thread_invariant(&db, "SELECT SEQ8() AS s FROM t WHERE x >= 95");
+    assert_eq!(
+        rows.into_iter().map(|mut r| r.remove(0)).collect::<Vec<_>>(),
+        (0..5).map(Variant::Int).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn flatten_identical_across_thread_counts() {
+    let db = Database::new();
+    db.load_table_with_partition_rows(
+        "events",
+        vec![
+            ColumnDef::new("ID", ColumnType::Int),
+            ColumnDef::new("V", ColumnType::Variant),
+        ],
+        (0..60).map(|i| {
+            let arr: Vec<Variant> = (0..(i % 4)).map(|j| Variant::Int(i * 10 + j)).collect();
+            vec![Variant::Int(i), Variant::Array(arr.into())]
+        }),
+        8,
+    )
+    .unwrap();
+    assert_thread_invariant(
+        &db,
+        "SELECT id, f.seq, f.index, f.value FROM events, LATERAL FLATTEN(INPUT => v) f",
+    );
+    assert_thread_invariant(
+        &db,
+        "SELECT id, f.value FROM events, LATERAL FLATTEN(INPUT => v, OUTER => TRUE) f \
+         WHERE id % 3 = 0",
+    );
+}
+
+#[test]
+fn explain_analyze_reports_operator_metrics() {
+    let db = prunable_db();
+    db.set_threads(Some(4));
+    let rendered = db
+        .explain_analyze("SELECT x % 7 AS g, COUNT(*) AS c FROM t WHERE x >= 20 GROUP BY x % 7")
+        .unwrap();
+    // Every operator line carries a measured annotation, and the footer
+    // reports the same scan accounting as QueryProfile.
+    assert!(rendered.contains("Aggregate"), "{rendered}");
+    assert!(rendered.contains("rows="), "{rendered}");
+    assert!(rendered.contains("batches="), "{rendered}");
+    assert!(rendered.contains("8/10 partitions"), "{rendered}");
+
+    // The metrics tree on the profile mirrors the same run.
+    let r = db.query("SELECT x % 7 AS g, COUNT(*) AS c FROM t WHERE x >= 20 GROUP BY x % 7").unwrap();
+    let m = r.profile.metrics.expect("profile carries operator metrics");
+    assert_eq!(m.rows_out, r.rows.len() as u64);
+    assert!(m.op_count() >= 3, "expected scan+filter+project+aggregate, got {}", m.op_count());
+}

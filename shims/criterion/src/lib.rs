@@ -1,0 +1,185 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API slice the workspace's benches use — `Criterion`,
+//! `benchmark_group`/`sample_size`/`bench_function`/`finish`, `Bencher::iter`,
+//! and the `criterion_group!`/`criterion_main!` macros — as a plain wall-clock
+//! harness: each benchmark is warmed up once, then timed over `sample_size`
+//! samples, and the median/min/mean per-iteration times are printed.
+//!
+//! No statistical analysis, plots, or baseline comparison; the goal is honest
+//! relative numbers in an environment without registry access.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo bench -- <filter>` passes free arguments through; honour the
+        // first non-flag argument as a substring filter like criterion does.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            filter: self.filter.clone(),
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        let filter = self.filter.clone();
+        run_benchmark(&id, 20, filter.as_deref(), f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    filter: Option<String>,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.sample_size, self.filter.as_deref(), f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; output is streamed).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; times the hot loop.
+pub struct Bencher {
+    /// Duration of one sample (all iterations), recorded by [`Bencher::iter`].
+    sample: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` over a batch of iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.sample = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(id: &str, sample_size: usize, filter: Option<&str>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(pat) = filter {
+        if !id.contains(pat) {
+            return;
+        }
+    }
+    // Warm-up sample: also sizes the iteration batch so one sample takes
+    // roughly 10ms, keeping fast benchmarks meaningful and slow ones bounded.
+    let mut b = Bencher { sample: Duration::ZERO, iters: 1 };
+    f(&mut b);
+    let per_iter = b.sample.max(Duration::from_nanos(1));
+    let iters = (Duration::from_millis(10).as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+
+    let mut samples: Vec<Duration> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher { sample: Duration::ZERO, iters };
+        f(&mut b);
+        samples.push(b.sample / iters as u32);
+    }
+    samples.sort();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "bench {id:<50} median {median:>12.3?}  mean {mean:>12.3?}  min {min:>12.3?}  ({sample_size} samples x {iters} iters)"
+    );
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("g");
+        let mut ran = 0u32;
+        group.sample_size(3).bench_function("noop", |b| {
+            ran += 1;
+            b.iter(|| 1 + 1)
+        });
+        group.finish();
+        assert!(ran >= 3);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion { filter: Some("nomatch".into()) };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            ran = true;
+            b.iter(|| ())
+        });
+        assert!(!ran);
+    }
+}

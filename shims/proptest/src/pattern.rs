@@ -1,0 +1,344 @@
+//! A miniature regex-shaped string generator.
+//!
+//! Real proptest compiles `&str` strategies through `regex-syntax`; this shim
+//! supports exactly the constructs the workspace's property tests use:
+//! character classes (with ranges and escapes), groups, alternation, the
+//! `\PC` printable-character class, and the `*`, `+`, `?`, `{m}`, `{m,n}`
+//! quantifiers.
+
+use crate::TestRng;
+
+#[derive(Debug, Clone)]
+enum Re {
+    /// Concatenation of parts.
+    Seq(Vec<Re>),
+    /// One of several alternatives.
+    Alt(Vec<Re>),
+    /// A character class as inclusive ranges.
+    Class(Vec<(char, char)>),
+    /// A literal character.
+    Lit(char),
+    /// `\PC` / bare `.`: any printable (non-control) character.
+    Printable,
+    /// Bounded repetition of an inner pattern.
+    Rep(Box<Re>, u32, u32),
+}
+
+/// Unbounded quantifiers get this many repetitions at most; enough to exercise
+/// multi-character behaviour without ballooning fuzz case size.
+const MAX_UNBOUNDED_REPS: u32 = 16;
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    pattern: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Parser<'a> {
+        Parser { chars: pattern.chars().collect(), pos: 0, pattern }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> char {
+        let c = self.chars[self.pos];
+        self.pos += 1;
+        c
+    }
+
+    fn fail(&self, msg: &str) -> ! {
+        panic!("unsupported pattern {:?} at offset {}: {msg}", self.pattern, self.pos)
+    }
+
+    fn parse_alt(&mut self) -> Re {
+        let mut alts = vec![self.parse_seq()];
+        while self.peek() == Some('|') {
+            self.bump();
+            alts.push(self.parse_seq());
+        }
+        if alts.len() == 1 {
+            alts.pop().unwrap()
+        } else {
+            Re::Alt(alts)
+        }
+    }
+
+    fn parse_seq(&mut self) -> Re {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom();
+            parts.push(self.parse_quantifier(atom));
+        }
+        Re::Seq(parts)
+    }
+
+    fn parse_quantifier(&mut self, atom: Re) -> Re {
+        match self.peek() {
+            Some('*') => {
+                self.bump();
+                Re::Rep(Box::new(atom), 0, MAX_UNBOUNDED_REPS)
+            }
+            Some('+') => {
+                self.bump();
+                Re::Rep(Box::new(atom), 1, MAX_UNBOUNDED_REPS)
+            }
+            Some('?') => {
+                self.bump();
+                Re::Rep(Box::new(atom), 0, 1)
+            }
+            Some('{') => {
+                self.bump();
+                let lo = self.parse_number();
+                let hi = if self.peek() == Some(',') {
+                    self.bump();
+                    self.parse_number()
+                } else {
+                    lo
+                };
+                if self.peek() != Some('}') {
+                    self.fail("expected '}' after repetition bound");
+                }
+                self.bump();
+                Re::Rep(Box::new(atom), lo, hi)
+            }
+            _ => atom,
+        }
+    }
+
+    fn parse_number(&mut self) -> u32 {
+        let mut n = 0u32;
+        let mut any = false;
+        while let Some(c) = self.peek() {
+            if let Some(d) = c.to_digit(10) {
+                n = n * 10 + d;
+                any = true;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if !any {
+            self.fail("expected a number");
+        }
+        n
+    }
+
+    fn parse_atom(&mut self) -> Re {
+        match self.bump() {
+            '(' => {
+                let inner = self.parse_alt();
+                if self.peek() != Some(')') {
+                    self.fail("unclosed group");
+                }
+                self.bump();
+                inner
+            }
+            '[' => self.parse_class(),
+            '\\' => match self.peek() {
+                Some('P') => {
+                    self.bump();
+                    // `\PC`: anything outside the Unicode "other" category,
+                    // i.e. printable text.
+                    if self.peek() == Some('C') {
+                        self.bump();
+                        Re::Printable
+                    } else {
+                        self.fail("only \\PC is supported")
+                    }
+                }
+                Some(_) => Re::Lit(self.bump()),
+                None => self.fail("trailing backslash"),
+            },
+            '.' => Re::Printable,
+            c => Re::Lit(c),
+        }
+    }
+
+    fn parse_class(&mut self) -> Re {
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        loop {
+            let c = match self.peek() {
+                Some(']') => {
+                    self.bump();
+                    break;
+                }
+                Some('\\') => {
+                    self.bump();
+                    if self.peek().is_none() {
+                        self.fail("trailing backslash in class");
+                    }
+                    self.bump()
+                }
+                Some(_) => self.bump(),
+                None => self.fail("unclosed character class"),
+            };
+            // `a-z` is a range unless the '-' is the last char before ']'.
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.bump();
+                let hi = if self.peek() == Some('\\') {
+                    self.bump();
+                    self.bump()
+                } else if self.peek().is_some() {
+                    self.bump()
+                } else {
+                    self.fail("unclosed range in class")
+                };
+                if hi < c {
+                    self.fail("inverted range in class");
+                }
+                ranges.push((c, hi));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        if ranges.is_empty() {
+            self.fail("empty character class");
+        }
+        Re::Class(ranges)
+    }
+}
+
+/// Non-control characters `\PC` draws from: mostly printable ASCII plus a
+/// sprinkle of multi-byte code points to stress UTF-8 handling.
+const UNICODE_SAMPLES: &[char] =
+    &['\u{e9}', '\u{4e16}', '\u{3bb}', '\u{2713}', '\u{f1}', '\u{b0}', '\u{20ac}', '\u{1d54f}'];
+
+fn printable(rng: &mut TestRng) -> char {
+    if rng.below(8) == 0 {
+        UNICODE_SAMPLES[rng.below(UNICODE_SAMPLES.len() as u64) as usize]
+    } else {
+        char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap()
+    }
+}
+
+fn generate_into(re: &Re, rng: &mut TestRng, out: &mut String) {
+    match re {
+        Re::Seq(parts) => {
+            for p in parts {
+                generate_into(p, rng, out);
+            }
+        }
+        Re::Alt(alts) => {
+            let pick = rng.below(alts.len() as u64) as usize;
+            generate_into(&alts[pick], rng, out);
+        }
+        Re::Class(ranges) => {
+            // Weight ranges by their width so wide ranges are not starved.
+            let total: u64 = ranges.iter().map(|(lo, hi)| (*hi as u64 - *lo as u64) + 1).sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let width = (*hi as u64 - *lo as u64) + 1;
+                if pick < width {
+                    // Skip over the surrogate gap when a range spans it.
+                    let c = char::from_u32(*lo as u32 + pick as u32)
+                        .unwrap_or(*lo);
+                    out.push(c);
+                    return;
+                }
+                pick -= width;
+            }
+            unreachable!("range weights sum to total");
+        }
+        Re::Lit(c) => out.push(*c),
+        Re::Printable => out.push(printable(rng)),
+        Re::Rep(inner, lo, hi) => {
+            let n = *lo + rng.below((*hi - *lo + 1) as u64) as u32;
+            for _ in 0..n {
+                generate_into(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn gen_string(pattern: &str, rng: &mut TestRng) -> String {
+    let mut p = Parser::new(pattern);
+    let re = p.parse_alt();
+    if p.pos != p.chars.len() {
+        p.fail("unconsumed pattern suffix");
+    }
+    let mut out = String::new();
+    generate_into(&re, rng, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("pattern-tests")
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = gen_string("[a-zA-Z][a-zA-Z0-9_]{0,6}", &mut r);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn escapes_in_classes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = gen_string("[a-z\\-\\.\"\\\\/]{1,8}", &mut r);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()
+                || matches!(c, '-' | '.' | '"' | '\\' | '/')));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut r = rng();
+        let mut seen_dash = false;
+        for _ in 0..500 {
+            let s = gen_string("[+-]", &mut r);
+            assert!(s == "+" || s == "-");
+            seen_dash |= s == "-";
+        }
+        assert!(seen_dash);
+    }
+
+    #[test]
+    fn printable_class_excludes_controls() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = gen_string("\\PC*", &mut r);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn alternation_of_words() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = gen_string("(for|let|[0-9]+|\\$[a-z]+| )", &mut r);
+            let ok = s == "for"
+                || s == "let"
+                || s == " "
+                || (!s.is_empty() && s.chars().all(|c| c.is_ascii_digit()))
+                || (s.starts_with('$')
+                    && s.len() > 1
+                    && s[1..].chars().all(|c| c.is_ascii_lowercase()));
+            assert!(ok, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_repetition() {
+        let mut r = rng();
+        for _ in 0..50 {
+            assert_eq!(gen_string("[ab]{3}", &mut r).len(), 3);
+        }
+    }
+}

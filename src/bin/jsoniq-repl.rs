@@ -10,6 +10,7 @@
 //! Queries may span lines and end with `;`. Commands:
 //!   \sql        toggle printing the generated SQL
 //!   \explain    EXPLAIN the next query instead of running it
+//!   \analyze    EXPLAIN ANALYZE the next query (runs it, shows per-operator metrics)
 //!   \interp     toggle interpreter mode (default: translate + execute)
 //!   \strategy   toggle flag-column / JOIN-based nested-query strategy
 //!   \tables     list tables
@@ -46,6 +47,7 @@ fn main() {
 
     let mut show_sql = true;
     let mut explain_next = false;
+    let mut analyze_next = false;
     let mut interp_mode = false;
     let mut strategy = NestedStrategy::FlagColumn;
     let stdin = std::io::stdin();
@@ -64,6 +66,10 @@ fn main() {
                 "\\explain" => {
                     explain_next = true;
                     println!("next query will be explained");
+                }
+                "\\analyze" => {
+                    analyze_next = true;
+                    println!("next query will run under EXPLAIN ANALYZE");
                 }
                 "\\interp" => {
                     interp_mode = !interp_mode;
@@ -90,13 +96,22 @@ fn main() {
         }
         let query = buffer.trim_end().trim_end_matches(';').to_string();
         buffer.clear();
-        if explain_next {
+        if explain_next || analyze_next {
+            let analyze = analyze_next;
             explain_next = false;
+            analyze_next = false;
             match translate_query(db.clone(), &query, strategy) {
-                Ok(df) => match db.explain(df.sql()) {
-                    Ok(plan) => println!("{plan}"),
-                    Err(e) => println!("explain error: {e}"),
-                },
+                Ok(df) => {
+                    let rendered = if analyze {
+                        db.explain_analyze(df.sql())
+                    } else {
+                        db.explain(df.sql())
+                    };
+                    match rendered {
+                        Ok(plan) => println!("{plan}"),
+                        Err(e) => println!("explain error: {e}"),
+                    }
+                }
                 Err(e) => println!("translation error: {e}"),
             }
         } else {

@@ -124,6 +124,29 @@ fn q6_flag_strategy_matches_join_strategy() {
 }
 
 #[test]
+fn q6_stable_across_repeated_runs_and_thread_counts() {
+    // Q6 under the JoinBased strategy duplicates a SEQ8()-numbered subquery on
+    // both sides of a self-join; the morsel-parallel executor must assign the
+    // same row numbers on every run regardless of worker interleaving, or the
+    // join keys (and thus the histogram) drift between runs.
+    let db = test_db(300);
+    let q = adl::queries::q6("hep");
+    let run = || -> Vec<Variant> {
+        let df = translate_query(db.clone(), &q.jsoniq, NestedStrategy::JoinBased).unwrap();
+        sorted(df.collect().unwrap().rows.into_iter().map(|mut r| r.remove(0)).collect())
+    };
+    db.set_threads(Some(1));
+    let serial = run();
+    assert!(!serial.is_empty());
+    for threads in [1usize, 4, 8] {
+        db.set_threads(Some(threads));
+        for rep in 0..3 {
+            assert_eq!(serial, run(), "drift at threads={threads} rep={rep}");
+        }
+    }
+}
+
+#[test]
 fn histogram_counts_match_event_totals() {
     // Q1 counts every event exactly once.
     let db = test_db(500);
