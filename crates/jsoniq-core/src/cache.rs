@@ -26,6 +26,11 @@ struct CacheKey {
     source: String,
     strategy_join: bool,
     native_filter: bool,
+    /// Schema generation at translation time. Translated SQL expands `$t` to
+    /// the column list of the table as it existed then; a re-ingested or
+    /// altered table must miss, or the cache serves SQL bound to a schema that
+    /// no longer exists.
+    generation: u64,
 }
 
 /// A translating front-end with a query-text cache.
@@ -60,6 +65,7 @@ impl CachingTranslator {
             source: src.to_string(),
             strategy_join: strategy == NestedStrategy::JoinBased,
             native_filter: self.native_filter,
+            generation: self.session.schema_generation(),
         };
         if let Some(sql) = self.cache.lock().get(&key).cloned() {
             self.stats.lock().hits += 1;
@@ -122,6 +128,36 @@ mod tests {
         assert_eq!(a.sql(), b.sql());
         assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1 });
         assert_eq!(b.collect().unwrap().rows.len(), 3);
+    }
+
+    #[test]
+    fn reingest_invalidates_cached_translation() {
+        let db = Arc::new(Database::new());
+        db.load_table(
+            "t",
+            vec![ColumnDef::new("X", ColumnType::Int)],
+            (0..3).map(|i| vec![Variant::Int(i)]),
+        )
+        .unwrap();
+        let c = CachingTranslator::new(Session::new(db.clone()));
+        let q = r#"for $t in collection("t") return $t"#;
+        let before = c.translate(q, NestedStrategy::FlagColumn).unwrap();
+        // `$t` expands to the column list, so the cached SQL is bound to the
+        // one-column schema.
+        assert!(!before.sql().contains('Y'));
+
+        // Re-ingest with an extra column; the same source must now MISS and
+        // the fresh translation must see the new schema.
+        db.load_table(
+            "t",
+            vec![ColumnDef::new("X", ColumnType::Int), ColumnDef::new("Y", ColumnType::Int)],
+            (0..3).map(|i| vec![Variant::Int(i), Variant::Int(i * 10)]),
+        )
+        .unwrap();
+        let after = c.translate(q, NestedStrategy::FlagColumn).unwrap();
+        assert_eq!(c.stats(), CacheStats { hits: 0, misses: 2 });
+        assert!(after.sql().contains('Y'), "stale SQL served: {}", after.sql());
+        assert_eq!(after.collect().unwrap().rows.len(), 3);
     }
 
     #[test]

@@ -11,6 +11,7 @@ pub mod itertree;
 pub mod lexer;
 pub mod parser;
 pub mod snowflake;
+pub mod verify;
 
 pub use ast::*;
 pub use parser::parse;

@@ -1,0 +1,180 @@
+//! Grammar-directed random JSONiq query generator.
+//!
+//! Produces small FLWOR queries over a declared collection schema, drawing
+//! every choice from a seeded RNG so a corpus of random queries is exactly
+//! reproducible offline (the `rand` shim is deterministic). The grammar stays
+//! inside the translator's supported dialect — each shape mirrors one of the
+//! ADL query skeletons (scalar filter-project, array iteration, group-by
+//! histogram, nested count / existential sub-FLWOR) so a divergence flagged by
+//! the oracle is an engine bug, not a dialect gap.
+
+use rand::{Rng, StdRng};
+
+/// Shape of one collection for generation purposes.
+#[derive(Clone, Debug)]
+pub struct GenSchema {
+    /// Collection name as used in `collection("...")`.
+    pub collection: String,
+    /// Integer event-id field, used for deterministic `mod` predicates.
+    pub event_field: &'static str,
+    /// Float-valued paths on the row object (e.g. `MET.PT`).
+    pub float_paths: Vec<&'static str>,
+    /// Arrays of objects: `(array field, float member fields)`.
+    pub arrays: Vec<(&'static str, Vec<&'static str>)>,
+}
+
+/// The ADL HEP schema (see `adl::generator::schema`).
+pub fn adl_schema(table: &str) -> GenSchema {
+    GenSchema {
+        collection: table.to_string(),
+        event_field: "EVENT",
+        float_paths: vec!["MET.PT", "MET.PHI"],
+        arrays: vec![
+            ("JET", vec!["PT", "ETA", "PHI", "MASS"]),
+            ("MUON", vec!["PT", "ETA", "PHI", "MASS"]),
+            ("ELECTRON", vec!["PT", "ETA", "PHI", "MASS"]),
+            ("PHOTON", vec!["PT", "ETA", "PHI", "MASS"]),
+        ],
+    }
+}
+
+fn pick<'a, T>(rng: &mut StdRng, xs: &'a [T]) -> &'a T {
+    &xs[rng.gen_range(0..xs.len())]
+}
+
+fn cmp_op(rng: &mut StdRng) -> &'static str {
+    const OPS: [&str; 4] = ["lt", "le", "gt", "ge"];
+    OPS[rng.gen_range(0..OPS.len())]
+}
+
+/// A predicate over the row variable `$e`.
+fn event_pred(rng: &mut StdRng, s: &GenSchema) -> String {
+    match rng.gen_range(0..4u32) {
+        0 => {
+            let path = pick(rng, &s.float_paths);
+            format!("$e.{path} {} {}", cmp_op(rng), rng.gen_range(5..80))
+        }
+        1 => {
+            let k = rng.gen_range(2..7);
+            format!("$e.{} mod {} eq {}", s.event_field, k, rng.gen_range(0..k))
+        }
+        2 => {
+            let (arr, _) = pick(rng, &s.arrays);
+            format!("size($e.{arr}) ge {}", rng.gen_range(1..4))
+        }
+        _ => {
+            let path = pick(rng, &s.float_paths);
+            format!(
+                "$e.{path} {} {} and $e.{} mod {} eq 0",
+                cmp_op(rng),
+                rng.gen_range(5..80),
+                s.event_field,
+                rng.gen_range(2..5),
+            )
+        }
+    }
+}
+
+/// A predicate over an array-element variable `$x` with the given members.
+fn element_pred(rng: &mut StdRng, members: &[&'static str]) -> String {
+    let field = pick(rng, members);
+    if *field == "ETA" && rng.gen_bool(0.5) {
+        format!("abs($x.ETA) lt {}", rng.gen_range(1..4))
+    } else {
+        format!("$x.{field} {} {}", cmp_op(rng), rng.gen_range(5..60))
+    }
+}
+
+/// A scalar returned for the row variable `$e`.
+fn event_scalar(rng: &mut StdRng, s: &GenSchema) -> String {
+    match rng.gen_range(0..4u32) {
+        0 => format!("$e.{}", pick(rng, &s.float_paths)),
+        1 => format!("$e.{}", s.event_field),
+        2 => {
+            let a = pick(rng, &s.float_paths);
+            let b = pick(rng, &s.float_paths);
+            format!("$e.{a} + abs($e.{b})")
+        }
+        _ => {
+            let path = pick(rng, &s.float_paths);
+            format!(r#"{{"id": $e.{}, "v": $e.{path}}}"#, s.event_field)
+        }
+    }
+}
+
+/// Generates one random query. Five shapes, all drawn from the ADL skeletons.
+pub fn random_query(rng: &mut StdRng, s: &GenSchema) -> String {
+    let c = &s.collection;
+    match rng.gen_range(0..5u32) {
+        // Scalar filter + project over whole events.
+        0 => format!(
+            r#"for $e in collection("{c}") where {} return {}"#,
+            event_pred(rng, s),
+            event_scalar(rng, s),
+        ),
+        // Iterate one nested array, filter on element fields.
+        1 => {
+            let (arr, members) = pick(rng, &s.arrays);
+            let field = pick(rng, members);
+            format!(
+                r#"for $x in collection("{c}").{arr}[] where {} return $x.{field}"#,
+                element_pred(rng, members),
+            )
+        }
+        // Group-by histogram with a count aggregate.
+        2 => {
+            let k = rng.gen_range(2..8);
+            format!(
+                r#"for $e in collection("{c}") where {} group by $g := $e.{} mod {k} order by $g return {{"g": $g, "n": count($e)}}"#,
+                event_pred(rng, s),
+                s.event_field,
+            )
+        }
+        // Nested count over a sub-FLWOR (ADL Q4 skeleton).
+        3 => {
+            let (arr, members) = pick(rng, &s.arrays);
+            format!(
+                r#"for $e in collection("{c}") where count(for $x in $e.{arr}[] where {} return $x) ge {} return $e.{}"#,
+                element_pred(rng, members),
+                rng.gen_range(1..3),
+                s.event_field,
+            )
+        }
+        // Existential sub-FLWOR (ADL Q5 skeleton).
+        _ => {
+            let (arr, members) = pick(rng, &s.arrays);
+            format!(
+                r#"for $e in collection("{c}") where exists(for $x in $e.{arr}[] where {} return 1) return {}"#,
+                element_pred(rng, members),
+                event_scalar(rng, s),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let s = adl_schema("hep");
+        let gen = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..10).map(|_| random_query(&mut rng, &s)).collect::<Vec<_>>()
+        };
+        assert_eq!(gen(42), gen(42));
+        assert_ne!(gen(42), gen(43));
+    }
+
+    #[test]
+    fn generated_queries_parse() {
+        let s = adl_schema("hep");
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let q = random_query(&mut rng, &s);
+            crate::parse(&q).unwrap_or_else(|e| panic!("{q}: {e}"));
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! The engine facade: catalog plus the compile/execute query pipeline.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrd};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -68,6 +69,31 @@ pub struct Database {
     /// `SNOWDB_THREADS` environment variable, then to the machine's
     /// available parallelism.
     threads: RwLock<Option<usize>>,
+    /// Schema generation: bumped on every catalog mutation (load, register,
+    /// drop, insert-rebuild). Compiled artifacts derived from the catalog —
+    /// e.g. cached query translations — key on this stamp so a re-ingested or
+    /// altered table can never serve results bound to the old schema.
+    generation: AtomicU64,
+}
+
+/// Per-call execution options for [`Database::query_with`].
+///
+/// The defaults reproduce [`Database::query`]: optimized plan, thread count
+/// resolved from the database override / `SNOWDB_THREADS` / machine
+/// parallelism. The verification oracle uses explicit options to walk the
+/// configuration lattice without mutating shared database state.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryOptions {
+    /// Run the optimizer passes (`false` executes the raw bound plan).
+    pub optimize: bool,
+    /// Explicit worker-thread count; `None` uses the database default.
+    pub threads: Option<usize>,
+}
+
+impl Default for QueryOptions {
+    fn default() -> QueryOptions {
+        QueryOptions { optimize: true, threads: None }
+    }
 }
 
 struct CatalogView<'a>(&'a Database);
@@ -115,6 +141,7 @@ impl Database {
         }
         let table = Arc::new(b.finish());
         self.tables.write().insert(upper, table);
+        self.generation.fetch_add(1, AtomicOrd::Relaxed);
         Ok(())
     }
 
@@ -122,11 +149,23 @@ impl Database {
     pub fn register(&self, table: Table) {
         let name = table.name().to_ascii_uppercase();
         self.tables.write().insert(name, Arc::new(table));
+        self.generation.fetch_add(1, AtomicOrd::Relaxed);
     }
 
     /// Removes a table; returns whether it existed.
     pub fn drop_table(&self, name: &str) -> bool {
-        self.tables.write().remove(&name.to_ascii_uppercase()).is_some()
+        let existed = self.tables.write().remove(&name.to_ascii_uppercase()).is_some();
+        if existed {
+            self.generation.fetch_add(1, AtomicOrd::Relaxed);
+        }
+        existed
+    }
+
+    /// Current schema generation; changes whenever the catalog does. Anything
+    /// compiled against the catalog (cached translations, prepared plans)
+    /// should treat a different stamp as a different database.
+    pub fn schema_generation(&self) -> u64 {
+        self.generation.load(AtomicOrd::Relaxed)
     }
 
     /// Fetches a table snapshot.
@@ -143,9 +182,20 @@ impl Database {
 
     /// Compiles a SQL query to an optimized plan (parse + bind + optimize).
     pub fn compile(&self, sql: &str) -> Result<Node> {
+        self.compile_with(sql, true)
+    }
+
+    /// Compiles a SQL query, optionally skipping the optimizer: the raw bound
+    /// plan executes on the same pipeline, which is what lets the verification
+    /// oracle compare optimized against unoptimized results.
+    pub fn compile_with(&self, sql: &str, optimize_plan: bool) -> Result<Node> {
         let ast = parse_query(sql)?;
         let bound = bind_query(&ast, &CatalogView(self))?;
-        optimize(bound)
+        if optimize_plan {
+            optimize(bound)
+        } else {
+            Ok(bound)
+        }
     }
 
     /// Overrides the worker-thread count for this database's queries.
@@ -174,11 +224,18 @@ impl Database {
 
     /// Runs a SQL query end to end, reporting a per-phase [`QueryProfile`].
     pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        self.query_with(sql, &QueryOptions::default())
+    }
+
+    /// Runs a SQL query under explicit execution options (optimizer on/off,
+    /// thread count) without touching the database-wide defaults.
+    pub fn query_with(&self, sql: &str, opts: &QueryOptions) -> Result<QueryResult> {
         let t0 = Instant::now();
-        let plan = self.compile(sql)?;
+        let plan = self.compile_with(sql, opts.optimize)?;
         let compile_time = t0.elapsed();
 
-        let (batches, phys_metrics, ctx, exec_time) = self.run_physical(&plan)?;
+        let threads = opts.threads.map_or_else(|| self.effective_threads(), |t| t.max(1));
+        let (batches, phys_metrics, ctx, exec_time) = self.run_physical(&plan, threads)?;
 
         let columns = plan.fields.iter().map(|f| f.name.clone()).collect();
         let mut rows = Vec::with_capacity(pipeline::total_rows(&batches));
@@ -204,8 +261,8 @@ impl Database {
     fn run_physical(
         &self,
         plan: &Node,
+        threads: usize,
     ) -> Result<(Vec<crate::exec::Chunk>, OpMetrics, ExecCtx, Duration)> {
-        let threads = self.effective_threads();
         let t = Instant::now();
         let phys: PhysNode<'_> = lower(plan, threads);
         let mut ctx = ExecCtx::default();
@@ -219,6 +276,12 @@ impl Database {
         Ok(crate::plan::explain(&self.compile(sql)?))
     }
 
+    /// Renders the plan with or without the optimizer passes applied — the
+    /// divergence reports of the verification oracle show both.
+    pub fn explain_with(&self, sql: &str, optimize_plan: bool) -> Result<String> {
+        Ok(crate::plan::explain(&self.compile_with(sql, optimize_plan)?))
+    }
+
     /// Runs the query and renders its plan annotated with the measured
     /// per-operator metrics (`EXPLAIN ANALYZE`).
     pub fn explain_analyze(&self, sql: &str) -> Result<String> {
@@ -227,7 +290,7 @@ impl Database {
     }
 
     fn explain_analyze_plan(&self, plan: &Node) -> Result<String> {
-        let (batches, metrics, ctx, exec_time) = self.run_physical(plan)?;
+        let (batches, metrics, ctx, exec_time) = self.run_physical(plan, self.effective_threads())?;
         let rows = pipeline::total_rows(&batches);
         let mut out = crate::plan::explain_analyze(plan, &metrics);
         let _ = std::fmt::Write::write_fmt(
@@ -252,6 +315,15 @@ impl Database {
     pub fn execute(&self, sql: &str) -> Result<StatementResult> {
         match parse_statement(sql)? {
             Statement::Query(_) => Ok(StatementResult::Rows(self.query(sql)?)),
+            Statement::Verify(query_sql) => {
+                let report = crate::verify::verify_sql(
+                    self,
+                    &query_sql,
+                    &crate::verify::default_lattice(self.effective_threads()),
+                    crate::verify::DEFAULT_EPSILON,
+                )?;
+                Ok(StatementResult::Message(report.render()))
+            }
             Statement::Explain(q) => {
                 let bound = crate::plan::bind_query(&q, &CatalogView(self))?;
                 let plan = crate::optimize::optimize(bound)?;

@@ -23,23 +23,30 @@ impl<'a> RowView<'a> {
     }
 
     /// Reads the value of logical column `idx`.
-    pub fn col(&self, mut idx: usize) -> Variant {
+    ///
+    /// Column indices are produced by the binder against the node schema, so an
+    /// out-of-range index is a planner bug — but it must surface as a query
+    /// error, not a panic: a worker-thread panic poisons the morsel dispatcher
+    /// and takes the whole process down instead of failing one statement.
+    pub fn col(&self, idx: usize) -> Result<Variant> {
+        let mut rest = idx;
         for (chunk, row) in self.parts {
-            if idx < chunk.cols.len() {
-                return chunk.cols[idx][*row].clone();
+            if rest < chunk.cols.len() {
+                return Ok(chunk.cols[rest][*row].clone());
             }
-            idx -= chunk.cols.len();
+            rest -= chunk.cols.len();
         }
-        // Column indices are produced by the binder against the node schema, so
-        // an out-of-range index is a planner bug, not a user error.
-        panic!("column index out of range in RowView");
+        let arity: usize = self.parts.iter().map(|(c, _)| c.cols.len()).sum();
+        Err(SnowError::Exec(format!(
+            "internal: column index {idx} out of range for row of {arity} columns"
+        )))
     }
 }
 
 /// Evaluates a bound expression for one row.
 pub fn eval(e: &PExpr, row: RowView<'_>, ctx: &mut ExecCtx) -> Result<Variant> {
     match e {
-        PExpr::Col(i) => Ok(row.col(*i)),
+        PExpr::Col(i) => row.col(*i),
         PExpr::Lit(v) => Ok(v.clone()),
         PExpr::Unary { op, expr } => {
             let v = eval(expr, row, ctx)?;
@@ -787,6 +794,15 @@ mod tests {
 
     fn bin(l: PExpr, op: BinOp, r: PExpr) -> PExpr {
         PExpr::Binary { left: Box::new(l), op, right: Box::new(r) }
+    }
+
+    #[test]
+    fn out_of_range_column_is_a_typed_error_not_a_panic() {
+        let c = Chunk { cols: vec![vec![Variant::Int(1)]], rows: 1 };
+        let parts = [(&c, 0usize)];
+        let err = eval(&PExpr::Col(5), RowView::new(&parts), &mut ectx()).unwrap_err();
+        assert!(matches!(err, SnowError::Exec(_)));
+        assert!(err.to_string().contains("column index 5 out of range"));
     }
 
     #[test]

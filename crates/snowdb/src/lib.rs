@@ -29,8 +29,9 @@ pub mod plan;
 pub mod sql;
 pub mod storage;
 pub mod variant;
+pub mod verify;
 
-pub use engine::{Database, QueryProfile, QueryResult};
+pub use engine::{Database, QueryOptions, QueryProfile, QueryResult};
 pub use exec::metrics::OpMetrics;
 pub use error::{Result, SnowError};
 pub use variant::Variant;

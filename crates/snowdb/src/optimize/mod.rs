@@ -15,7 +15,7 @@
 
 use crate::error::Result;
 use crate::exec::{eval, ExecCtx, RowView};
-use crate::plan::{Node, NodeKind, PExpr, ScanPredicate};
+use crate::plan::{FuncId, Node, NodeKind, PExpr, PStep, ScanPredicate};
 use crate::sql::{BinOp, JoinKind};
 
 /// Runs all optimizer passes.
@@ -259,6 +259,70 @@ fn max_col(e: &PExpr) -> Option<usize> {
     cols.into_iter().max()
 }
 
+/// True when evaluating `e` cannot raise a runtime error on data the unpushed
+/// plan accepts. Only constructs that error on *valid* values count — division
+/// and modulo (by zero) and casts (format failures). Type-mismatch errors are
+/// ignored: those fail the query wherever the predicate is evaluated, so they
+/// cannot turn a succeeding plan into a failing one by moving.
+fn error_free(e: &PExpr) -> bool {
+    match e {
+        PExpr::Col(_) | PExpr::Lit(_) => true,
+        PExpr::Binary { left, op, right } => {
+            !matches!(op, BinOp::Div | BinOp::Mod) && error_free(left) && error_free(right)
+        }
+        PExpr::Cast { .. } => false,
+        PExpr::Func { f, args } => !matches!(f, FuncId::Mod) && args.iter().all(error_free),
+        PExpr::Unary { expr, .. } | PExpr::Not(expr) => error_free(expr),
+        PExpr::IsNull { expr, .. } => error_free(expr),
+        PExpr::InList { expr, list, .. } => error_free(expr) && list.iter().all(error_free),
+        PExpr::Case { operand, branches, else_expr } => {
+            operand.as_deref().is_none_or(error_free)
+                && branches.iter().all(|(c, v)| error_free(c) && error_free(v))
+                && else_expr.as_deref().is_none_or(error_free)
+        }
+        PExpr::Path { base, steps } => {
+            error_free(base)
+                && steps.iter().all(|s| match s {
+                    PStep::IndexExpr(ix) => error_free(ix),
+                    _ => true,
+                })
+        }
+        PExpr::Like { expr, pattern, .. } => error_free(expr) && error_free(pattern),
+    }
+}
+
+/// True when `e` can evaluate to TRUE while one of its column inputs is NULL —
+/// i.e. it is not NULL-rejecting. Comparisons, arithmetic, LIKE, and paths all
+/// propagate NULL to NULL (which a filter drops), so a predicate built purely
+/// from them decides a NULL-extended row the same way as the row's absence;
+/// `IS [NOT] NULL`, CASE, and the NULL-handling functions do not.
+fn null_sensitive(e: &PExpr) -> bool {
+    match e {
+        PExpr::Col(_) | PExpr::Lit(_) => false,
+        PExpr::IsNull { .. } | PExpr::Case { .. } => true,
+        PExpr::Func { f, args } => {
+            matches!(
+                f,
+                FuncId::Coalesce | FuncId::Nvl | FuncId::NullIf | FuncId::Iff | FuncId::TypeOf
+            ) || args.iter().any(null_sensitive)
+        }
+        PExpr::Unary { expr, .. } | PExpr::Not(expr) => null_sensitive(expr),
+        PExpr::Binary { left, right, .. } => null_sensitive(left) || null_sensitive(right),
+        PExpr::InList { expr, list, .. } => {
+            null_sensitive(expr) || list.iter().any(null_sensitive)
+        }
+        PExpr::Cast { expr, .. } => null_sensitive(expr),
+        PExpr::Path { base, steps } => {
+            null_sensitive(base)
+                || steps.iter().any(|s| match s {
+                    PStep::IndexExpr(ix) => null_sensitive(ix),
+                    _ => false,
+                })
+        }
+        PExpr::Like { expr, pattern, .. } => null_sensitive(expr) || null_sensitive(pattern),
+    }
+}
+
 fn pushdown(node: Node) -> Node {
     let fields = node.fields;
     let kind = match node.kind {
@@ -303,42 +367,69 @@ fn push_filter(input: Node, pred: PExpr, fields: Vec<crate::plan::Field>) -> Nod
 
     match input.kind {
         NodeKind::Project { input: pin, exprs } => {
-            // Substitute projection expressions into the predicate and move it
-            // below, unless a referenced projection expression is volatile.
-            let mut movable = Vec::new();
-            let mut stuck = Vec::new();
-            for p in parts {
-                let mut cols = Vec::new();
-                p.collect_cols(&mut cols);
-                if cols.iter().any(|&c| exprs[c].is_volatile()) {
-                    stuck.push(p);
-                } else {
-                    movable.push(p.substitute(&exprs));
-                }
+            // A volatile projection expression (SEQ8 row numbering) depends on
+            // the exact row stream that reaches it: filtering first renumbers
+            // the surviving rows. When any projection expression is volatile,
+            // every conjunct stays above — even ones that never reference the
+            // volatile column. (Found by the verification oracle on ADL Q7
+            // under the JOIN-based strategy: a jet-pT filter pushed below the
+            // SEQ8 row-id projection renumbered the left join keys while the
+            // right side kept the unfiltered numbering, associating lepton
+            // matches with the wrong jets.)
+            if exprs.iter().any(PExpr::is_volatile) {
+                let proj = Node {
+                    kind: NodeKind::Project { input: pin, exprs },
+                    fields: fields.clone(),
+                };
+                return wrap_filter(proj, parts, fields);
             }
+            // Substitute projection expressions into the predicate and move it
+            // below.
+            let movable: Vec<PExpr> = parts.into_iter().map(|p| p.substitute(&exprs)).collect();
             let inner_fields = pin.fields.clone();
             let mut below = *pin;
             if let Some(mp) = conjoin(movable) {
                 below = push_filter(below, mp, inner_fields);
             }
-            let proj = Node {
+            Node {
                 kind: NodeKind::Project { input: Box::new(below), exprs },
-                fields: fields.clone(),
-            };
-            wrap_filter(proj, stuck, fields)
+                fields,
+            }
         }
         NodeKind::Flatten { input: fin, expr, outer } => {
             let in_arity = fin.arity();
             let mut movable = Vec::new();
             let mut stuck = Vec::new();
             for p in parts {
-                // Pushing below an OUTER flatten is unsound for predicates that
-                // could reject rows the outer flatten must preserve only if they
-                // reference flatten outputs; input-only predicates commute.
-                match max_col(&p) {
-                    Some(m) if m < in_arity => movable.push(p),
-                    None => movable.push(p),
-                    _ => stuck.push(p),
+                // A conjunct may move below the flatten only when all of:
+                //  - it references input columns exclusively (flatten outputs
+                //    do not exist below, and for an OUTER flatten they are the
+                //    NULL-extended columns the filter must observe);
+                //  - it is not volatile: SEQ8() numbers rows, and the flatten
+                //    multiplies/drops rows, so evaluating below changes which
+                //    numbers each surviving row sees;
+                //  - it cannot raise a runtime error: a non-outer flatten drops
+                //    rows whose collection is empty, so a pushed predicate runs
+                //    on rows the unpushed plan never evaluates it on (e.g.
+                //    `10 / id > 0` with id = 0 on an empty-array row succeeds
+                //    unpushed but errors pushed);
+                //  - for an OUTER flatten, it is not NULL-sensitive: predicates
+                //    that accept NULL inputs (IS NULL, COALESCE, CASE, ...)
+                //    must see the post-flatten row, where the outer flatten's
+                //    NULL-preservation has already happened, or rows the outer
+                //    flatten would have preserved as NULL are dropped early.
+                let input_only = match max_col(&p) {
+                    Some(m) => m < in_arity,
+                    None => true,
+                };
+                if input_only
+                    && !p.is_volatile()
+                    && error_free(&p)
+                    && !(outer && null_sensitive(&p))
+                {
+                    movable.push(p);
+                } else {
+                    stuck.push(p);
                 }
             }
             let inner_fields = fin.fields.clone();

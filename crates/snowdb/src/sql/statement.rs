@@ -16,6 +16,10 @@ pub enum Statement {
     /// `EXPLAIN ANALYZE <query>`: run the query and render the plan annotated
     /// with measured per-operator metrics.
     ExplainAnalyze(Query),
+    /// `VERIFY <query>`: run the query across the execution-configuration
+    /// lattice and report agreement (or a divergence repro). Carries the query
+    /// text because the oracle re-plans it per configuration.
+    Verify(String),
     CreateTable { name: String, columns: Vec<(String, ColumnType)> },
     Insert { table: String, rows: Vec<Vec<Expr>> },
     DropTable { name: String, if_exists: bool },
@@ -34,6 +38,13 @@ pub fn parse_statement(sql: &str) -> Result<Statement> {
                 return Ok(Statement::ExplainAnalyze(parse_query(rest)?));
             }
             Ok(Statement::Explain(parse_query(rest)?))
+        }
+        Some(t) if t.is_kw("VERIFY") => {
+            let rest = sql.trim_start();
+            let rest = &rest[rest.len().min(6)..]; // strip "VERIFY"
+            // Parse eagerly so syntax errors surface here, not per-config.
+            parse_query(rest)?;
+            Ok(Statement::Verify(rest.trim().to_string()))
         }
         Some(t) if t.is_kw("CREATE") => parse_create(&toks),
         Some(t) if t.is_kw("INSERT") => parse_insert(sql, &toks),
@@ -106,10 +117,9 @@ fn parse_insert(sql: &str, toks: &[Token]) -> Result<Statement> {
         return Err(SnowError::Parse("expected VALUES".into()));
     }
     // Reuse the expression parser by rewriting each tuple into a SELECT list.
-    let values_pos = sql
-        .to_ascii_uppercase()
-        .find("VALUES")
-        .expect("VALUES keyword located by tokenizer");
+    let values_pos = find_values_keyword(sql).ok_or_else(|| {
+        SnowError::Parse("expected VALUES keyword in INSERT statement".into())
+    })?;
     let tail = &sql[values_pos + "VALUES".len()..];
     let mut rows = Vec::new();
     for tuple in split_tuples(tail)? {
@@ -135,6 +145,41 @@ fn parse_insert(sql: &str, toks: &[Token]) -> Result<Statement> {
         return Err(SnowError::Parse("VALUES requires at least one tuple".into()));
     }
     Ok(Statement::Insert { table, rows })
+}
+
+/// Locates the byte offset of the `VALUES` *keyword* in an INSERT statement:
+/// case-insensitive, on a word boundary, and outside string literals and quoted
+/// identifiers. A naive substring search mis-splits statements like
+/// `INSERT INTO values_log VALUES (1)` at the table name, and the old
+/// `.expect` on its result turned that planner-adjacent edge into a process
+/// abort instead of a parse error.
+fn find_values_keyword(sql: &str) -> Option<usize> {
+    let bytes = sql.as_bytes();
+    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\'' | b'"' => {
+                let quote = bytes[i];
+                i += 1;
+                while i < bytes.len() && bytes[i] != quote {
+                    i += 1;
+                }
+                i += 1; // past the closing quote (or end of input)
+            }
+            b if is_word(b) => {
+                let start = i;
+                while i < bytes.len() && is_word(bytes[i]) {
+                    i += 1;
+                }
+                if sql[start..i].eq_ignore_ascii_case("VALUES") {
+                    return Some(start);
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    None
 }
 
 /// Splits `(a, b), (c, d)` into top-level tuples, respecting nesting and
@@ -265,6 +310,31 @@ mod tests {
             parse_statement("EXPLAIN SELECT a FROM analyze_log").unwrap(),
             Statement::Explain(_)
         ));
+    }
+
+    #[test]
+    fn parses_verify() {
+        match parse_statement("VERIFY SELECT 1").unwrap() {
+            Statement::Verify(q) => assert_eq!(q, "SELECT 1"),
+            other => panic!("{other:?}"),
+        }
+        // Syntax errors in the verified query surface at parse time.
+        assert!(parse_statement("VERIFY SELECT 1 +").is_err());
+    }
+
+    #[test]
+    fn insert_table_named_like_values_keyword() {
+        // The keyword scan must not split at the table name or at a string
+        // literal containing "values"; the old substring search did both.
+        let s = parse_statement("INSERT INTO values_log VALUES (1, 'values'), (2, 'x')")
+            .unwrap();
+        match s {
+            Statement::Insert { table, rows } => {
+                assert_eq!(table, "VALUES_LOG");
+                assert_eq!(rows.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -37,7 +37,13 @@ impl PartialEq for Variant {
             (Variant::Object(a), Variant::Object(b)) => a == b,
             (a, b) => match NumericPair::coerce(a, b) {
                 Some(NumericPair::Int(x, y)) => x == y,
-                Some(NumericPair::Float(x, y)) => x == y,
+                // Equality is the Equal case of the same total order that
+                // drives sorting, MIN/MAX, and zone maps: NaN equals itself
+                // (and sorts after every other number, Snowflake's rule).
+                // IEEE `==` would make `eq` disagree with `cmp_variants`, and
+                // zone-map pruning built on the total order would then drop
+                // partitions whose rows the equality-based filter keeps.
+                Some(NumericPair::Float(x, y)) => cmp_f64(x, y) == Ordering::Equal,
                 None => false,
             },
         }
@@ -47,8 +53,11 @@ impl PartialEq for Variant {
 /// Total order over variants, used by `ORDER BY`, `MIN`/`MAX`, and zone maps.
 ///
 /// Type rank: numbers < strings < booleans < arrays < objects < NULL, so that an
-/// ascending sort puts `NULL`s last (Snowflake's default). `NaN` sorts after all
-/// other numbers. Cross-type numeric values compare numerically.
+/// ascending sort puts `NULL`s last (Snowflake's default). `NaN` equals itself
+/// and sorts after all other numbers (Snowflake's rule); [`PartialEq`] above is
+/// exactly the `Equal` case of this order, so equality filters, hash keys, sort
+/// order, and zone-map pruning can never disagree about NaN. Cross-type numeric
+/// values compare numerically.
 pub fn cmp_variants(a: &Variant, b: &Variant) -> Ordering {
     fn rank(v: &Variant) -> u8 {
         match v {
@@ -95,14 +104,16 @@ pub fn cmp_variants(a: &Variant, b: &Variant) -> Ordering {
     }
 }
 
+/// The shared float order: IEEE for comparable values, NaN == NaN, and NaN
+/// greater than everything else. `partial_cmp` returns `None` only when at
+/// least one side is NaN.
 fn cmp_f64(x: f64, y: f64) -> Ordering {
     match x.partial_cmp(&y) {
         Some(o) => o,
         None => match (x.is_nan(), y.is_nan()) {
             (true, true) => Ordering::Equal,
             (true, false) => Ordering::Greater,
-            (false, true) => Ordering::Less,
-            (false, false) => Ordering::Equal,
+            _ => Ordering::Less,
         },
     }
 }
@@ -177,6 +188,29 @@ mod tests {
             cmp_variants(&Variant::Float(f64::NAN), &Variant::Float(1.0)),
             Ordering::Greater
         );
+    }
+
+    #[test]
+    fn nan_equality_agrees_with_total_order() {
+        let nan = Variant::Float(f64::NAN);
+        // One coherent total order: eq, cmp, and Key all say NaN == NaN.
+        assert_eq!(nan, Variant::Float(f64::NAN));
+        assert_eq!(cmp_variants(&nan, &Variant::Float(f64::NAN)), Ordering::Equal);
+        assert_eq!(Key::of(&nan), Key::of(&Variant::Float(-f64::NAN)));
+        // ...while NaN stays unequal to every comparable value.
+        assert_ne!(nan, Variant::Float(1.0));
+        assert_ne!(nan, Variant::Int(1));
+        assert_ne!(nan, Variant::Null);
+        // eq must be exactly the Equal case of cmp_variants for every float pair.
+        for a in [f64::NAN, f64::INFINITY, -0.0, 0.0, 1.5] {
+            for b in [f64::NAN, f64::NEG_INFINITY, -0.0, 0.0, 1.5] {
+                assert_eq!(
+                    Variant::Float(a) == Variant::Float(b),
+                    cmp_variants(&Variant::Float(a), &Variant::Float(b)) == Ordering::Equal,
+                    "eq/cmp disagree on ({a}, {b})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! Differential correctness oracle over the SQL execution-configuration
+//! lattice.
+//!
+//! The paper's central claim is semantic equivalence under translation: a
+//! query must return the same answer no matter which of the engine's execution
+//! configurations runs it. This module executes one query across
+//! {optimizer on/off} × {thread counts} and compares the results under a
+//! canonical ordering with epsilon-aware equality ([`compare`]); on
+//! disagreement it emits a minimized repro ([`report`]) carrying the query
+//! text, `EXPLAIN` of both plans, the first differing row, and both
+//! per-operator metrics trees.
+//!
+//! The JSONiq-level axes of the lattice (nested strategy, interpreter ground
+//! truth) live in `jsoniq-core::verify`, which layers on top of the
+//! primitives here — `snowdb` cannot depend on its own front-ends.
+
+pub mod compare;
+pub mod report;
+
+pub use compare::{canonical_rows, cmp_rows, first_diff, rows_eq_eps, variant_eq_eps};
+pub use report::{ConfigOutcome, Divergence, DivergenceDetail, VerifyReport};
+
+use crate::engine::{Database, QueryOptions};
+use crate::error::{Result, SnowError};
+use crate::variant::Variant;
+
+/// Default relative epsilon for float comparison: wide enough to absorb
+/// accumulation-order differences between plans, far too narrow to hide a
+/// wrong answer.
+pub const DEFAULT_EPSILON: f64 = 1e-9;
+
+/// One point of the SQL-side configuration lattice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SqlConfig {
+    /// Run the optimizer passes (pushdown, join detection, pruning) or
+    /// execute the raw bound plan.
+    pub optimize: bool,
+    /// Worker threads for the morsel-parallel pipeline.
+    pub threads: usize,
+}
+
+impl SqlConfig {
+    /// Human-readable label used in reports.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/threads={}",
+            if self.optimize { "optimized" } else { "raw" },
+            self.threads
+        )
+    }
+}
+
+/// The default lattice: {optimized, raw} × {1, 2, `max_threads`} with
+/// duplicate thread counts collapsed. The optimized serial configuration
+/// comes first and acts as the baseline.
+pub fn default_lattice(max_threads: usize) -> Vec<SqlConfig> {
+    let mut threads = vec![1usize, 2, max_threads.max(1)];
+    threads.sort_unstable();
+    threads.dedup();
+    let mut out = Vec::with_capacity(threads.len() * 2);
+    for optimize in [true, false] {
+        for &t in &threads {
+            out.push(SqlConfig { optimize, threads: t });
+        }
+    }
+    out
+}
+
+/// Runs `sql` under every configuration and compares each result to the
+/// first configuration's (the baseline). A configuration agrees when both
+/// produce equal canonicalized results, or both fail with the same error;
+/// anything else records a [`Divergence`] with a full repro.
+pub fn verify_sql(
+    db: &Database,
+    sql: &str,
+    configs: &[SqlConfig],
+    epsilon: f64,
+) -> Result<VerifyReport> {
+    if configs.is_empty() {
+        return Err(SnowError::Exec("verify: empty configuration lattice".into()));
+    }
+
+    struct Run {
+        config: SqlConfig,
+        rows: Option<Vec<Vec<Variant>>>,
+        error: Option<String>,
+        metrics: String,
+    }
+
+    let mut runs = Vec::with_capacity(configs.len());
+    for cfg in configs {
+        let opts = QueryOptions { optimize: cfg.optimize, threads: Some(cfg.threads) };
+        match db.query_with(sql, &opts) {
+            Ok(result) => {
+                // Annotate the plan with the measured metrics now, while both
+                // are in hand; the repro only needs the rendered text.
+                let metrics = match (&result.profile.metrics, db.compile_with(sql, cfg.optimize))
+                {
+                    (Some(m), Ok(plan)) => crate::plan::explain_analyze(&plan, m),
+                    _ => String::new(),
+                };
+                runs.push(Run {
+                    config: *cfg,
+                    rows: Some(canonical_rows(result.rows)),
+                    error: None,
+                    metrics,
+                });
+            }
+            Err(e) => runs.push(Run {
+                config: *cfg,
+                rows: None,
+                error: Some(e.to_string()),
+                metrics: String::new(),
+            }),
+        }
+    }
+
+    let baseline = &runs[0];
+    let baseline_plan = db
+        .explain_with(sql, baseline.config.optimize)
+        .unwrap_or_else(|e| format!("<explain failed: {e}>"));
+
+    let mut outcomes = Vec::with_capacity(runs.len());
+    let mut divergences = Vec::new();
+    for (i, run) in runs.iter().enumerate() {
+        let (agrees, detail) = if i == 0 {
+            (true, None)
+        } else {
+            diff_runs(
+                baseline.rows.as_deref(),
+                baseline.error.as_deref(),
+                run.rows.as_deref(),
+                run.error.as_deref(),
+                epsilon,
+            )
+        };
+        outcomes.push(ConfigOutcome {
+            label: run.config.label(),
+            rows: run.rows.as_ref().map(Vec::len),
+            error: run.error.clone(),
+            agrees,
+        });
+        if let Some(detail) = detail {
+            divergences.push(Divergence {
+                candidate: run.config.label(),
+                detail,
+                baseline_plan: baseline_plan.clone(),
+                candidate_plan: db
+                    .explain_with(sql, run.config.optimize)
+                    .unwrap_or_else(|e| format!("<explain failed: {e}>")),
+                baseline_metrics: baseline.metrics.clone(),
+                candidate_metrics: run.metrics.clone(),
+            });
+        }
+    }
+
+    Ok(VerifyReport {
+        query: sql.to_string(),
+        baseline: baseline.config.label(),
+        outcomes,
+        divergences,
+    })
+}
+
+/// Compares one run against the baseline; on disagreement returns the repro
+/// detail.
+fn diff_runs(
+    baseline_rows: Option<&[Vec<Variant>]>,
+    baseline_err: Option<&str>,
+    candidate_rows: Option<&[Vec<Variant>]>,
+    candidate_err: Option<&str>,
+    epsilon: f64,
+) -> (bool, Option<DivergenceDetail>) {
+    match (baseline_rows, candidate_rows) {
+        (Some(b), Some(c)) => match first_diff(b, c, epsilon) {
+            None => (true, None),
+            Some((index, br, cr)) => (
+                false,
+                Some(DivergenceDetail::Row {
+                    index,
+                    baseline_row: br.map(render_row),
+                    candidate_row: cr.map(render_row),
+                }),
+            ),
+        },
+        // At least one side errored: agreement requires both to fail the same
+        // way — a plan that errors only under one configuration is a real
+        // divergence (e.g. a predicate pushed onto rows the unpushed plan
+        // never evaluates).
+        _ if baseline_err.is_some() && baseline_err == candidate_err => (true, None),
+        _ => (
+            false,
+            Some(DivergenceDetail::Error {
+                baseline_error: baseline_err.map(str::to_string),
+                candidate_error: candidate_err.map(str::to_string),
+            }),
+        ),
+    }
+}
+
+/// Renders one row for a report: `[v1, v2, ...]` with strings quoted. Public
+/// so the JSONiq-level lattice (`jsoniq-core::verify`) renders rows the same
+/// way.
+pub fn render_row(row: &[Variant]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in row.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match v {
+            Variant::Str(s) => {
+                out.push('\'');
+                out.push_str(s);
+                out.push('\'');
+            }
+            other => out.push_str(&other.to_string()),
+        }
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::{ColumnDef, ColumnType};
+
+    fn db() -> Database {
+        let d = Database::new();
+        d.load_table_with_partition_rows(
+            "t",
+            vec![
+                ColumnDef::new("ID", ColumnType::Int),
+                ColumnDef::new("X", ColumnType::Float),
+            ],
+            (0..40).map(|i| vec![Variant::Int(i), Variant::Float(i as f64 / 4.0)]),
+            8,
+        )
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn default_lattice_covers_both_optimizer_modes() {
+        let l = default_lattice(4);
+        assert_eq!(l.len(), 6);
+        assert!(l.iter().any(|c| c.optimize && c.threads == 4));
+        assert!(l.iter().any(|c| !c.optimize && c.threads == 1));
+        // Duplicate thread counts collapse.
+        assert_eq!(default_lattice(1).len(), 4);
+        assert_eq!(l[0], SqlConfig { optimize: true, threads: 1 });
+    }
+
+    #[test]
+    fn verify_agreement_on_plain_aggregate() {
+        let d = db();
+        let report = verify_sql(
+            &d,
+            "SELECT ID % 3 AS g, SUM(X) AS s FROM t GROUP BY ID % 3",
+            &default_lattice(4),
+            DEFAULT_EPSILON,
+        )
+        .unwrap();
+        assert!(report.agrees(), "{}", report.render());
+        assert!(report.outcomes.iter().all(|o| o.rows == Some(3)));
+    }
+
+    #[test]
+    fn verify_agreement_on_matching_errors() {
+        let d = db();
+        // Division by zero fails identically under every configuration.
+        let report = verify_sql(
+            &d,
+            "SELECT 1 / (ID - ID) FROM t",
+            &default_lattice(2),
+            DEFAULT_EPSILON,
+        )
+        .unwrap();
+        assert!(report.agrees(), "{}", report.render());
+        assert!(report.outcomes.iter().all(|o| o.error.is_some()));
+    }
+
+    #[test]
+    fn verify_statement_surfaces_report() {
+        let d = db();
+        match d.execute("VERIFY SELECT COUNT(*) FROM t WHERE X > 2.0").unwrap() {
+            crate::engine::StatementResult::Message(m) => {
+                assert!(m.contains("all configurations agree"), "{m}");
+            }
+            other => panic!("expected message, got {other:?}"),
+        }
+    }
+}

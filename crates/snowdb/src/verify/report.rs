@@ -1,0 +1,197 @@
+//! Divergence reports: the renderable outcome of one oracle run.
+
+use std::fmt::Write as _;
+
+/// Outcome of verifying one query across a configuration lattice.
+#[derive(Clone, Debug)]
+pub struct VerifyReport {
+    /// The verified query text.
+    pub query: String,
+    /// Label of the baseline configuration every other one is compared to.
+    pub baseline: String,
+    /// One entry per configuration, in lattice order.
+    pub outcomes: Vec<ConfigOutcome>,
+    /// One entry per configuration that disagreed with the baseline.
+    pub divergences: Vec<Divergence>,
+}
+
+/// What one configuration produced.
+#[derive(Clone, Debug)]
+pub struct ConfigOutcome {
+    pub label: String,
+    /// Result cardinality; `None` when the configuration errored.
+    pub rows: Option<usize>,
+    pub error: Option<String>,
+    /// Whether this configuration agreed with the baseline.
+    pub agrees: bool,
+}
+
+/// A minimized repro for one disagreeing configuration: the first differing
+/// row (or the error asymmetry), both plans, and both metrics trees.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    pub candidate: String,
+    pub detail: DivergenceDetail,
+    /// `EXPLAIN` of the baseline plan.
+    pub baseline_plan: String,
+    /// `EXPLAIN` of the candidate plan.
+    pub candidate_plan: String,
+    /// Baseline plan annotated with measured per-operator metrics.
+    pub baseline_metrics: String,
+    /// Candidate plan annotated with measured per-operator metrics.
+    pub candidate_metrics: String,
+}
+
+/// How the candidate disagreed.
+#[derive(Clone, Debug)]
+pub enum DivergenceDetail {
+    /// Result sets differ; rows are pre-rendered, `None` marks the shorter
+    /// side running out of rows.
+    Row { index: usize, baseline_row: Option<String>, candidate_row: Option<String> },
+    /// One side errored (or both, with different messages).
+    Error { baseline_error: Option<String>, candidate_error: Option<String> },
+}
+
+impl VerifyReport {
+    /// True when every configuration agreed with the baseline.
+    pub fn agrees(&self) -> bool {
+        self.divergences.is_empty()
+    }
+
+    /// Renders the report: a per-configuration summary, then a full repro for
+    /// each divergence.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "VERIFY {}", self.query);
+        let _ = writeln!(
+            out,
+            "{} configuration(s), baseline: {}",
+            self.outcomes.len(),
+            self.baseline
+        );
+        for o in &self.outcomes {
+            let status = match (&o.error, o.agrees) {
+                (Some(e), true) => format!("error (matches baseline): {e}"),
+                (Some(e), false) => format!("DIVERGED: error: {e}"),
+                (None, true) => format!("{} row(s), agrees", o.rows.unwrap_or(0)),
+                (None, false) => format!("{} row(s), DIVERGED", o.rows.unwrap_or(0)),
+            };
+            let _ = writeln!(out, "  {:<28} {}", o.label, status);
+        }
+        if self.agrees() {
+            let _ = writeln!(out, "result: all configurations agree");
+            return out;
+        }
+        for d in &self.divergences {
+            let _ = writeln!(out, "\ndivergence: {} vs baseline {}", d.candidate, self.baseline);
+            match &d.detail {
+                DivergenceDetail::Row { index, baseline_row, candidate_row } => {
+                    let _ = writeln!(out, "  first differing row (canonical order) #{index}:");
+                    let _ = writeln!(
+                        out,
+                        "    baseline:  {}",
+                        baseline_row.as_deref().unwrap_or("<no row>")
+                    );
+                    let _ = writeln!(
+                        out,
+                        "    candidate: {}",
+                        candidate_row.as_deref().unwrap_or("<no row>")
+                    );
+                }
+                DivergenceDetail::Error { baseline_error, candidate_error } => {
+                    let _ = writeln!(
+                        out,
+                        "  baseline:  {}",
+                        baseline_error.as_deref().unwrap_or("<ok>")
+                    );
+                    let _ = writeln!(
+                        out,
+                        "  candidate: {}",
+                        candidate_error.as_deref().unwrap_or("<ok>")
+                    );
+                }
+            }
+            let _ = writeln!(out, "  baseline plan:");
+            indent_into(&mut out, &d.baseline_plan);
+            let _ = writeln!(out, "  candidate plan:");
+            indent_into(&mut out, &d.candidate_plan);
+            if !d.baseline_metrics.is_empty() {
+                let _ = writeln!(out, "  baseline metrics:");
+                indent_into(&mut out, &d.baseline_metrics);
+            }
+            if !d.candidate_metrics.is_empty() {
+                let _ = writeln!(out, "  candidate metrics:");
+                indent_into(&mut out, &d.candidate_metrics);
+            }
+        }
+        out
+    }
+}
+
+fn indent_into(out: &mut String, text: &str) {
+    for line in text.lines() {
+        let _ = writeln!(out, "    {line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_shows_divergence_repro() {
+        let report = VerifyReport {
+            query: "SELECT x FROM t".into(),
+            baseline: "optimized/threads=1".into(),
+            outcomes: vec![
+                ConfigOutcome {
+                    label: "optimized/threads=1".into(),
+                    rows: Some(3),
+                    error: None,
+                    agrees: true,
+                },
+                ConfigOutcome {
+                    label: "raw/threads=2".into(),
+                    rows: Some(2),
+                    error: None,
+                    agrees: false,
+                },
+            ],
+            divergences: vec![Divergence {
+                candidate: "raw/threads=2".into(),
+                detail: DivergenceDetail::Row {
+                    index: 2,
+                    baseline_row: Some("[3]".into()),
+                    candidate_row: None,
+                },
+                baseline_plan: "Scan t".into(),
+                candidate_plan: "Filter\n  Scan t".into(),
+                baseline_metrics: String::new(),
+                candidate_metrics: String::new(),
+            }],
+        };
+        assert!(!report.agrees());
+        let text = report.render();
+        assert!(text.contains("DIVERGED"));
+        assert!(text.contains("first differing row"));
+        assert!(text.contains("<no row>"));
+        assert!(text.contains("candidate plan:"));
+    }
+
+    #[test]
+    fn render_agreement_is_compact() {
+        let report = VerifyReport {
+            query: "SELECT 1".into(),
+            baseline: "optimized/threads=1".into(),
+            outcomes: vec![ConfigOutcome {
+                label: "optimized/threads=1".into(),
+                rows: Some(1),
+                error: None,
+                agrees: true,
+            }],
+            divergences: vec![],
+        };
+        assert!(report.agrees());
+        assert!(report.render().contains("all configurations agree"));
+    }
+}

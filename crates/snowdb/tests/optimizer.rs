@@ -171,3 +171,135 @@ fn equivalent_results_with_and_without_partitioning() {
     assert_eq!(small.rows, big.rows);
     assert!(small.profile.scan.partitions_scanned < small.profile.scan.partitions_total);
 }
+
+// ---- pushdown soundness around FLATTEN and volatile projections -----------
+//
+// These shapes were pinned down by the verification oracle
+// (`crates/snowdb/tests/verify.rs`): each one changes results or error
+// behaviour if the filter moves, so the plans must keep the filter above.
+
+fn flatten_db() -> Database {
+    let db = Database::new();
+    db.load_table_with_partition_rows(
+        "t",
+        vec![ColumnDef::new("ID", ColumnType::Int), ColumnDef::new("XS", ColumnType::Variant)],
+        (1..9).map(|i| {
+            vec![
+                Variant::Int(i),
+                Variant::array((0..(i % 3)).map(Variant::Int).collect::<Vec<_>>()),
+            ]
+        }),
+        4,
+    )
+    .unwrap();
+    db
+}
+
+fn contains_filter(node: &Node) -> bool {
+    let mut found = false;
+    walk(node, &mut |n| {
+        if matches!(n.kind, NodeKind::Filter { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+fn walk(node: &Node, f: &mut impl FnMut(&Node)) {
+    f(node);
+    match &node.kind {
+        NodeKind::Project { input, .. }
+        | NodeKind::Filter { input, .. }
+        | NodeKind::Flatten { input, .. }
+        | NodeKind::Aggregate { input, .. }
+        | NodeKind::Sort { input, .. }
+        | NodeKind::Limit { input, .. }
+        | NodeKind::Distinct { input } => walk(input, f),
+        NodeKind::Join { left, right, .. } | NodeKind::UnionAll { left, right } => {
+            walk(left, f);
+            walk(right, f);
+        }
+        NodeKind::Scan { .. } | NodeKind::Values => {}
+    }
+}
+
+/// Subtrees feeding a `Flatten`, and subtrees feeding a `Project` that
+/// computes a volatile expression (`SEQ8`).
+fn guarded_inputs(node: &Node) -> Vec<Node> {
+    let mut out = Vec::new();
+    walk(node, &mut |n| match &n.kind {
+        NodeKind::Flatten { input, .. } => out.push((**input).clone()),
+        NodeKind::Project { input, exprs } if exprs.iter().any(|e| e.is_volatile()) => {
+            out.push((**input).clone())
+        }
+        _ => {}
+    });
+    out
+}
+
+fn assert_filter_stays_above(db: &Database, sql: &str) {
+    let plan = db.compile(sql).unwrap();
+    assert!(contains_filter(&plan), "expected a residual filter in:\n{plan:?}");
+    for sub in guarded_inputs(&plan) {
+        assert!(
+            !contains_filter(&sub),
+            "filter was pushed below a flatten / volatile projection for {sql}"
+        );
+    }
+}
+
+#[test]
+fn volatile_predicate_stays_above_flatten() {
+    let db = flatten_db();
+    assert_filter_stays_above(
+        &db,
+        "SELECT ID FROM t, LATERAL FLATTEN(INPUT => XS) AS F WHERE SEQ8() < 3",
+    );
+}
+
+#[test]
+fn filter_does_not_cross_a_seq8_projection() {
+    // Pushing a filter below a row-numbering projection renumbers the rows —
+    // the JOIN-based nested strategy joins on those numbers (ADL Q7).
+    let db = flatten_db();
+    assert_filter_stays_above(
+        &db,
+        "SELECT RID FROM (SELECT *, SEQ8() AS RID FROM t) WHERE ID % 2 = 0",
+    );
+}
+
+#[test]
+fn null_sensitive_predicate_stays_above_outer_flatten() {
+    let db = flatten_db();
+    assert_filter_stays_above(
+        &db,
+        "SELECT ID FROM t, LATERAL FLATTEN(INPUT => XS, OUTER => TRUE) AS F \
+         WHERE IFF(ID IS NULL, FALSE, ID > 2)",
+    );
+}
+
+#[test]
+fn erroring_predicate_stays_above_flatten() {
+    // A non-outer flatten drops empty-array rows before the filter ever sees
+    // them; pushing `10 / ID` below would evaluate it on rows the unpushed
+    // plan skips (division by zero on a dropped row).
+    let db = flatten_db();
+    assert_filter_stays_above(
+        &db,
+        "SELECT ID FROM t, LATERAL FLATTEN(INPUT => XS) AS F WHERE 10 / ID > 0",
+    );
+}
+
+#[test]
+fn benign_input_predicate_still_moves_below_flatten() {
+    // The soundness gates must not over-block: a plain comparison over input
+    // columns commutes with the flatten and should reach the scan for pruning.
+    let db = flatten_db();
+    let plan = db
+        .compile("SELECT ID FROM t, LATERAL FLATTEN(INPUT => XS) AS F WHERE ID > 3")
+        .unwrap();
+    let mut scans = Vec::new();
+    find_scans(&plan, &mut scans);
+    assert_eq!(scans.len(), 1);
+    assert_eq!(scans[0].1, 1, "comparison not pushed to the scan:\n{plan:?}");
+}

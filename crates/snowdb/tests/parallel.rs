@@ -173,3 +173,61 @@ fn explain_analyze_reports_operator_metrics() {
     assert_eq!(m.rows_out, r.rows.len() as u64);
     assert!(m.op_count() >= 3, "expected scan+filter+project+aggregate, got {}", m.op_count());
 }
+
+/// 40 rows, 8-row partitions; K carries heavy ties (5 distinct values).
+fn ties_db() -> Database {
+    let db = Database::new();
+    db.load_table_with_partition_rows(
+        "ties",
+        vec![
+            ColumnDef::new("ID", ColumnType::Int),
+            ColumnDef::new("K", ColumnType::Int),
+        ],
+        (0..40).map(|i| vec![Variant::Int(i), Variant::Int(i % 5)]),
+        8,
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn limit_truncates_identically_across_thread_counts() {
+    let db = ties_db();
+    let (rows, _) = assert_thread_invariant(&db, "SELECT ID FROM ties ORDER BY ID LIMIT 7");
+    let ids: Vec<i64> = rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+    assert_eq!(ids, (0..7).collect::<Vec<_>>());
+    // LIMIT larger than the table returns every row exactly once; LIMIT 0
+    // returns none — no worker may sneak an extra batch past the cutoff.
+    assert_eq!(assert_thread_invariant(&db, "SELECT ID FROM ties LIMIT 1000").0.len(), 40);
+    assert_eq!(assert_thread_invariant(&db, "SELECT ID FROM ties LIMIT 0").0.len(), 0);
+}
+
+#[test]
+fn order_by_with_ties_is_stable_across_thread_counts() {
+    // Five-way ties on K: the global merge must be a stable sort of the same
+    // multiset regardless of how workers split the key evaluation, so the
+    // parallel result is byte-identical to serial (already asserted by the
+    // invariant helper) *and* tie groups preserve input (ID) order.
+    let db = ties_db();
+    let (rows, _) = assert_thread_invariant(&db, "SELECT K, ID FROM ties ORDER BY K");
+    let ks: Vec<i64> = rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+    assert!(ks.windows(2).all(|w| w[0] <= w[1]), "key column not sorted");
+    for group in rows.chunk_by(|a, b| a[0] == b[0]) {
+        let ids: Vec<i64> = group.iter().map(|r| r[1].as_i64().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "tie group reordered: {ids:?}");
+    }
+}
+
+#[test]
+fn empty_partitions_are_survived_by_every_operator() {
+    // The filter empties all but the last partition; aggregation, sort, and
+    // limit above must not trip over empty morsels at any thread count.
+    let db = ties_db();
+    let (rows, _) =
+        assert_thread_invariant(&db, "SELECT COUNT(*), SUM(ID) FROM ties WHERE ID >= 38");
+    assert_eq!(rows, vec![vec![Variant::Int(2), Variant::Int(77)]]);
+    let (rows, _) = assert_thread_invariant(&db, "SELECT ID FROM ties WHERE ID < 0 ORDER BY ID");
+    assert!(rows.is_empty());
+    let (rows, _) = assert_thread_invariant(&db, "SELECT ID FROM ties WHERE ID < 0 LIMIT 3");
+    assert!(rows.is_empty());
+}

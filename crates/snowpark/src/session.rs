@@ -34,6 +34,13 @@ impl Session {
         &self.db
     }
 
+    /// The engine's schema generation counter; bumps whenever a table is
+    /// loaded, re-ingested, or dropped. Translation caches key on it so SQL
+    /// bound to an old schema is never served after the schema changes.
+    pub fn schema_generation(&self) -> u64 {
+        self.db.schema_generation()
+    }
+
     /// A dataframe scanning a whole table, like Snowpark's `session.table(...)`.
     /// Emits `SELECT * FROM (name)` — the same shape the paper's Fig. 2b shows.
     pub fn table(&self, name: &str) -> DataFrame {

@@ -11,6 +11,9 @@
 //!   \sql        toggle printing the generated SQL
 //!   \explain    EXPLAIN the next query instead of running it
 //!   \analyze    EXPLAIN ANALYZE the next query (runs it, shows per-operator metrics)
+//!   \verify     run the next query across the verification lattice (interpreter,
+//!               both nested strategies, optimizer on/off, 1..N threads) and report
+//!               any divergence
 //!   \interp     toggle interpreter mode (default: translate + execute)
 //!   \strategy   toggle flag-column / JOIN-based nested-query strategy
 //!   \tables     list tables
@@ -21,6 +24,7 @@ use std::sync::Arc;
 
 use snowq::jsoniq_core::interp::{DatabaseCollections, Interpreter};
 use snowq::jsoniq_core::snowflake::{translate_query, NestedStrategy};
+use snowq::jsoniq_core::verify::{verify_jsoniq, JsoniqLattice};
 use snowq::snowdb::storage::{ColumnDef, ColumnType};
 use snowq::snowdb::variant::parse_json;
 use snowq::snowdb::{Database, Variant};
@@ -48,6 +52,7 @@ fn main() {
     let mut show_sql = true;
     let mut explain_next = false;
     let mut analyze_next = false;
+    let mut verify_next = false;
     let mut interp_mode = false;
     let mut strategy = NestedStrategy::FlagColumn;
     let stdin = std::io::stdin();
@@ -70,6 +75,10 @@ fn main() {
                 "\\analyze" => {
                     analyze_next = true;
                     println!("next query will run under EXPLAIN ANALYZE");
+                }
+                "\\verify" => {
+                    verify_next = true;
+                    println!("next query will run across the verification lattice");
                 }
                 "\\interp" => {
                     interp_mode = !interp_mode;
@@ -96,7 +105,13 @@ fn main() {
         }
         let query = buffer.trim_end().trim_end_matches(';').to_string();
         buffer.clear();
-        if explain_next || analyze_next {
+        if verify_next {
+            verify_next = false;
+            let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+            let lattice = JsoniqLattice::full(threads);
+            let report = verify_jsoniq(&db, &query, &lattice);
+            println!("{}", report.render());
+        } else if explain_next || analyze_next {
             let analyze = analyze_next;
             explain_next = false;
             analyze_next = false;
