@@ -10,6 +10,9 @@ use parking_lot::RwLock;
 use crate::error::{Result, SnowError};
 use crate::exec::metrics::OpMetrics;
 use crate::exec::{pipeline, ExecCtx};
+use crate::govern::{
+    GovernorSummary, QueryFailure, QueryGovernor, QueryHandle, SessionParams,
+};
 use crate::optimize::optimize;
 use crate::plan::physical::{lower, PhysNode};
 use crate::plan::{bind_query, Catalog, Node};
@@ -25,8 +28,11 @@ pub struct QueryProfile {
     pub exec_time: Duration,
     pub scan: ScanStats,
     /// Per-operator metrics tree mirroring the executed plan (rows in/out,
-    /// batches, busy time, peak intermediate rows, parallelism).
+    /// batches, busy time, peak intermediate rows/bytes, parallelism).
     pub metrics: Option<OpMetrics>,
+    /// Governance accounting (time vs. deadline, memory and bytes scanned vs.
+    /// budgets). Present when any session limit or fault schedule was armed.
+    pub governed: Option<GovernorSummary>,
 }
 
 impl QueryProfile {
@@ -37,6 +43,9 @@ impl QueryProfile {
 }
 
 /// Outcome of [`Database::execute`].
+// One value per statement, immediately consumed; boxing `Rows` would add an
+// indirection for no measurable gain.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum StatementResult {
     Rows(QueryResult),
@@ -74,6 +83,9 @@ pub struct Database {
     /// e.g. cached query translations — key on this stamp so a re-ingested or
     /// altered table can never serve results bound to the old schema.
     generation: AtomicU64,
+    /// Session parameters (`SET STATEMENT_TIMEOUT_IN_SECONDS = ...`); a fresh
+    /// [`QueryGovernor`] is armed from them for every statement.
+    params: RwLock<SessionParams>,
 }
 
 /// Per-call execution options for [`Database::query_with`].
@@ -228,14 +240,53 @@ impl Database {
     }
 
     /// Runs a SQL query under explicit execution options (optimizer on/off,
-    /// thread count) without touching the database-wide defaults.
+    /// thread count) without touching the database-wide defaults. The query
+    /// runs under a governor armed from the session parameters.
     pub fn query_with(&self, sql: &str, opts: &QueryOptions) -> Result<QueryResult> {
+        let gov = Arc::new(QueryGovernor::from_params(&self.session_params()));
+        self.query_governed(sql, opts, gov).map_err(SnowError::from)
+    }
+
+    /// Runs a SQL query under an explicit [`QueryGovernor`]. On failure the
+    /// [`QueryFailure`] carries the typed error plus the partial per-operator
+    /// metrics tree accumulated up to the abort — the diagnosable form of a
+    /// cancellation, deadline, or budget trip. The chaos harness drives this
+    /// entry point directly with fault-schedule governors.
+    // The large Err carries the whole diagnosis (summary + partial metrics);
+    // it is built once on an already-failed, cold path.
+    #[allow(clippy::result_large_err)]
+    pub fn query_governed(
+        &self,
+        sql: &str,
+        opts: &QueryOptions,
+        gov: Arc<QueryGovernor>,
+    ) -> std::result::Result<QueryResult, QueryFailure> {
         let t0 = Instant::now();
-        let plan = self.compile_with(sql, opts.optimize)?;
+        let plan = match self.compile_with(sql, opts.optimize) {
+            Ok(p) => p,
+            Err(error) => {
+                return Err(QueryFailure {
+                    error,
+                    partial_metrics: None,
+                    summary: gov.summary(),
+                })
+            }
+        };
         let compile_time = t0.elapsed();
 
         let threads = opts.threads.map_or_else(|| self.effective_threads(), |t| t.max(1));
-        let (batches, phys_metrics, ctx, exec_time) = self.run_physical(&plan, threads)?;
+        let (batches, phys_metrics, ctx, exec_time) =
+            self.run_physical(&plan, threads, gov.clone());
+        let batches = match batches {
+            Ok(b) => b,
+            Err(error) => {
+                return Err(QueryFailure {
+                    error,
+                    partial_metrics: Some(phys_metrics),
+                    summary: gov.summary(),
+                })
+            }
+        };
 
         let columns = plan.fields.iter().map(|f| f.name.clone()).collect();
         let mut rows = Vec::with_capacity(pipeline::total_rows(&batches));
@@ -252,23 +303,56 @@ impl Database {
                 exec_time,
                 scan: ctx.stats,
                 metrics: Some(phys_metrics),
+                governed: gov.is_armed().then(|| gov.summary()),
             },
         })
     }
 
+    /// Submits a query on a background thread, returning a cancellable
+    /// [`QueryHandle`]. The governor is armed from the session parameters at
+    /// submit time; [`QueryHandle::cancel`] trips it at the next batch
+    /// boundary.
+    pub fn execute_governed(self: &Arc<Database>, sql: &str) -> QueryHandle {
+        let gov = Arc::new(QueryGovernor::from_params(&self.session_params()));
+        let db = Arc::clone(self);
+        let g = gov.clone();
+        let sql = sql.to_string();
+        #[allow(clippy::result_large_err)]
+        let join = std::thread::spawn(move || {
+            db.query_governed(&sql, &QueryOptions::default(), g)
+        });
+        QueryHandle::new(gov, join)
+    }
+
     /// Executes an optimized plan on the morsel-parallel pipeline, returning
     /// batches, the metrics snapshot, the execution context, and wall time.
+    /// Metrics and context come back even when execution fails — that is what
+    /// makes a governance trip diagnosable from its partial metrics tree.
     fn run_physical(
         &self,
         plan: &Node,
         threads: usize,
-    ) -> Result<(Vec<crate::exec::Chunk>, OpMetrics, ExecCtx, Duration)> {
+        gov: Arc<QueryGovernor>,
+    ) -> (Result<Vec<crate::exec::Chunk>>, OpMetrics, ExecCtx, Duration) {
         let t = Instant::now();
         let phys: PhysNode<'_> = lower(plan, threads);
-        let mut ctx = ExecCtx::default();
-        let batches = pipeline::execute_physical(&phys, &mut ctx)?;
+        let mut ctx = ExecCtx::with_governor(gov);
+        // Last line of panic isolation: a panic escaping the morsel layer's
+        // catch_unwind (e.g. one injected at a claim gate) must not cross the
+        // engine boundary. The catalog is only read during execution and all
+        // engine locks are parking_lot (non-poisoning), so unwinding to here
+        // leaves the database fully usable.
+        let batches = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pipeline::execute_physical(&phys, &mut ctx)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(SnowError::internal(
+                "executor",
+                crate::govern::panic_message(&*payload),
+            ))
+        });
         let exec_time = t.elapsed();
-        Ok((batches, phys.snapshot(), ctx, exec_time))
+        (batches, phys.snapshot(), ctx, exec_time)
     }
 
     /// Renders the optimized plan of a query (`EXPLAIN`).
@@ -290,7 +374,10 @@ impl Database {
     }
 
     fn explain_analyze_plan(&self, plan: &Node) -> Result<String> {
-        let (batches, metrics, ctx, exec_time) = self.run_physical(plan, self.effective_threads())?;
+        let gov = Arc::new(QueryGovernor::from_params(&self.session_params()));
+        let (batches, metrics, ctx, exec_time) =
+            self.run_physical(plan, self.effective_threads(), gov.clone());
+        let batches = batches?;
         let rows = pipeline::total_rows(&batches);
         let mut out = crate::plan::explain_analyze(plan, &metrics);
         let _ = std::fmt::Write::write_fmt(
@@ -304,7 +391,29 @@ impl Database {
                 ctx.stats.partitions_total,
             ),
         );
+        if gov.is_armed() {
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!("-- {}\n", gov.summary().render()),
+            );
+        }
         Ok(out)
+    }
+
+    /// Current session parameters.
+    pub fn session_params(&self) -> SessionParams {
+        *self.params.read()
+    }
+
+    /// Sets a session parameter (`0` clears, Snowflake-style); returns its
+    /// canonical name.
+    pub fn set_session_param(&self, name: &str, value: u64) -> Result<&'static str> {
+        self.params.write().set(name, value)
+    }
+
+    /// Clears a session parameter; returns its canonical name.
+    pub fn unset_session_param(&self, name: &str) -> Result<&'static str> {
+        self.params.write().unset(name)
     }
 
     /// Executes any statement: queries return rows, DDL/DML return a message.
@@ -388,6 +497,18 @@ impl Database {
                     return Err(SnowError::Catalog(format!("table '{name}' does not exist")));
                 }
                 Ok(StatementResult::Message(format!("dropped table {name}")))
+            }
+            Statement::Set { name, value } => {
+                let canonical = self.set_session_param(&name, value)?;
+                Ok(StatementResult::Message(if value == 0 {
+                    format!("{canonical} cleared")
+                } else {
+                    format!("{canonical} set to {value}")
+                }))
+            }
+            Statement::Unset { name } => {
+                let canonical = self.unset_session_param(&name)?;
+                Ok(StatementResult::Message(format!("{canonical} cleared")))
             }
         }
     }

@@ -17,6 +17,74 @@ pub enum SnowError {
     Catalog(String),
     /// JSON text could not be parsed into a [`crate::Variant`].
     Json(String),
+    /// The query was cancelled cooperatively (via
+    /// [`crate::govern::QueryGovernor::cancel`] or a `QueryHandle`). `op` is
+    /// the physical operator that observed the cancellation at its batch
+    /// boundary.
+    Cancelled { op: String },
+    /// The query ran past its wall-clock deadline
+    /// (`STATEMENT_TIMEOUT_IN_SECONDS`). See [`DeadlineTrip`].
+    DeadlineExceeded(Box<DeadlineTrip>),
+    /// A resource budget tripped (`STATEMENT_MEMORY_LIMIT` /
+    /// `MAX_BYTES_SCANNED`). See [`ResourceTrip`].
+    ResourceExhausted(Box<ResourceTrip>),
+    /// A worker panicked (or a chaos fault was injected) and the panic was
+    /// isolated by the morsel layer instead of aborting the process. See
+    /// [`InternalTrip`].
+    Internal(Box<InternalTrip>),
+}
+
+/// Payload of [`SnowError::DeadlineExceeded`]: `op` is the operator that
+/// observed the expiry; `elapsed_ms`/`limit_ms` are the measured and
+/// configured wall times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlineTrip {
+    pub op: String,
+    pub elapsed_ms: u64,
+    pub limit_ms: u64,
+}
+
+/// Payload of [`SnowError::ResourceExhausted`]: `resource` names the budget
+/// (`"memory"` for `STATEMENT_MEMORY_LIMIT`, `"bytes_scanned"` for
+/// `MAX_BYTES_SCANNED`), `op` the operator charging at the time,
+/// `used`/`limit` the byte counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceTrip {
+    pub resource: String,
+    pub op: String,
+    pub used: u64,
+    pub limit: u64,
+}
+
+/// Payload of [`SnowError::Internal`]: `op` is the operator whose worker
+/// failed, `detail` the panic payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InternalTrip {
+    pub op: String,
+    pub detail: String,
+}
+
+impl SnowError {
+    /// Convenience constructor used by the panic-isolation layer.
+    pub fn internal(op: impl Into<String>, detail: impl Into<String>) -> SnowError {
+        SnowError::Internal(Box::new(InternalTrip {
+            op: op.into(),
+            detail: detail.into(),
+        }))
+    }
+
+    /// True for errors raised by the query-lifecycle governor rather than by
+    /// query semantics: cancellation, deadline, budget, or isolated panics.
+    /// Re-running the same query on the same engine may well succeed.
+    pub fn is_governance(&self) -> bool {
+        matches!(
+            self,
+            SnowError::Cancelled { .. }
+                | SnowError::DeadlineExceeded(_)
+                | SnowError::ResourceExhausted(_)
+                | SnowError::Internal(_)
+        )
+    }
 }
 
 impl fmt::Display for SnowError {
@@ -28,6 +96,22 @@ impl fmt::Display for SnowError {
             SnowError::Exec(m) => write!(f, "execution error: {m}"),
             SnowError::Catalog(m) => write!(f, "catalog error: {m}"),
             SnowError::Json(m) => write!(f, "json error: {m}"),
+            SnowError::Cancelled { op } => {
+                write!(f, "query cancelled (observed at {op})")
+            }
+            SnowError::DeadlineExceeded(t) => write!(
+                f,
+                "statement timeout: {}ms elapsed, limit {}ms (observed at {})",
+                t.elapsed_ms, t.limit_ms, t.op
+            ),
+            SnowError::ResourceExhausted(t) => write!(
+                f,
+                "resource exhausted: {} used {} bytes, limit {} (charged at {})",
+                t.resource, t.used, t.limit, t.op
+            ),
+            SnowError::Internal(t) => {
+                write!(f, "internal error in {}: {}", t.op, t.detail)
+            }
         }
     }
 }
@@ -36,3 +120,22 @@ impl std::error::Error for SnowError {}
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, SnowError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `Result<Variant>` is the per-row return type of expression evaluation,
+    /// so the error arm's width is a hot-path cost. The multi-field
+    /// governance trips are boxed to keep the enum at one `String` plus
+    /// discriminant; this pins the size so a new variant can't silently
+    /// double every fallible return again.
+    #[test]
+    fn snow_error_stays_hot_path_sized() {
+        assert!(
+            std::mem::size_of::<SnowError>() <= std::mem::size_of::<String>() + 8,
+            "SnowError grew to {} bytes; box large payloads",
+            std::mem::size_of::<SnowError>()
+        );
+    }
+}

@@ -20,6 +20,10 @@ pub struct OpMetricsCell {
     /// Peak number of intermediate rows held at once (max over batches for
     /// streaming operators, total output for materializing ones).
     peak_rows: AtomicU64,
+    /// Peak estimated intermediate bytes (see
+    /// [`Chunk::approx_bytes`](crate::exec::Chunk::approx_bytes)): max over
+    /// batches for streaming operators, total materialization for breakers.
+    peak_mem_bytes: AtomicU64,
 }
 
 impl OpMetricsCell {
@@ -55,6 +59,11 @@ impl OpMetricsCell {
         self.peak_rows.fetch_max(rows, Ordering::Relaxed);
     }
 
+    /// Raises the peak-intermediate-bytes watermark.
+    pub fn add_mem(&self, bytes: u64) {
+        self.peak_mem_bytes.fetch_max(bytes, Ordering::Relaxed);
+    }
+
     /// Immutable snapshot (taken after execution completes).
     pub fn snapshot(
         &self,
@@ -69,6 +78,7 @@ impl OpMetricsCell {
             batches: self.batches_out.load(Ordering::Relaxed),
             busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
             peak_rows: self.peak_rows.load(Ordering::Relaxed),
+            peak_mem_bytes: self.peak_mem_bytes.load(Ordering::Relaxed),
             parallelism,
             children,
         }
@@ -88,6 +98,8 @@ pub struct OpMetrics {
     /// query's wall time under parallelism).
     pub busy: Duration,
     pub peak_rows: u64,
+    /// Peak estimated intermediate bytes held by the operator at once.
+    pub peak_mem_bytes: u64,
     /// Worker count the operator ran with.
     pub parallelism: usize,
     pub children: Vec<OpMetrics>,
@@ -102,11 +114,12 @@ impl OpMetrics {
     /// The annotation `EXPLAIN ANALYZE` appends to a plan line.
     pub fn annotation(&self) -> String {
         format!(
-            "rows={} batches={} time={:.3?} peak={}{}",
+            "rows={} batches={} time={:.3?} peak={} mem={}{}",
             self.rows_out,
             self.batches,
             self.busy,
             self.peak_rows,
+            self.peak_mem_bytes,
             if self.parallelism > 1 {
                 format!(" workers={}", self.parallelism)
             } else {

@@ -8,8 +8,10 @@ pub mod pipeline;
 pub use expr::{eval, truth, RowView};
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::error::{Result, SnowError};
+use crate::govern::QueryGovernor;
 use crate::plan::{AggExpr, Node, NodeKind, PExpr, SortKey};
 use crate::sql::{BinOp, JoinKind};
 use crate::storage::ScanStats;
@@ -42,6 +44,26 @@ impl Chunk {
         self.rows += 1;
     }
 
+    /// Cheap memory estimate for governance accounting: the flat `Variant`
+    /// footprint plus a first-row sample of deep (string/array/object) bytes
+    /// extrapolated over all rows. O(arity + first-row depth) per batch — not
+    /// per-row — so the estimate costs nothing on the hot path while still
+    /// catching the `ARRAY_AGG`/join blow-ups where every row carries a large
+    /// nested value.
+    pub fn approx_bytes(&self) -> u64 {
+        let flat = (self.cols.len() * self.rows * std::mem::size_of::<Variant>()) as u64;
+        if self.rows == 0 {
+            return flat;
+        }
+        let sample: u64 = self
+            .cols
+            .iter()
+            .filter_map(|c| c.first())
+            .map(|v| v.estimated_size())
+            .sum();
+        flat + sample * self.rows as u64
+    }
+
     /// Consumes the chunk into row vectors without cloning any cell: each
     /// column is drained once and its values moved into place. This is the
     /// result-boundary path; [`Chunk::row`] stays for callers that only
@@ -66,6 +88,18 @@ pub struct ExecCtx {
     pub stats: ScanStats,
     /// Counter backing `SEQ8()`.
     pub seq_counter: i64,
+    /// Lifecycle governor for the running query: cancellation, deadline,
+    /// budgets, chaos. Defaults to an unbounded governor, so ungoverned
+    /// callers pay only a relaxed atomic load per batch boundary.
+    pub gov: Arc<QueryGovernor>,
+}
+
+impl ExecCtx {
+    /// A context governed by `gov`; worker threads build their own contexts
+    /// from the same governor so all checkpoints observe one set of limits.
+    pub fn with_governor(gov: Arc<QueryGovernor>) -> ExecCtx {
+        ExecCtx { gov, ..ExecCtx::default() }
+    }
 }
 
 /// Executes a bound (and optimized) plan to completion.

@@ -44,7 +44,7 @@ use crate::error::{Result, SnowError};
 use crate::plan::physical::PhysNode;
 use crate::plan::{AggExpr, AggKind, NodeKind, PExpr, SortKey};
 use crate::sql::JoinKind;
-use crate::storage::morsel::try_parallel_indexed;
+use crate::storage::morsel::try_parallel_indexed_governed;
 use crate::variant::{Key, Variant};
 
 use super::agg::Accumulator;
@@ -138,6 +138,44 @@ fn batches_arity(batches: &[Chunk], p: &PhysNode<'_>) -> usize {
     batches.first().map_or(p.logical.arity(), |c| c.cols.len())
 }
 
+/// Static operator tag for governance checkpoints. The checkpoint hot path
+/// must not allocate; the full display name (with table suffix) is built by
+/// [`PhysNode::op_name`] only where a per-call allocation is already paid.
+fn op_tag(p: &PhysNode<'_>) -> &'static str {
+    match &p.logical.kind {
+        NodeKind::Scan { .. } => "Scan",
+        NodeKind::Values => "Values",
+        NodeKind::Project { .. } => "Project",
+        NodeKind::Filter { .. } => "Filter",
+        NodeKind::Flatten { .. } => "Flatten",
+        NodeKind::Aggregate { .. } => "Aggregate",
+        NodeKind::Join { .. } => "Join",
+        NodeKind::Sort { .. } => "Sort",
+        NodeKind::Limit { .. } => "Limit",
+        NodeKind::UnionAll { .. } => "UnionAll",
+        NodeKind::Distinct { .. } => "Distinct",
+    }
+}
+
+/// Accounts one produced batch: raises the operator's peak-memory watermark
+/// and charges the governor's cumulative memory budget.
+fn charge_batch(
+    p: &PhysNode<'_>,
+    ctx: &ExecCtx,
+    op: &str,
+    chunk: &Chunk,
+) -> Result<()> {
+    let bytes = chunk.approx_bytes();
+    p.metrics.add_mem(bytes);
+    ctx.gov.charge_memory(bytes, op)
+}
+
+/// The typed error a panicking worker is converted into (the morsel layer
+/// catches the unwind and reports the lowest-index failure).
+fn worker_panic_error(op: &str, index: usize, msg: String) -> SnowError {
+    SnowError::internal(op, format!("worker panic at index {index}: {msg}"))
+}
+
 /// Exclusive prefix sum of batch row counts: the global index of each batch's
 /// first row, which seeds the deterministic `SEQ8()` / `FLATTEN` bases.
 fn row_bases(batches: &[Chunk]) -> Vec<usize> {
@@ -186,6 +224,8 @@ fn fused_chain<'b, 'a>(
 
 /// Applies one fused stage to a batch, updating the stage's metrics.
 fn apply_stage(stage: &PhysNode<'_>, chunk: Chunk, ctx: &mut ExecCtx) -> Result<Chunk> {
+    let op = op_tag(stage);
+    ctx.gov.checkpoint(op)?;
     let start = Instant::now();
     let rows_in = chunk.rows as u64;
     let out = match &stage.logical.kind {
@@ -194,6 +234,7 @@ fn apply_stage(stage: &PhysNode<'_>, chunk: Chunk, ctx: &mut ExecCtx) -> Result<
         _ => unreachable!("fused stages are filters and projections"),
     };
     stage.metrics.record_batch(rows_in, out.rows as u64, start.elapsed());
+    charge_batch(stage, ctx, op, &out)?;
     Ok(out)
 }
 
@@ -211,58 +252,69 @@ fn exec_scan(
     };
     let parts = table.partitions();
     let arity = table.schema().len();
-    let results = try_parallel_indexed(parts.len(), scan.parallelism, |pi| {
-        let part = &parts[pi];
-        let mut wctx = ExecCtx::default();
-        wctx.stats.partitions_total = 1;
-        // Zone-map pruning: skip the partition when any pushed predicate
-        // proves no row can match. Pruned partitions contribute zero bytes.
-        let prunable = pushed.iter().any(|p| {
-            part.zone_map(p.col).is_some_and(|zm| !zm.may_match(p.cmp, &p.lit))
-        });
-        if prunable {
-            return Ok((Vec::new(), wctx.stats));
-        }
-        wctx.stats.partitions_scanned = 1;
-        wctx.stats.rows_scanned = part.row_count() as u64;
-        for (i, m) in materialize.iter().enumerate() {
-            if *m {
-                wctx.stats.bytes_scanned += part.column_bytes(i);
+    let gov = ctx.gov.clone();
+    let op = scan.op_name();
+    let results = try_parallel_indexed_governed(
+        parts.len(),
+        scan.parallelism,
+        || gov.claim_checkpoint(&op),
+        |pi, msg| worker_panic_error(&op, pi, msg),
+        |pi| {
+            let part = &parts[pi];
+            let mut wctx = ExecCtx::with_governor(gov.clone());
+            wctx.stats.partitions_total = 1;
+            // Zone-map pruning: skip the partition when any pushed predicate
+            // proves no row can match. Pruned partitions contribute zero bytes.
+            let prunable = pushed.iter().any(|p| {
+                part.zone_map(p.col).is_some_and(|zm| !zm.may_match(p.cmp, &p.lit))
+            });
+            if prunable {
+                return Ok((Vec::new(), wctx.stats));
             }
-        }
-        let mut out = Vec::new();
-        let n = part.row_count();
-        let mut lo = 0usize;
-        while lo < n {
-            let start = Instant::now();
-            let hi = (lo + BATCH_ROWS).min(n);
-            let mut cols: Vec<Vec<Variant>> = Vec::with_capacity(arity);
-            for (i, mat) in materialize.iter().enumerate().take(arity) {
-                let mut col = Vec::with_capacity(hi - lo);
-                if *mat {
-                    let data = part.column(i);
-                    for r in lo..hi {
-                        col.push(data.get(r));
-                    }
-                } else {
-                    // Unreferenced columns are never read; fill with nulls to
-                    // keep positional addressing intact.
-                    col.resize(hi - lo, Variant::Null);
+            wctx.stats.partitions_scanned = 1;
+            wctx.stats.rows_scanned = part.row_count() as u64;
+            for (i, m) in materialize.iter().enumerate() {
+                if *m {
+                    wctx.stats.bytes_scanned += part.column_bytes(i);
                 }
-                cols.push(col);
             }
-            let mut chunk = Chunk { cols, rows: hi - lo };
-            scan.metrics.record_batch(0, chunk.rows as u64, start.elapsed());
-            for stage in stages {
-                chunk = apply_stage(stage, chunk, &mut wctx)?;
+            wctx.gov.charge_scanned(wctx.stats.bytes_scanned, &op)?;
+            let mut out = Vec::new();
+            let n = part.row_count();
+            let mut lo = 0usize;
+            while lo < n {
+                wctx.gov.checkpoint(&op)?;
+                let start = Instant::now();
+                let hi = (lo + BATCH_ROWS).min(n);
+                let mut cols: Vec<Vec<Variant>> = Vec::with_capacity(arity);
+                for (i, mat) in materialize.iter().enumerate().take(arity) {
+                    let mut col = Vec::with_capacity(hi - lo);
+                    if *mat {
+                        let data = part.column(i);
+                        for r in lo..hi {
+                            col.push(data.get(r));
+                        }
+                    } else {
+                        // Unreferenced columns are never read; fill with nulls
+                        // to keep positional addressing intact.
+                        col.resize(hi - lo, Variant::Null);
+                    }
+                    cols.push(col);
+                }
+                let mut chunk = Chunk { cols, rows: hi - lo };
+                scan.metrics.record_batch(0, chunk.rows as u64, start.elapsed());
+                charge_batch(scan, &wctx, &op, &chunk)?;
+                for stage in stages {
+                    chunk = apply_stage(stage, chunk, &mut wctx)?;
+                }
+                if chunk.rows > 0 {
+                    out.push(chunk);
+                }
+                lo = hi;
             }
-            if chunk.rows > 0 {
-                out.push(chunk);
-            }
-            lo = hi;
-        }
-        Ok((out, wctx.stats))
-    })?;
+            Ok((out, wctx.stats))
+        },
+    )?;
     let mut batches = Vec::new();
     for (mut chunks, stats) in results {
         ctx.stats.merge(&stats);
@@ -326,22 +378,32 @@ fn exec_filter(p: &PhysNode<'_>, pred: &PExpr, ctx: &mut ExecCtx) -> Result<Vec<
         // plans today, but must not silently change meaning if it does).
         let mut out = Vec::new();
         for c in &input {
+            ctx.gov.checkpoint("Filter")?;
             let start = Instant::now();
             let f = filter_batch(pred, c, ctx)?;
             p.metrics.record_batch(c.rows as u64, f.rows as u64, start.elapsed());
+            charge_batch(p, ctx, "Filter", &f)?;
             if f.rows > 0 {
                 out.push(f);
             }
         }
         return Ok(out);
     }
-    let batches = try_parallel_indexed(input.len(), p.parallelism, |bi| {
-        let start = Instant::now();
-        let mut wctx = ExecCtx::default();
-        let out = filter_batch(pred, &input[bi], &mut wctx)?;
-        p.metrics.record_batch(input[bi].rows as u64, out.rows as u64, start.elapsed());
-        Ok(out)
-    })?;
+    let gov = ctx.gov.clone();
+    let batches = try_parallel_indexed_governed(
+        input.len(),
+        p.parallelism,
+        || gov.claim_checkpoint("Filter"),
+        |bi, msg| worker_panic_error("Filter", bi, msg),
+        |bi| {
+            let start = Instant::now();
+            let mut wctx = ExecCtx::with_governor(gov.clone());
+            let out = filter_batch(pred, &input[bi], &mut wctx)?;
+            p.metrics.record_batch(input[bi].rows as u64, out.rows as u64, start.elapsed());
+            charge_batch(p, &wctx, "Filter", &out)?;
+            Ok(out)
+        },
+    )?;
     Ok(batches.into_iter().filter(|c| c.rows > 0).collect())
 }
 
@@ -356,13 +418,21 @@ fn exec_project(
     // base, so SEQ8 ids are assigned exactly as in serial row order. The
     // per-worker context leaves the caller's counter untouched, mirroring the
     // serial executor's save/restore.
-    let batches = try_parallel_indexed(input.len(), p.parallelism, |bi| {
-        let start = Instant::now();
-        let mut wctx = ExecCtx::default();
-        let out = project_batch(exprs, &input[bi], &mut wctx, bases[bi] as i64)?;
-        p.metrics.record_batch(input[bi].rows as u64, out.rows as u64, start.elapsed());
-        Ok(out)
-    })?;
+    let gov = ctx.gov.clone();
+    let batches = try_parallel_indexed_governed(
+        input.len(),
+        p.parallelism,
+        || gov.claim_checkpoint("Project"),
+        |bi, msg| worker_panic_error("Project", bi, msg),
+        |bi| {
+            let start = Instant::now();
+            let mut wctx = ExecCtx::with_governor(gov.clone());
+            let out = project_batch(exprs, &input[bi], &mut wctx, bases[bi] as i64)?;
+            p.metrics.record_batch(input[bi].rows as u64, out.rows as u64, start.elapsed());
+            charge_batch(p, &wctx, "Project", &out)?;
+            Ok(out)
+        },
+    )?;
     Ok(batches.into_iter().filter(|c| c.rows > 0).collect())
 }
 
@@ -428,22 +498,32 @@ fn exec_flatten(
     if expr.is_volatile() {
         let mut out = Vec::new();
         for (bi, c) in input.iter().enumerate() {
+            ctx.gov.checkpoint("Flatten")?;
             let start = Instant::now();
             let f = flatten_batch(expr, outer, c, ctx, bases[bi] as i64)?;
             p.metrics.record_batch(c.rows as u64, f.rows as u64, start.elapsed());
+            charge_batch(p, ctx, "Flatten", &f)?;
             if f.rows > 0 {
                 out.push(f);
             }
         }
         return Ok(out);
     }
-    let batches = try_parallel_indexed(input.len(), p.parallelism, |bi| {
-        let start = Instant::now();
-        let mut wctx = ExecCtx::default();
-        let out = flatten_batch(expr, outer, &input[bi], &mut wctx, bases[bi] as i64)?;
-        p.metrics.record_batch(input[bi].rows as u64, out.rows as u64, start.elapsed());
-        Ok(out)
-    })?;
+    let gov = ctx.gov.clone();
+    let batches = try_parallel_indexed_governed(
+        input.len(),
+        p.parallelism,
+        || gov.claim_checkpoint("Flatten"),
+        |bi, msg| worker_panic_error("Flatten", bi, msg),
+        |bi| {
+            let start = Instant::now();
+            let mut wctx = ExecCtx::with_governor(gov.clone());
+            let out = flatten_batch(expr, outer, &input[bi], &mut wctx, bases[bi] as i64)?;
+            p.metrics.record_batch(input[bi].rows as u64, out.rows as u64, start.elapsed());
+            charge_batch(p, &wctx, "Flatten", &out)?;
+            Ok(out)
+        },
+    )?;
     Ok(batches.into_iter().filter(|c| c.rows > 0).collect())
 }
 
@@ -595,12 +675,19 @@ fn exec_aggregate(
     let mut state = if parallel {
         // Thread-local partial aggregation per batch, merged at the barrier
         // in batch order so group order and tie-breaks match serial.
-        let partials = try_parallel_indexed(input.len(), p.parallelism, |bi| {
-            let mut wctx = ExecCtx::default();
-            let mut st = AggState::default();
-            st.fold(groups, aggs, &input[bi], &mut wctx)?;
-            Ok(st)
-        })?;
+        let gov = ctx.gov.clone();
+        let partials = try_parallel_indexed_governed(
+            input.len(),
+            p.parallelism,
+            || gov.claim_checkpoint("Aggregate"),
+            |bi, msg| worker_panic_error("Aggregate", bi, msg),
+            |bi| {
+                let mut wctx = ExecCtx::with_governor(gov.clone());
+                let mut st = AggState::default();
+                st.fold(groups, aggs, &input[bi], &mut wctx)?;
+                Ok(st)
+            },
+        )?;
         let mut merged = AggState::default();
         for partial in partials {
             merged.merge(partial, single)?;
@@ -609,6 +696,7 @@ fn exec_aggregate(
     } else {
         let mut st = AggState::default();
         for c in &input {
+            ctx.gov.checkpoint("Aggregate")?;
             st.fold(groups, aggs, c, ctx)?;
         }
         st
@@ -632,7 +720,9 @@ fn exec_aggregate(
         }
     }
     p.metrics.add_busy(start.elapsed());
-    let batches = split_into_batches(Chunk { cols, rows: n_out });
+    let out = Chunk { cols, rows: n_out };
+    charge_batch(p, ctx, "Aggregate", &out)?;
+    let batches = split_into_batches(out);
     p.metrics.add_output(n_out as u64, batches.len() as u64);
     Ok(batches)
 }
@@ -656,11 +746,14 @@ fn exec_join(
     // The build side is materialized whole for O(1) row addressing — same
     // memory shape as the serial executor.
     let r = concat_batches(r_batches, ra);
+    charge_batch(p, ctx, "Join", &r)?;
 
     if on.as_ref().is_some_and(PExpr::is_volatile) {
         // Serial reference fallback for volatile join conditions.
         let l = concat_batches(l_batches, la);
+        charge_batch(p, ctx, "Join", &l)?;
         let out = join_chunks(&l, &r, kind, on, ctx)?;
+        charge_batch(p, ctx, "Join", &out)?;
         p.metrics.add_busy(start.elapsed());
         let batches = split_into_batches(out);
         p.metrics
@@ -679,8 +772,11 @@ fn exec_join(
         None
     } else {
         let mut table: HashMap<Vec<Key>, Vec<usize>> = HashMap::new();
-        let mut bctx = ExecCtx::default();
+        let mut bctx = ExecCtx::with_governor(ctx.gov.clone());
         for rr in 0..r.rows {
+            if rr % BATCH_ROWS == 0 {
+                bctx.gov.checkpoint("Join")?;
+            }
             let parts = [(&r, rr)];
             let view = RowView::new(&parts);
             let mut key = Vec::with_capacity(equi.len());
@@ -701,8 +797,9 @@ fn exec_join(
         Some(table)
     };
 
+    let gov = ctx.gov.clone();
     let probe = |lb: &Chunk| -> Result<Chunk> {
-        let mut wctx = ExecCtx::default();
+        let mut wctx = ExecCtx::with_governor(gov.clone());
         let mut out = Chunk::empty(la + ra);
         let residual_ok = |wctx: &mut ExecCtx, lr: usize, rr: usize| -> Result<bool> {
             for e in &residual {
@@ -776,13 +873,22 @@ fn exec_join(
         Ok(out)
     };
 
-    let batches = try_parallel_indexed(l_batches.len(), p.parallelism, |bi| {
-        let t0 = Instant::now();
-        let out = probe(&l_batches[bi])?;
-        p.metrics
-            .record_batch(l_batches[bi].rows as u64, out.rows as u64, t0.elapsed());
-        Ok(out)
-    })?;
+    let batches = try_parallel_indexed_governed(
+        l_batches.len(),
+        p.parallelism,
+        || gov.claim_checkpoint("Join"),
+        |bi, msg| worker_panic_error("Join", bi, msg),
+        |bi| {
+            let t0 = Instant::now();
+            let out = probe(&l_batches[bi])?;
+            p.metrics
+                .record_batch(l_batches[bi].rows as u64, out.rows as u64, t0.elapsed());
+            let bytes = out.approx_bytes();
+            p.metrics.add_mem(bytes);
+            gov.charge_memory(bytes, "Join")?;
+            Ok(out)
+        },
+    )?;
     p.metrics.add_busy(start.elapsed());
     Ok(batches.into_iter().filter(|c| c.rows > 0).collect())
 }
@@ -794,19 +900,27 @@ fn exec_sort(p: &PhysNode<'_>, keys: &[SortKey], ctx: &mut ExecCtx) -> Result<Ve
     p.metrics.peak(in_rows as u64);
     let start = Instant::now();
 
+    let gov = ctx.gov.clone();
     let volatile = keys.iter().any(|k| k.expr.is_volatile());
     // Key evaluation parallelizes per batch; each result is key-major.
     let key_cols: Vec<Vec<Vec<Variant>>> = if volatile {
         let mut all = Vec::with_capacity(input.len());
         for c in &input {
+            ctx.gov.checkpoint("Sort")?;
             all.push(eval_sort_keys(keys, c, ctx)?);
         }
         all
     } else {
-        try_parallel_indexed(input.len(), p.parallelism, |bi| {
-            let mut wctx = ExecCtx::default();
-            eval_sort_keys(keys, &input[bi], &mut wctx)
-        })?
+        try_parallel_indexed_governed(
+            input.len(),
+            p.parallelism,
+            || gov.claim_checkpoint("Sort"),
+            |bi, msg| worker_panic_error("Sort", bi, msg),
+            |bi| {
+                let mut wctx = ExecCtx::with_governor(gov.clone());
+                eval_sort_keys(keys, &input[bi], &mut wctx)
+            },
+        )?
     };
 
     // Global merge: a stable sort over (batch, row) in input order applies
@@ -833,20 +947,29 @@ fn exec_sort(p: &PhysNode<'_>, keys: &[SortKey], ctx: &mut ExecCtx) -> Result<Ve
     // Parallel gather into output batches.
     let arity = batches_arity(&input, &p.children[0]);
     let n_batches = in_rows.div_ceil(BATCH_ROWS);
-    let batches = try_parallel_indexed(n_batches, p.parallelism, |ob| {
-        let t0 = Instant::now();
-        let lo = ob * BATCH_ROWS;
-        let hi = (lo + BATCH_ROWS).min(in_rows);
-        let mut cols: Vec<Vec<Variant>> = vec![Vec::with_capacity(hi - lo); arity];
-        for &(bi, r) in &order[lo..hi] {
-            for (i, col) in cols.iter_mut().enumerate() {
-                col.push(input[bi as usize].cols[i][r as usize].clone());
+    let batches = try_parallel_indexed_governed(
+        n_batches,
+        p.parallelism,
+        || gov.claim_checkpoint("Sort"),
+        |ob, msg| worker_panic_error("Sort", ob, msg),
+        |ob| {
+            let t0 = Instant::now();
+            let lo = ob * BATCH_ROWS;
+            let hi = (lo + BATCH_ROWS).min(in_rows);
+            let mut cols: Vec<Vec<Variant>> = vec![Vec::with_capacity(hi - lo); arity];
+            for &(bi, r) in &order[lo..hi] {
+                for (i, col) in cols.iter_mut().enumerate() {
+                    col.push(input[bi as usize].cols[i][r as usize].clone());
+                }
             }
-        }
-        let out = Chunk { cols, rows: hi - lo };
-        p.metrics.record_batch(0, out.rows as u64, t0.elapsed());
-        Ok(out)
-    })?;
+            let out = Chunk { cols, rows: hi - lo };
+            p.metrics.record_batch(0, out.rows as u64, t0.elapsed());
+            let bytes = out.approx_bytes();
+            p.metrics.add_mem(bytes);
+            gov.charge_memory(bytes, "Sort")?;
+            Ok(out)
+        },
+    )?;
     p.metrics.add_busy(start.elapsed());
     Ok(batches)
 }
@@ -881,6 +1004,7 @@ fn exec_limit(p: &PhysNode<'_>, n: u64, ctx: &mut ExecCtx) -> Result<Vec<Chunk>>
         if remaining == 0 {
             break;
         }
+        ctx.gov.checkpoint("Limit")?;
         p.metrics.add_rows_in(c.rows as u64);
         if c.rows > remaining {
             for col in c.cols.iter_mut() {
@@ -900,6 +1024,7 @@ fn exec_union(p: &PhysNode<'_>, ctx: &mut ExecCtx) -> Result<Vec<Chunk>> {
     let mut l = execute_physical(&p.children[0], ctx)?;
     let r = execute_physical(&p.children[1], ctx)?;
     let start = Instant::now();
+    ctx.gov.checkpoint("UnionAll")?;
     if batches_arity(&l, &p.children[0]) != batches_arity(&r, &p.children[1]) {
         return Err(SnowError::Exec("UNION ALL arity mismatch".into()));
     }
@@ -924,17 +1049,20 @@ fn exec_distinct(p: &PhysNode<'_>, ctx: &mut ExecCtx) -> Result<Vec<Chunk>> {
     let mut out: Vec<Chunk> = Vec::new();
     let mut cur = Chunk::empty(arity);
     for c in &input {
+        ctx.gov.checkpoint("Distinct")?;
         for r in 0..c.rows {
             let key: Vec<Key> = c.cols.iter().map(|col| Key::of(&col[r])).collect();
             if seen.insert(key) {
                 cur.push_row_from(c, r);
                 if cur.rows == BATCH_ROWS {
+                    charge_batch(p, ctx, "Distinct", &cur)?;
                     out.push(std::mem::replace(&mut cur, Chunk::empty(arity)));
                 }
             }
         }
     }
     if cur.rows > 0 {
+        charge_batch(p, ctx, "Distinct", &cur)?;
         out.push(cur);
     }
     let out_rows: u64 = out.iter().map(|c| c.rows as u64).sum();

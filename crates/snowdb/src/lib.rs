@@ -24,6 +24,7 @@
 pub mod engine;
 pub mod error;
 pub mod exec;
+pub mod govern;
 pub mod optimize;
 pub mod plan;
 pub mod sql;
@@ -33,5 +34,8 @@ pub mod verify;
 
 pub use engine::{Database, QueryOptions, QueryProfile, QueryResult};
 pub use exec::metrics::OpMetrics;
-pub use error::{Result, SnowError};
+pub use error::{DeadlineTrip, InternalTrip, ResourceTrip, Result, SnowError};
+pub use govern::{
+    GovernorSummary, QueryFailure, QueryGovernor, QueryHandle, SessionParams,
+};
 pub use variant::Variant;

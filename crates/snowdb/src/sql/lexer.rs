@@ -303,6 +303,34 @@ mod tests {
     }
 
     #[test]
+    fn malformed_input_is_a_typed_lex_error_never_a_panic() {
+        // Every rejection must surface as SnowError::Lex so callers (REPL,
+        // governed queries) can render it; none may unwind.
+        for bad in [
+            "'abc",                 // unterminated string
+            "'it''",                // escape doubling then EOF inside string
+            "\"abc",                // unterminated quoted identifier
+            "/* abc",               // unterminated block comment
+            "/* abc *",             // block comment ending mid-terminator
+            "select #",             // unexpected symbol
+            "select \u{7}",         // control byte
+            "select \u{1F600}",     // non-ASCII outside quotes
+        ] {
+            match tokenize(bad) {
+                Err(SnowError::Lex(msg)) => assert!(!msg.is_empty(), "{bad}"),
+                other => panic!("expected Lex error for {bad:?}, got {other:?}"),
+            }
+        }
+        // Numeric edge cases lex without panicking: overflow falls back to
+        // float, huge exponents saturate to infinity.
+        assert!(matches!(
+            tokenize("9999999999999999999999999").unwrap()[0],
+            Token::Float(_)
+        ));
+        assert!(matches!(tokenize("1e999999").unwrap()[0], Token::Float(_)));
+    }
+
+    #[test]
     fn number_then_dot_then_ident_is_not_a_float() {
         // `1.e` must not lex as a float followed by garbage.
         let toks = tokenize("x[1].y").unwrap();

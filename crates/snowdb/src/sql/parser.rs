@@ -5,10 +5,39 @@ use super::lexer::{tokenize, Token};
 use crate::error::{Result, SnowError};
 use crate::variant::Variant;
 
+/// Stack reserved for the parsing thread. Recursive descent costs up to
+/// ~20 KiB of stack per nesting level in unoptimized builds, so the guard can
+/// consume `MAX_DEPTH * 20 KiB` before tripping; the reservation leaves that
+/// a generous margin so the typed [`MAX_DEPTH`] error always fires before the
+/// stack runs out.
+const PARSER_STACK_BYTES: usize = 16 << 20;
+
 /// Parses one SQL query (an optional trailing `;` is allowed).
+///
+/// Parsing runs on a dedicated thread with [`PARSER_STACK_BYTES`] of stack:
+/// callers (REPL, worker pools, tests) have unknown — often 2 MiB — stacks,
+/// and hostile nesting must surface as a typed [`SnowError::Parse`], never a
+/// stack-overflow abort. The per-query spawn is microseconds against
+/// millisecond-scale execution.
 pub fn parse_query(sql: &str) -> Result<Query> {
+    std::thread::scope(|s| {
+        let handle = std::thread::Builder::new()
+            .name("snowdb-parser".into())
+            .stack_size(PARSER_STACK_BYTES)
+            .spawn_scoped(s, || parse_query_on_stack(sql))
+            .expect("failed to spawn parser thread");
+        match handle.join() {
+            Ok(r) => r,
+            // A parser bug that panics keeps panicking on the caller's thread
+            // with its original payload.
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}
+
+fn parse_query_on_stack(sql: &str) -> Result<Query> {
     let tokens = tokenize(sql)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser { tokens, pos: 0, depth: 0 };
     let q = p.query()?;
     if p.peek().is_sym(";") {
         p.pos += 1;
@@ -25,12 +54,34 @@ const RESERVED: &[&str] = &[
     "DISTINCT", "EXCLUDE", "ALL", "ASC", "DESC", "NULLS", "FIRST", "LAST", "LIKE",
 ];
 
+/// Maximum expression/subquery nesting depth. Parsing is recursive-descent,
+/// so unbounded nesting (e.g. `((((...1...))))`) would otherwise overflow the
+/// stack — an abort, not a catchable error. Generated queries (e.g. the
+/// JSONiq translator's ADL output) legitimately nest past 64 levels, so the
+/// bound is generous and [`PARSER_STACK_BYTES`] is sized to fit it.
+const MAX_DEPTH: usize = 256;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
+    fn enter(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(SnowError::Parse(format!(
+                "query exceeds maximum nesting depth ({MAX_DEPTH})"
+            )));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
     fn peek(&self) -> &Token {
         &self.tokens[self.pos]
     }
@@ -114,6 +165,15 @@ impl Parser {
     // ---- query structure -------------------------------------------------
 
     fn query(&mut self) -> Result<Query> {
+        // Derived tables re-enter `query` without passing through `expr`;
+        // guard this cycle too so deeply nested subqueries stay a typed error.
+        self.enter()?;
+        let q = self.query_inner();
+        self.leave();
+        q
+    }
+
+    fn query_inner(&mut self) -> Result<Query> {
         let body = self.set_expr()?;
         let mut order_by = Vec::new();
         if self.eat_kw("ORDER") {
@@ -329,7 +389,13 @@ impl Parser {
     // ---- expressions -----------------------------------------------------
 
     fn expr(&mut self) -> Result<Expr> {
-        self.or_expr()
+        // Every recursion cycle through the expression grammar passes through
+        // `expr` (parenthesised re-entry), `not_expr` (NOT chains) or
+        // `unary_expr` (+/- chains); bounding those bounds the stack.
+        self.enter()?;
+        let e = self.or_expr();
+        self.leave();
+        e
     }
 
     fn or_expr(&mut self) -> Result<Expr> {
@@ -352,7 +418,10 @@ impl Parser {
 
     fn not_expr(&mut self) -> Result<Expr> {
         if self.eat_kw("NOT") {
-            Ok(Expr::Not(Box::new(self.not_expr()?)))
+            self.enter()?;
+            let inner = self.not_expr();
+            self.leave();
+            Ok(Expr::Not(Box::new(inner?)))
         } else {
             self.cmp_expr()
         }
@@ -460,10 +529,16 @@ impl Parser {
 
     fn unary_expr(&mut self) -> Result<Expr> {
         if self.eat_sym("-") {
-            return Ok(Expr::Unary { op: UnaryOp::Neg, expr: Box::new(self.unary_expr()?) });
+            self.enter()?;
+            let inner = self.unary_expr();
+            self.leave();
+            return Ok(Expr::Unary { op: UnaryOp::Neg, expr: Box::new(inner?) });
         }
         if self.eat_sym("+") {
-            return Ok(Expr::Unary { op: UnaryOp::Plus, expr: Box::new(self.unary_expr()?) });
+            self.enter()?;
+            let inner = self.unary_expr();
+            self.leave();
+            return Ok(Expr::Unary { op: UnaryOp::Plus, expr: Box::new(inner?) });
         }
         self.postfix_expr()
     }
@@ -659,6 +734,33 @@ mod tests {
             SetExpr::Select(s) => s,
             other => panic!("expected select, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn deep_nesting_is_a_typed_error_not_a_stack_overflow() {
+        // Parenthesised expressions re-enter `expr` recursively.
+        let parens = format!("SELECT {}1{}", "(".repeat(100_000), ")".repeat(100_000));
+        assert!(matches!(parse_query(&parens), Err(SnowError::Parse(_))));
+        // NOT chains recurse through `not_expr`.
+        let nots = format!("SELECT {} TRUE", "NOT ".repeat(100_000));
+        assert!(matches!(parse_query(&nots), Err(SnowError::Parse(_))));
+        // Unary minus chains recurse through `unary_expr`.
+        let negs = format!("SELECT {}1", "-".repeat(100_000));
+        assert!(matches!(parse_query(&negs), Err(SnowError::Parse(_))));
+        // Nested derived tables re-enter `query`.
+        let subs = format!(
+            "SELECT * FROM {}t{}",
+            "(SELECT * FROM ".repeat(100_000),
+            ")".repeat(100_000)
+        );
+        assert!(matches!(parse_query(&subs), Err(SnowError::Parse(_))));
+        // Nesting inside the bound stays accepted — including depths that
+        // would overflow a default 2 MiB stack without the dedicated
+        // big-stack parser thread.
+        let ok = format!("SELECT {}1{}", "(".repeat(200), ")".repeat(200));
+        assert!(parse_query(&ok).is_ok());
+        let ok_nots = format!("SELECT {} TRUE", "NOT ".repeat(200));
+        assert!(parse_query(&ok_nots).is_ok());
     }
 
     #[test]

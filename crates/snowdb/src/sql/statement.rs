@@ -23,6 +23,11 @@ pub enum Statement {
     CreateTable { name: String, columns: Vec<(String, ColumnType)> },
     Insert { table: String, rows: Vec<Vec<Expr>> },
     DropTable { name: String, if_exists: bool },
+    /// `SET <parameter> = <value>`: session parameter assignment (Snowflake
+    /// convention: `0` clears the limit).
+    Set { name: String, value: u64 },
+    /// `UNSET <parameter>`: clears a session parameter.
+    Unset { name: String },
 }
 
 /// Parses one statement.
@@ -49,8 +54,39 @@ pub fn parse_statement(sql: &str) -> Result<Statement> {
         Some(t) if t.is_kw("CREATE") => parse_create(&toks),
         Some(t) if t.is_kw("INSERT") => parse_insert(sql, &toks),
         Some(t) if t.is_kw("DROP") => parse_drop(&toks),
+        Some(t) if t.is_kw("SET") => parse_set(&toks),
+        Some(t) if t.is_kw("UNSET") => parse_unset(&toks),
         _ => Ok(Statement::Query(parse_query(sql)?)),
     }
+}
+
+fn parse_set(toks: &[Token]) -> Result<Statement> {
+    // SET name = value
+    let name = ident_at(toks, 1)?;
+    if !toks.get(2).is_some_and(|t| t.is_sym("=")) {
+        return Err(SnowError::Parse("expected '=' after SET parameter name".into()));
+    }
+    let value = match toks.get(3) {
+        Some(Token::Int(v)) if *v >= 0 => *v as u64,
+        other => {
+            return Err(SnowError::Parse(format!(
+                "expected non-negative integer value for SET, found {other:?}"
+            )))
+        }
+    };
+    if !matches!(toks.get(4), Some(Token::Eof) | None) {
+        return Err(SnowError::Parse("unexpected trailing tokens after SET".into()));
+    }
+    Ok(Statement::Set { name, value })
+}
+
+fn parse_unset(toks: &[Token]) -> Result<Statement> {
+    // UNSET name
+    let name = ident_at(toks, 1)?;
+    if !matches!(toks.get(2), Some(Token::Eof) | None) {
+        return Err(SnowError::Parse("unexpected trailing tokens after UNSET".into()));
+    }
+    Ok(Statement::Unset { name })
 }
 
 fn ident_at(toks: &[Token], i: usize) -> Result<String> {
@@ -345,6 +381,30 @@ mod tests {
             "INSERT t VALUES (1)",
             "INSERT INTO t VALUES",
             "DROP t",
+        ] {
+            assert!(parse_statement(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parses_set_and_unset() {
+        match parse_statement("SET STATEMENT_TIMEOUT_IN_SECONDS = 30").unwrap() {
+            Statement::Set { name, value } => {
+                assert_eq!(name, "STATEMENT_TIMEOUT_IN_SECONDS");
+                assert_eq!(value, 30);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_statement("unset statement_memory_limit").unwrap() {
+            Statement::Unset { name } => assert_eq!(name, "STATEMENT_MEMORY_LIMIT"),
+            other => panic!("{other:?}"),
+        }
+        for bad in [
+            "SET x",
+            "SET x = 'str'",
+            "SET x = -1",
+            "SET x = 1 2",
+            "UNSET x y",
         ] {
             assert!(parse_statement(bad).is_err(), "should reject {bad:?}");
         }

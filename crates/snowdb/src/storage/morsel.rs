@@ -9,7 +9,7 @@
 //! which is what lets the parallel executor produce byte-identical output to
 //! the serial one.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Shared claim cursor over `0..total`.
@@ -88,6 +88,105 @@ where
         out.push(r?);
     }
     Ok(out)
+}
+
+/// Governed, panic-isolated variant of [`try_parallel_indexed`] — the morsel
+/// primitive of the query-lifecycle governance layer.
+///
+/// - `gate` runs before every claim (and before every inline item). A gate
+///   error — cancellation, deadline, budget, injected fault — aborts the
+///   whole call promptly: workers stop claiming and the *first observed* gate
+///   error is returned. Gate trips are inherently timing-dependent, so no
+///   index ordering is imposed on them.
+/// - `work` runs under `catch_unwind`: a panicking item never unwinds across
+///   the pool. The payload is converted through `on_panic(index, message)`
+///   into a typed error that competes under the same lowest-index-wins rule
+///   as ordinary work errors, so the reported error is the one serial
+///   execution would have hit first.
+/// - As in [`parallel_indexed`], work errors do not stop other items: every
+///   item is processed so the lowest-index error is deterministic.
+pub fn try_parallel_indexed_governed<R, E, F, G, P>(
+    total: usize,
+    threads: usize,
+    gate: G,
+    on_panic: P,
+    work: F,
+) -> Result<Vec<R>, E>
+where
+    R: Send,
+    E: Send,
+    F: Fn(usize) -> Result<R, E> + Sync,
+    G: Fn() -> Result<(), E> + Sync,
+    P: Fn(usize, String) -> E + Sync,
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let run = |i: usize| -> Result<R, E> {
+        match catch_unwind(AssertUnwindSafe(|| work(i))) {
+            Ok(r) => r,
+            Err(payload) => Err(on_panic(i, panic_payload_message(&*payload))),
+        }
+    };
+
+    if threads <= 1 || total <= 1 {
+        let mut out = Vec::with_capacity(total);
+        for i in 0..total {
+            gate()?;
+            // Inline: the first error is the lowest-index error.
+            out.push(run(i)?);
+        }
+        return Ok(out);
+    }
+
+    let dispatcher = MorselDispatcher::new(total);
+    let aborted = AtomicBool::new(false);
+    let gate_error: Mutex<Option<E>> = Mutex::new(None);
+    let collected: Mutex<Vec<(usize, Result<R, E>)>> =
+        Mutex::new(Vec::with_capacity(total));
+    let workers = threads.min(total);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                while !aborted.load(Ordering::Relaxed) {
+                    let Some(i) = dispatcher.claim() else { break };
+                    if let Err(e) = gate() {
+                        aborted.store(true, Ordering::Relaxed);
+                        let mut slot = gate_error.lock().unwrap_or_else(|p| p.into_inner());
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                        break;
+                    }
+                    local.push((i, run(i)));
+                }
+                collected.lock().unwrap_or_else(|p| p.into_inner()).extend(local);
+            });
+        }
+    });
+    if let Some(e) = gate_error.into_inner().unwrap_or_else(|p| p.into_inner()) {
+        return Err(e);
+    }
+    let mut pairs = collected.into_inner().unwrap_or_else(|p| p.into_inner());
+    pairs.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(pairs.len(), total);
+    let mut out = Vec::with_capacity(total);
+    for (_, r) in pairs {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+/// Renders a panic payload as a message string (mirrors
+/// `govern::panic_message`; duplicated here so the storage layer stays
+/// independent of the governance module).
+fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@ use crate::error::{Result, SnowError};
 /// numbers (integers parsed as `Int`, anything with a fraction or exponent as
 /// `Float`), `true`/`false`/`null`. Trailing content after the document is an error.
 pub fn parse_json(text: &str) -> Result<Variant> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -105,9 +105,15 @@ fn write_json_string(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Maximum container nesting. Without a bound, a document like `[[[[...`
+/// recursed once per bracket and overflowed the stack — a process *abort*, not
+/// an unwind, so not even `catch_unwind` could isolate it.
+const MAX_DEPTH: usize = 512;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -163,12 +169,25 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(SnowError::Json(format!(
+                "document exceeds maximum nesting depth {MAX_DEPTH} at byte {}",
+                self.pos
+            )));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Variant> {
         self.expect(b'{')?;
+        self.enter()?;
         self.skip_ws();
         let mut obj = Object::new();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Variant::object(obj));
         }
         loop {
@@ -196,15 +215,18 @@ impl<'a> Parser<'a> {
                 }
             }
         }
+        self.depth -= 1;
         Ok(Variant::object(obj))
     }
 
     fn array(&mut self) -> Result<Variant> {
         self.expect(b'[')?;
+        self.enter()?;
         self.skip_ws();
         let mut items = Vec::new();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Variant::array(items));
         }
         loop {
@@ -227,6 +249,7 @@ impl<'a> Parser<'a> {
                 }
             }
         }
+        self.depth -= 1;
         Ok(Variant::array(items))
     }
 
@@ -258,10 +281,19 @@ impl<'a> Parser<'a> {
                                 if self.bytes[self.pos..].starts_with(b"\\u") {
                                     self.pos += 2;
                                     let lo = self.hex4()?;
-                                    let combined = 0x10000
-                                        + ((cp - 0xD800) << 10)
-                                        + (lo.wrapping_sub(0xDC00));
-                                    char::from_u32(combined)
+                                    // The low escape must actually be a low
+                                    // surrogate: the unchecked subtraction
+                                    // used to overflow (a debug-mode panic)
+                                    // on inputs like `"\uD800A"`.
+                                    if (0xDC00..0xE000).contains(&lo) {
+                                        char::from_u32(
+                                            0x10000
+                                                + ((cp - 0xD800) << 10)
+                                                + (lo - 0xDC00),
+                                        )
+                                    } else {
+                                        None
+                                    }
                                 } else {
                                     None
                                 }
@@ -407,6 +439,48 @@ mod tests {
     fn surrogate_pairs_decode() {
         let v = parse_json(r#""😀""#).unwrap();
         assert_eq!(v.as_str().unwrap(), "\u{1F600}");
+        // Escaped form of the same scalar.
+        let v = parse_json(r#""😀""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "\u{1F600}");
+    }
+
+    #[test]
+    fn malformed_surrogate_pairs_are_typed_errors() {
+        // A high surrogate followed by a non-low-surrogate escape used to
+        // overflow the combining arithmetic (a debug-mode panic); all of
+        // these must be typed `Json` errors.
+        for bad in [
+            r#""\uD800A""#, // low escape is not a low surrogate
+            r#""\uD800\uD800""#, // two high surrogates
+            r#""\uD800A""#,      // no second escape at all
+            r#""\uD800\n""#,     // second escape is not \u
+            r#""\uDC00""#,       // lone low surrogate
+            r#""\uD800""#,       // lone high surrogate, end of string
+        ] {
+            match parse_json(bad) {
+                Err(SnowError::Json(_)) => {}
+                other => panic!("{bad:?} should be a Json error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_a_typed_error_not_a_stack_overflow() {
+        // 100k unclosed brackets previously recursed once per bracket and
+        // aborted the process with a stack overflow.
+        let deep = "[".repeat(100_000);
+        match parse_json(&deep) {
+            Err(SnowError::Json(m)) => assert!(m.contains("nesting depth"), "{m}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let deep_obj = r#"{"a":"#.repeat(100_000);
+        assert!(matches!(parse_json(&deep_obj), Err(SnowError::Json(_))));
+        // Depth within the bound still parses, and the guard resets across
+        // siblings (depth is container nesting, not total container count).
+        let ok = format!("{}1{}", "[".repeat(500), "]".repeat(500));
+        assert!(parse_json(&ok).is_ok());
+        let siblings = format!("[{}]", vec!["[[1]]"; 1000].join(","));
+        assert!(parse_json(&siblings).is_ok());
     }
 
     #[test]

@@ -20,8 +20,12 @@ pub mod report;
 pub use compare::{canonical_rows, cmp_rows, first_diff, rows_eq_eps, variant_eq_eps};
 pub use report::{ConfigOutcome, Divergence, DivergenceDetail, VerifyReport};
 
+use std::sync::Arc;
+
 use crate::engine::{Database, QueryOptions};
 use crate::error::{Result, SnowError};
+use crate::govern::chaos::ChaosSchedule;
+use crate::govern::QueryGovernor;
 use crate::variant::Variant;
 
 /// Default relative epsilon for float comparison: wide enough to absorb
@@ -162,6 +166,162 @@ pub fn verify_sql(
     })
 }
 
+/// Outcome of one seeded fault schedule in [`verify_sql_chaos`].
+#[derive(Clone, Debug)]
+pub struct ChaosOutcome {
+    /// The schedule's seed; re-running with `ChaosSchedule::new(seed)` and
+    /// one thread reproduces the exact injection decisions.
+    pub seed: u64,
+    /// One-line description: `completed, agrees` or the typed error.
+    pub outcome: String,
+    /// False when this seed violated the soundness property.
+    pub sound: bool,
+}
+
+/// Result of driving one query through [`verify_sql_chaos`].
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    pub query: String,
+    pub threads: usize,
+    pub outcomes: Vec<ChaosOutcome>,
+    /// Full repro text for every unsound seed.
+    pub failures: Vec<String>,
+}
+
+impl ChaosReport {
+    /// True when every schedule ended in the correct result or a typed error
+    /// *and* the engine answered the un-faulted re-run correctly afterwards.
+    pub fn sound(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Seeds under which the query still completed with the right answer.
+    pub fn completed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.outcome.starts_with("completed")).count()
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "==== chaos: {} schedule(s), threads={} ====\n{}\n",
+            self.outcomes.len(),
+            self.threads,
+            self.query.trim()
+        );
+        for o in &self.outcomes {
+            out.push_str(&format!(
+                "  seed {:<6} {} {}\n",
+                o.seed,
+                if o.sound { "ok:" } else { "UNSOUND:" },
+                o.outcome
+            ));
+        }
+        for f in &self.failures {
+            out.push('\n');
+            out.push_str(f);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Drives `sql` through a list of seeded fault-injection schedules and checks
+/// the governance soundness property for each:
+///
+/// 1. the faulted run must either complete with the baseline's answer or
+///    fail with a typed [`SnowError`] — the chaos panics a schedule injects
+///    must have been isolated into typed errors by then (an unisolated panic
+///    would abort the test process, which is itself a detection);
+/// 2. immediately afterwards the *un-faulted* engine must produce the
+///    baseline answer again — injected faults must not poison engine state.
+///
+/// The baseline is one un-faulted run under the same `threads`/optimizer
+/// configuration. Each failure carries the seed, so a CI failure replays with
+/// `ChaosSchedule::new(seed)` at `SNOWDB_THREADS=1`.
+pub fn verify_sql_chaos(
+    db: &Database,
+    sql: &str,
+    seeds: &[u64],
+    threads: usize,
+    epsilon: f64,
+) -> Result<ChaosReport> {
+    let opts = QueryOptions { optimize: true, threads: Some(threads) };
+    let baseline = match db.query_with(sql, &opts) {
+        Ok(r) => Ok(canonical_rows(r.rows)),
+        Err(e) => Err(e.to_string()),
+    };
+
+    let mut outcomes = Vec::with_capacity(seeds.len());
+    let mut failures = Vec::new();
+    for &seed in seeds {
+        let gov =
+            Arc::new(QueryGovernor::unbounded().with_chaos(ChaosSchedule::new(seed)));
+        let faulted = match db.query_governed(sql, &opts, gov) {
+            Ok(r) => Ok(canonical_rows(r.rows)),
+            Err(f) => Err(f.error.to_string()),
+        };
+
+        let (sound, outcome) = match (&baseline, &faulted) {
+            // A faulted run that completes must have the right answer.
+            (Ok(b), Ok(c)) => match first_diff(b, c, epsilon) {
+                None => (true, "completed, agrees".to_string()),
+                Some((index, br, cr)) => (
+                    false,
+                    format!(
+                        "completed with WRONG ANSWER at row {index}: baseline {:?}, \
+                         faulted {:?}",
+                        br.map(render_row),
+                        cr.map(render_row)
+                    ),
+                ),
+            },
+            // Any typed error is a sound outcome under injected faults.
+            (_, Err(e)) => (true, format!("typed error: {e}")),
+            (Err(b), Ok(_)) => (
+                false,
+                format!("completed but the un-faulted baseline fails with: {b}"),
+            ),
+        };
+        if !sound {
+            failures.push(format!(
+                "chaos divergence (seed {seed}, threads {threads})\n  query: {}\n  {}",
+                sql.trim(),
+                outcome
+            ));
+        }
+        outcomes.push(ChaosOutcome { seed, outcome, sound });
+
+        // Recovery: the engine must answer the same query un-faulted,
+        // identically to the baseline, after every schedule.
+        let recovered = match db.query_with(sql, &opts) {
+            Ok(r) => Ok(canonical_rows(r.rows)),
+            Err(e) => Err(e.to_string()),
+        };
+        let recovery_ok = match (&baseline, &recovered) {
+            (Ok(b), Ok(c)) => first_diff(b, c, epsilon).is_none(),
+            (Err(b), Err(c)) => b == c,
+            _ => false,
+        };
+        if !recovery_ok {
+            failures.push(format!(
+                "engine failed to recover after chaos seed {seed} (threads \
+                 {threads})\n  query: {}\n  baseline: {}\n  after-chaos: {}",
+                sql.trim(),
+                describe(&baseline),
+                describe(&recovered)
+            ));
+        }
+    }
+
+    Ok(ChaosReport { query: sql.to_string(), threads, outcomes, failures })
+}
+
+fn describe(r: &std::result::Result<Vec<Vec<Variant>>, String>) -> String {
+    match r {
+        Ok(rows) => format!("{} row(s)", rows.len()),
+        Err(e) => format!("error: {e}"),
+    }
+}
+
 /// Compares one run against the baseline; on disagreement returns the repro
 /// detail.
 fn diff_runs(
@@ -278,6 +438,36 @@ mod tests {
         .unwrap();
         assert!(report.agrees(), "{}", report.render());
         assert!(report.outcomes.iter().all(|o| o.error.is_some()));
+    }
+
+    #[test]
+    fn chaos_schedules_are_sound_on_aggregate() {
+        let d = db();
+        // Quiet the default hook for injected chaos panics only; everything
+        // else keeps printing.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.contains(crate::govern::chaos::CHAOS_PANIC_MARKER) {
+                eprintln!("panic: {msg}");
+            }
+        }));
+        let report = verify_sql_chaos(
+            &d,
+            "SELECT ID % 3 AS g, SUM(X) AS s FROM t GROUP BY ID % 3",
+            &(0..8).collect::<Vec<u64>>(),
+            2,
+            DEFAULT_EPSILON,
+        );
+        std::panic::set_hook(prev);
+        let report = report.unwrap();
+        assert_eq!(report.outcomes.len(), 8);
+        assert!(report.sound(), "{}", report.render());
     }
 
     #[test]

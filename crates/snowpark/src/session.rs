@@ -54,4 +54,27 @@ impl Session {
     pub fn sql(&self, sql: &str) -> DataFrame {
         DataFrame::new(self.clone(), sql.to_string())
     }
+
+    /// Sets a session parameter, mirroring Snowpark's
+    /// `session.sql("ALTER SESSION SET ...")` / connection parameter surface.
+    /// Recognized: `STATEMENT_TIMEOUT_IN_SECONDS`, `STATEMENT_MEMORY_LIMIT`,
+    /// `MAX_BYTES_SCANNED`; a value of `0` clears the limit. Every statement
+    /// the session's dataframes execute afterwards runs under the resulting
+    /// governor.
+    pub fn set_parameter(&self, name: &str, value: u64) -> snowdb::Result<()> {
+        self.db.set_session_param(name, value).map(|_| ())
+    }
+
+    /// Clears a session parameter previously set with
+    /// [`Session::set_parameter`].
+    pub fn unset_parameter(&self, name: &str) -> snowdb::Result<()> {
+        self.db.unset_session_param(name).map(|_| ())
+    }
+
+    /// Launches `sql` on a worker thread under the session's parameters and
+    /// returns a [`snowdb::QueryHandle`] that can be cancelled or joined —
+    /// the embedded analogue of Snowpark's async job handle.
+    pub fn execute_async(&self, sql: &str) -> snowdb::QueryHandle {
+        self.db.execute_governed(sql)
+    }
 }

@@ -140,3 +140,28 @@ fn drop_columns_excludes() {
     let res = session.table("orders").drop_columns(&["O_TOTALPRICE"]).collect().unwrap();
     assert_eq!(res.columns, vec!["O_CLERK"]);
 }
+
+#[test]
+fn session_parameters_govern_dataframe_execution() {
+    let session = orders_session();
+    // An impossibly small memory budget must trip a typed ResourceExhausted
+    // on the next collect; clearing it restores execution.
+    session.set_parameter("STATEMENT_MEMORY_LIMIT", 1).unwrap();
+    let err = session.table("orders").count().unwrap_err();
+    assert!(
+        matches!(err, snowdb::SnowError::ResourceExhausted { .. }),
+        "expected ResourceExhausted, got {err:?}"
+    );
+    session.unset_parameter("STATEMENT_MEMORY_LIMIT").unwrap();
+    assert_eq!(session.table("orders").count().unwrap(), 4);
+    // Unknown parameters are rejected, mirroring Snowflake.
+    assert!(session.set_parameter("NOT_A_PARAMETER", 1).is_err());
+}
+
+#[test]
+fn session_async_execution_returns_a_cancellable_handle() {
+    let session = orders_session();
+    let handle = session.execute_async("SELECT COUNT(*) FROM orders");
+    let result = handle.join().unwrap();
+    assert_eq!(result.rows[0][0], Variant::Int(4));
+}

@@ -20,7 +20,9 @@
 //!   \q          quit
 
 use std::io::{BufRead, Write};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Duration;
 
 use snowq::jsoniq_core::interp::{DatabaseCollections, Interpreter};
 use snowq::jsoniq_core::snowflake::{translate_query, NestedStrategy};
@@ -29,7 +31,48 @@ use snowq::snowdb::storage::{ColumnDef, ColumnType};
 use snowq::snowdb::variant::parse_json;
 use snowq::snowdb::{Database, Variant};
 
+/// SIGINT plumbing: the first Ctrl-C requests cooperative cancellation of the
+/// in-flight query (observed at the next batch boundary through its
+/// `QueryGovernor`); the second exits the process immediately with the
+/// conventional 130.
+mod sigint {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Ctrl-C presses since the last [`reset`].
+    pub static PRESSES: AtomicUsize = AtomicUsize::new(0);
+
+    #[cfg(unix)]
+    mod ffi {
+        extern "C" {
+            pub fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+            pub fn _exit(code: i32) -> !;
+        }
+        pub const SIGINT: i32 = 2;
+    }
+
+    #[cfg(unix)]
+    extern "C" fn handler(_: i32) {
+        // Only async-signal-safe operations here: an atomic bump, and on the
+        // second press an immediate `_exit` (no unwinding, no allocation).
+        if PRESSES.fetch_add(1, Ordering::SeqCst) >= 1 {
+            unsafe { ffi::_exit(130) }
+        }
+    }
+
+    pub fn install() {
+        #[cfg(unix)]
+        unsafe {
+            ffi::signal(ffi::SIGINT, handler);
+        }
+    }
+
+    pub fn reset() {
+        PRESSES.store(0, Ordering::SeqCst);
+    }
+}
+
 fn main() {
+    sigint::install();
     let db = Arc::new(Database::new());
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -170,24 +213,54 @@ fn run_query(
             if show_sql {
                 println!("-- generated SQL:\n{}\n", df.sql());
             }
-            match df.collect() {
-                Ok(res) => {
-                    for row in &res.rows {
-                        println!("{}", row[0]);
-                    }
-                    println!(
-                        "({} rows; compile {:?}, execute {:?}, {} bytes scanned)",
-                        res.rows.len(),
-                        res.profile.compile_time,
-                        res.profile.exec_time,
-                        res.profile.scan.bytes_scanned
-                    );
-                }
-                Err(e) => println!("execution error: {e}"),
-            }
+            execute_cancellable(db, df.sql());
         }
         Err(e) => println!("translation error: {e}"),
     }
+}
+
+/// Runs `sql` on a worker thread under the session's governor and polls for
+/// Ctrl-C: the first press cancels the query cooperatively (it comes back as
+/// a typed `Cancelled` error with partial metrics), the second press exits
+/// the process.
+fn execute_cancellable(db: &Arc<Database>, sql: &str) {
+    sigint::reset();
+    let handle = db.execute_governed(sql);
+    let mut cancel_requested = false;
+    while !handle.is_finished() {
+        if !cancel_requested && sigint::PRESSES.load(Ordering::SeqCst) > 0 {
+            handle.cancel();
+            cancel_requested = true;
+            println!("\ncancelling... (Ctrl-C again to exit)");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    match handle.join() {
+        Ok(res) => {
+            for row in &res.rows {
+                println!("{}", row[0]);
+            }
+            println!(
+                "({} rows; compile {:?}, execute {:?}, {} bytes scanned)",
+                res.rows.len(),
+                res.profile.compile_time,
+                res.profile.exec_time,
+                res.profile.scan.bytes_scanned
+            );
+            if let Some(governed) = &res.profile.governed {
+                println!("({})", governed.render());
+            }
+        }
+        Err(failure) => {
+            println!("execution error: {}", failure.error);
+            println!("({})", failure.summary.render());
+            if let Some(metrics) = &failure.partial_metrics {
+                println!("partial metrics at interruption:");
+                println!("  {}", metrics.annotation());
+            }
+        }
+    }
+    sigint::reset();
 }
 
 /// Loads a JSONL file through the engine's schema-inferring ingestion path.
