@@ -309,7 +309,7 @@ mod tests {
     fn multiplicities_are_bounded_and_varied() {
         let rows = generate_events(&AdlConfig { events: 500, seed: 5, partition_rows: 128 });
         let njets: Vec<usize> = rows.iter().map(|r| r[5].as_array().unwrap().len()).collect();
-        assert!(njets.iter().any(|&n| n == 0));
+        assert!(njets.contains(&0));
         assert!(njets.iter().any(|&n| n >= 3));
         assert!(njets.iter().all(|&n| n <= 10));
     }

@@ -40,10 +40,11 @@ impl RumbleRunner {
         let names: Vec<&str> = t.schema().iter().map(|c| c.name.as_str()).collect();
         let mut items = Vec::with_capacity(t.row_count());
         for part in t.partitions() {
-            for r in 0..part.row_count() {
+            let mem = part.to_mem().unwrap_or_else(|e| panic!("table {table}: {e}"));
+            for r in 0..mem.row_count() {
                 let mut obj = Object::with_capacity(names.len());
                 for (i, n) in names.iter().enumerate() {
-                    obj.insert(*n, part.column(i).get(r));
+                    obj.insert(*n, mem.column(i).get(r));
                 }
                 items.push(Variant::object(obj));
             }

@@ -1,0 +1,96 @@
+//! Criterion benchmarks for the persistent micro-partition store: cold scans
+//! (buffer cache cleared every iteration, so `bytes_scanned` is real file
+//! I/O) versus warm scans (cache resident, zero file bytes), plus the
+//! pruning payoff — a selective scan that reads a fraction of the table's
+//! blocks. The CI persistence job uploads this output as the cold/warm
+//! comparison artifact.
+
+use std::sync::Arc;
+
+use adl::generator::AdlConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use snowdb::Database;
+
+const EVENTS: usize = 4096;
+const PARTITION_ROWS: usize = 256;
+
+/// The staged ADL dataset split into many partitions so zone-map pruning has
+/// something to prune (the default 4096-row partitions would hold the whole
+/// benchmark table in one file).
+fn staged_db() -> Arc<Database> {
+    let db = Database::new();
+    adl::generator::load_into(
+        &db,
+        "hep",
+        &AdlConfig { events: EVENTS, seed: 42, partition_rows: PARTITION_ROWS },
+    );
+    Arc::new(db)
+}
+
+/// An on-disk ADL database in a scratch directory, reopened so every
+/// partition is disk-backed.
+fn disk_db(tag: &str) -> (Arc<Database>, std::path::PathBuf) {
+    let dir =
+        std::env::temp_dir().join(format!("snowq-bench-store-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    staged_db().persist_to(&dir).expect("persist");
+    let db = Arc::new(Database::open(&dir).expect("reopen"));
+    (db, dir)
+}
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    let (db, dir) = disk_db("scan");
+    let store = db.store().expect("store attached");
+    let sql = "SELECT SUM(MET:PT) FROM hep";
+
+    let mut group = c.benchmark_group("store_scan");
+    group.sample_size(20);
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            store.cache().clear();
+            std::hint::black_box(db.query(sql).expect("runs").profile.scan.bytes_scanned)
+        })
+    });
+    // One priming run, then steady-state cache hits.
+    db.query(sql).expect("primes");
+    group.bench_function("warm", |b| {
+        b.iter(|| std::hint::black_box(db.query(sql).expect("runs").profile.scan.bytes_scanned))
+    });
+    // In-memory baseline: the same data without the store.
+    let mem = staged_db();
+    group.bench_function("memory", |b| {
+        b.iter(|| std::hint::black_box(mem.query(sql).expect("runs").rows.len()))
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn bench_pruned_scan(c: &mut Criterion) {
+    let (db, dir) = disk_db("prune");
+    let store = db.store().expect("store attached");
+    // EVENT is monotone across partitions, so the predicate prunes most of
+    // the table; cold iterations therefore measure selective file I/O.
+    let sql = format!("SELECT COUNT(*) FROM hep WHERE EVENT >= {}", EVENTS - EVENTS / 16);
+
+    let mut group = c.benchmark_group("store_pruning");
+    group.sample_size(20);
+    group.bench_function("selective-cold", |b| {
+        b.iter(|| {
+            store.cache().clear();
+            std::hint::black_box(db.query(&sql).expect("runs").profile.scan.bytes_scanned)
+        })
+    });
+    group.bench_function("full-cold", |b| {
+        b.iter(|| {
+            store.cache().clear();
+            std::hint::black_box(
+                db.query("SELECT COUNT(MET:PT) FROM hep").expect("runs").profile.scan.bytes_scanned,
+            )
+        })
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_cold_vs_warm, bench_pruned_scan);
+criterion_main!(benches);

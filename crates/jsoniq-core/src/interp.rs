@@ -56,10 +56,13 @@ impl CollectionProvider for DatabaseCollections<'_> {
         let names: Vec<&str> = table.schema().iter().map(|c| c.name.as_str()).collect();
         let mut out = Vec::with_capacity(table.row_count());
         for part in table.partitions() {
-            for r in 0..part.row_count() {
+            let mem = part
+                .to_mem()
+                .map_err(|e| JsoniqError::Dynamic(format!("collection '{name}': {e}")))?;
+            for r in 0..mem.row_count() {
                 let mut obj = Object::with_capacity(names.len());
                 for (i, n) in names.iter().enumerate() {
-                    obj.insert(*n, part.column(i).get(r));
+                    obj.insert(*n, mem.column(i).get(r));
                 }
                 out.push(Variant::object(obj));
             }

@@ -17,7 +17,10 @@ use crate::optimize::optimize;
 use crate::plan::physical::{lower, PhysNode};
 use crate::plan::{bind_query, Catalog, Node};
 use crate::sql::{parse_query, parse_statement, Statement};
-use crate::storage::{ColumnDef, ScanStats, Table, TableBuilder};
+use crate::storage::{
+    ColumnDef, MemSink, MicroPartition, PartitionSink, ScanSource, ScanStats, Table, TableBuilder,
+};
+use crate::store::Store;
 use crate::variant::Variant;
 
 /// Timing and scan metrics for one query, split exactly like the paper's §V:
@@ -86,6 +89,26 @@ pub struct Database {
     /// Session parameters (`SET STATEMENT_TIMEOUT_IN_SECONDS = ...`); a fresh
     /// [`QueryGovernor`] is armed from them for every statement.
     params: RwLock<SessionParams>,
+    /// Attached persistent store ([`Database::open`] / [`Database::persist_to`]);
+    /// `None` for a purely in-memory database. When attached, every catalog
+    /// mutation commits a new manifest version and newly loaded tables stream
+    /// their partitions to disk.
+    store: RwLock<Option<Arc<Store>>>,
+}
+
+/// Sink adapter charging every sealed partition against a query governor
+/// before handing it to the real destination — this is what bounds (and
+/// faults, under chaos schedules) streaming ingest.
+struct GovernedSink {
+    inner: Box<dyn PartitionSink>,
+    gov: Arc<QueryGovernor>,
+}
+
+impl PartitionSink for GovernedSink {
+    fn flush(&self, part: MicroPartition) -> Result<Arc<ScanSource>> {
+        self.gov.charge_memory(part.total_bytes(), "Ingest")?;
+        self.inner.flush(part)
+    }
 }
 
 /// Per-call execution options for [`Database::query_with`].
@@ -146,15 +169,100 @@ impl Database {
     where
         I: IntoIterator<Item = Vec<Variant>>,
     {
+        self.load_table_stream(name, schema, rows.into_iter().map(Ok), partition_rows)
+    }
+
+    /// Streaming loader core: rows arrive through a fallible iterator (so a
+    /// file/parse error aborts the load, not the process), partitions seal
+    /// and flush incrementally — straight to partition files when a
+    /// persistent store is attached — and every sealed partition is charged
+    /// against a governor armed from the session parameters. Peak memory is
+    /// one open partition regardless of table size.
+    pub fn load_table_stream<I>(
+        &self,
+        name: &str,
+        schema: Vec<ColumnDef>,
+        rows: I,
+        partition_rows: usize,
+    ) -> Result<()>
+    where
+        I: IntoIterator<Item = Result<Vec<Variant>>>,
+    {
         let upper = name.to_ascii_uppercase();
-        let mut b = TableBuilder::with_partition_rows(upper.clone(), schema, partition_rows);
+        let gov = Arc::new(QueryGovernor::from_params(&self.session_params()));
+        let store = self.store();
+        let disk = store.as_ref().map(|s| s.sink(schema.clone()));
+        let inner: Box<dyn PartitionSink> = match &disk {
+            Some(d) => Box::new(d.clone()),
+            None => Box::new(MemSink),
+        };
+        let sink = GovernedSink { inner, gov };
+        let mut b =
+            TableBuilder::with_sink(upper.clone(), schema.clone(), partition_rows, Box::new(sink));
         for row in rows {
-            b.push_row(&row)?;
+            b.push_row(&row?)?;
         }
-        let table = Arc::new(b.finish());
+        let table = Arc::new(b.finish()?);
+        if let (Some(s), Some(d)) = (&store, &disk) {
+            // Publish atomically; on failure the fresh files stay invisible
+            // debris and the previous table version remains live.
+            s.commit_table(&upper, schema, d.refs())?;
+        }
         self.tables.write().insert(upper, table);
         self.generation.fetch_add(1, AtomicOrd::Relaxed);
         Ok(())
+    }
+
+    /// Opens (or initializes) a persistent database directory. Every
+    /// committed table is reconstructed lazily — footers are read, column
+    /// data is not — and subsequent catalog mutations commit new manifest
+    /// versions to the same directory.
+    pub fn open(dir: impl AsRef<std::path::Path>) -> Result<Database> {
+        let (store, tables) = Store::open(dir)?;
+        let db = Database::new();
+        {
+            let mut map = db.tables.write();
+            for t in tables {
+                map.insert(t.name().to_ascii_uppercase(), Arc::new(t));
+            }
+        }
+        *db.store.write() = Some(store);
+        Ok(db)
+    }
+
+    /// Persists the current catalog into a fresh database directory and
+    /// attaches it: every partition is written as an immutable partition
+    /// file, each table is committed to the manifest, and the in-memory
+    /// snapshots are swapped for their disk-backed (lazily read) versions.
+    /// Refuses a directory that already holds a database.
+    pub fn persist_to(&self, dir: impl AsRef<std::path::Path>) -> Result<()> {
+        let store = Store::create(dir)?;
+        let snapshot: Vec<Arc<Table>> = self.tables.read().values().cloned().collect();
+        let mut rebuilt = Vec::with_capacity(snapshot.len());
+        for t in snapshot {
+            let mut sources = Vec::with_capacity(t.partitions().len());
+            let mut refs = Vec::with_capacity(t.partitions().len());
+            for part in t.partitions() {
+                let (src, pref) = store.write_partition(&part.to_mem()?, t.schema())?;
+                sources.push(src);
+                refs.push(pref);
+            }
+            store.commit_table(t.name(), t.schema().to_vec(), refs)?;
+            rebuilt.push(Table::from_parts(t.name().to_string(), t.schema().to_vec(), sources));
+        }
+        let mut map = self.tables.write();
+        for t in rebuilt {
+            map.insert(t.name().to_ascii_uppercase(), Arc::new(t));
+        }
+        drop(map);
+        *self.store.write() = Some(store);
+        self.generation.fetch_add(1, AtomicOrd::Relaxed);
+        Ok(())
+    }
+
+    /// The attached persistent store, if any.
+    pub fn store(&self) -> Option<Arc<Store>> {
+        self.store.read().clone()
     }
 
     /// Registers a pre-built table snapshot.
@@ -164,13 +272,29 @@ impl Database {
         self.generation.fetch_add(1, AtomicOrd::Relaxed);
     }
 
-    /// Removes a table; returns whether it existed.
+    /// Removes a table; returns whether it existed. Infallible legacy shim
+    /// over [`Database::drop_table_checked`]; a failed persistent-catalog
+    /// commit reports `false` and leaves the table in place.
     pub fn drop_table(&self, name: &str) -> bool {
-        let existed = self.tables.write().remove(&name.to_ascii_uppercase()).is_some();
+        self.drop_table_checked(name).unwrap_or(false)
+    }
+
+    /// Removes a table, committing the drop to the persistent catalog when a
+    /// store is attached. The in-memory catalog only changes after the commit
+    /// succeeds, so a failed commit leaves both views consistent.
+    pub fn drop_table_checked(&self, name: &str) -> Result<bool> {
+        let upper = name.to_ascii_uppercase();
+        if !self.tables.read().contains_key(&upper) {
+            return Ok(false);
+        }
+        if let Some(s) = self.store() {
+            s.commit_drop(&upper)?;
+        }
+        let existed = self.tables.write().remove(&upper).is_some();
         if existed {
             self.generation.fetch_add(1, AtomicOrd::Relaxed);
         }
-        existed
+        Ok(existed)
     }
 
     /// Current schema generation; changes whenever the catalog does. Anything
@@ -391,6 +515,22 @@ impl Database {
                 ctx.stats.partitions_total,
             ),
         );
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!(
+                "-- pruned: {} partition(s), {} column block(s) skipped, {} bytes saved\n",
+                ctx.stats.partitions_pruned, ctx.stats.columns_skipped, ctx.stats.bytes_skipped,
+            ),
+        );
+        if ctx.stats.cache_hits + ctx.stats.cache_misses > 0 {
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    "-- buffer cache: {} hit(s), {} miss(es), {} eviction(s)\n",
+                    ctx.stats.cache_hits, ctx.stats.cache_misses, ctx.stats.cache_evictions,
+                ),
+            );
+        }
         if gov.is_armed() {
             let _ = std::fmt::Write::write_fmt(
                 &mut out,
@@ -480,11 +620,13 @@ impl Database {
                     new_rows.push(row);
                 }
                 let inserted = new_rows.len();
-                // Rebuild: existing rows + new rows.
+                // Rebuild: existing rows + new rows. Disk-backed partitions
+                // are materialized through the buffer cache.
                 let mut all: Vec<Vec<Variant>> = Vec::with_capacity(t.row_count() + inserted);
                 for part in t.partitions() {
-                    for r in 0..part.row_count() {
-                        all.push((0..t.schema().len()).map(|c| part.column(c).get(r)).collect());
+                    let mem = part.to_mem()?;
+                    for r in 0..mem.row_count() {
+                        all.push((0..t.schema().len()).map(|c| mem.column(c).get(r)).collect());
                     }
                 }
                 all.extend(new_rows);
@@ -492,7 +634,7 @@ impl Database {
                 Ok(StatementResult::Message(format!("inserted {inserted} row(s)")))
             }
             Statement::DropTable { name, if_exists } => {
-                let existed = self.drop_table(&name);
+                let existed = self.drop_table_checked(&name)?;
                 if !existed && !if_exists {
                     return Err(SnowError::Catalog(format!("table '{name}' does not exist")));
                 }

@@ -17,6 +17,11 @@ pub enum SnowError {
     Catalog(String),
     /// JSON text could not be parsed into a [`crate::Variant`].
     Json(String),
+    /// The persistent micro-partition store failed: I/O error, corrupt
+    /// partition file (bad magic, version, or checksum), torn manifest, or a
+    /// missing file referenced by the committed catalog. Storage corruption
+    /// surfaces as this typed error, never a panic.
+    Storage(String),
     /// The query was cancelled cooperatively (via
     /// [`crate::govern::QueryGovernor::cancel`] or a `QueryHandle`). `op` is
     /// the physical operator that observed the cancellation at its batch
@@ -96,6 +101,7 @@ impl fmt::Display for SnowError {
             SnowError::Exec(m) => write!(f, "execution error: {m}"),
             SnowError::Catalog(m) => write!(f, "catalog error: {m}"),
             SnowError::Json(m) => write!(f, "json error: {m}"),
+            SnowError::Storage(m) => write!(f, "storage error: {m}"),
             SnowError::Cancelled { op } => {
                 write!(f, "query cancelled (observed at {op})")
             }

@@ -119,14 +119,21 @@ pub fn execute(node: &Node, ctx: &mut ExecCtx) -> Result<Chunk> {
                         .is_some_and(|zm| !zm.may_match(p.cmp, &p.lit))
                 });
                 if prunable {
+                    ctx.stats.partitions_pruned += 1;
+                    for (i, m) in materialize.iter().enumerate() {
+                        if *m {
+                            ctx.stats.bytes_skipped += part.column_bytes(i);
+                        }
+                    }
                     continue;
                 }
                 ctx.stats.partitions_scanned += 1;
                 ctx.stats.rows_scanned += part.row_count() as u64;
                 for (i, out) in cols.iter_mut().enumerate() {
                     if materialize[i] {
-                        ctx.stats.bytes_scanned += part.column_bytes(i);
-                        let data = part.column(i);
+                        let read = part.read_column_governed(i, &ctx.gov, "Scan")?;
+                        ctx.stats.record_read(&read);
+                        let data = read.data;
                         out.reserve(data.len());
                         for r in 0..data.len() {
                             out.push(data.get(r));
@@ -134,6 +141,8 @@ pub fn execute(node: &Node, ctx: &mut ExecCtx) -> Result<Chunk> {
                     } else {
                         // Unreferenced columns are never read; fill with nulls
                         // to keep positional addressing intact.
+                        ctx.stats.columns_skipped += 1;
+                        ctx.stats.bytes_skipped += part.column_bytes(i);
                         out.resize(out.len() + part.row_count(), Variant::Null);
                     }
                 }

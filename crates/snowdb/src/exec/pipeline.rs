@@ -269,13 +269,30 @@ fn exec_scan(
                 part.zone_map(p.col).is_some_and(|zm| !zm.may_match(p.cmp, &p.lit))
             });
             if prunable {
+                wctx.stats.partitions_pruned = 1;
+                for (i, m) in materialize.iter().enumerate() {
+                    if *m {
+                        wctx.stats.bytes_skipped += part.column_bytes(i);
+                    }
+                }
                 return Ok((Vec::new(), wctx.stats));
             }
             wctx.stats.partitions_scanned = 1;
             wctx.stats.rows_scanned = part.row_count() as u64;
+            // Materialize the surviving columns through the scan source:
+            // in-memory partitions hand back shared column vectors, disk
+            // partitions lazily read exactly the projected blocks (through
+            // the buffer cache), so skipped columns cost zero file bytes.
+            let mut data: Vec<Option<std::sync::Arc<crate::storage::ColumnData>>> =
+                vec![None; arity];
             for (i, m) in materialize.iter().enumerate() {
                 if *m {
-                    wctx.stats.bytes_scanned += part.column_bytes(i);
+                    let read = part.read_column_governed(i, &wctx.gov, &op)?;
+                    wctx.stats.record_read(&read);
+                    data[i] = Some(read.data);
+                } else {
+                    wctx.stats.columns_skipped += 1;
+                    wctx.stats.bytes_skipped += part.column_bytes(i);
                 }
             }
             wctx.gov.charge_scanned(wctx.stats.bytes_scanned, &op)?;
@@ -287,10 +304,9 @@ fn exec_scan(
                 let start = Instant::now();
                 let hi = (lo + BATCH_ROWS).min(n);
                 let mut cols: Vec<Vec<Variant>> = Vec::with_capacity(arity);
-                for (i, mat) in materialize.iter().enumerate().take(arity) {
+                for src in data.iter().take(arity) {
                     let mut col = Vec::with_capacity(hi - lo);
-                    if *mat {
-                        let data = part.column(i);
+                    if let Some(data) = src {
                         for r in lo..hi {
                             col.push(data.get(r));
                         }

@@ -193,6 +193,15 @@ impl QueryGovernor {
         self.check_at(op, ChaosSite::PartitionClaim)
     }
 
+    /// Checkpoint variant for lazy column-block reads from the persistent
+    /// store (distinct chaos site; identical governance checks). Called once
+    /// per column block fetched from disk, before the I/O happens, so a
+    /// cancelled or faulted query never touches the file.
+    #[inline]
+    pub fn store_checkpoint(&self, op: &str) -> Result<()> {
+        self.check_at(op, ChaosSite::StoreRead)
+    }
+
     fn check_at(&self, op: &str, site: ChaosSite) -> Result<()> {
         if self.cancel.load(Ordering::Relaxed) {
             return Err(SnowError::Cancelled { op: op.to_string() });

@@ -5,7 +5,12 @@
 //!
 //! - [`ChaosSite::PartitionClaim`] — a morsel worker claiming a partition;
 //! - [`ChaosSite::BatchStage`] — an operator's batch-boundary checkpoint;
-//! - [`ChaosSite::BudgetAccount`] — a memory / bytes-scanned charge.
+//! - [`ChaosSite::BudgetAccount`] — a memory / bytes-scanned charge;
+//! - [`ChaosSite::StoreRead`] — a lazy column-block read from a persistent
+//!   partition file (rides in the query's governor like the sites above);
+//! - [`ChaosSite::ManifestCommit`] — a step of the store's atomic catalog
+//!   commit (armed on the [`Store`](crate::store::Store) itself, simulating a
+//!   crash between temp-write and rename).
 //!
 //! At each hit the schedule decides — as a pure function of `(seed, site,
 //! hit index)` via a splitmix64 hash — whether to inject, and whether the
@@ -38,6 +43,12 @@ pub enum ChaosSite {
     BatchStage,
     /// A budget-accounting site (memory or bytes-scanned charge).
     BudgetAccount,
+    /// A lazy column-block read from a persistent partition file.
+    StoreRead,
+    /// A step of the store's atomic manifest commit (temp-write / rename).
+    /// Injection here simulates a crash mid-commit: the commit must either
+    /// take effect entirely or leave the previous catalog version intact.
+    ManifestCommit,
 }
 
 impl ChaosSite {
@@ -46,6 +57,8 @@ impl ChaosSite {
             ChaosSite::PartitionClaim => 0x9E37_79B9,
             ChaosSite::BatchStage => 0x85EB_CA6B,
             ChaosSite::BudgetAccount => 0xC2B2_AE35,
+            ChaosSite::StoreRead => 0x27D4_EB2F,
+            ChaosSite::ManifestCommit => 0x1656_67B1,
         }
     }
 }
@@ -124,13 +137,7 @@ mod tests {
             let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 s.maybe_inject(ChaosSite::BatchStage, "t")
             }));
-            out.push((
-                hit,
-                match &r {
-                    Ok(Ok(())) => false,
-                    _ => true,
-                },
-            ));
+            out.push((hit, !matches!(&r, Ok(Ok(())))));
         }
         out
     }

@@ -9,6 +9,10 @@
 //!   JSON parser/serializer;
 //! - micro-partitioned, columnar [`storage`] with per-partition zone maps, partition
 //!   pruning, and scanned-bytes accounting;
+//! - a persistent micro-partition [`store`]: immutable columnar partition files,
+//!   a versioned catalog with atomic commit, lazy column-granular reads, and a
+//!   shared buffer cache — so `bytes_scanned` is actual file I/O and databases
+//!   survive process restarts ([`Database::open`] / `Database::persist_to`);
 //! - a [`sql`] dialect covering `SELECT`/`FROM` (with joins and `LATERAL FLATTEN`),
 //!   `WHERE`, `GROUP BY`/`HAVING`, `ORDER BY`, `LIMIT`, `UNION ALL`, `CASE`, casts,
 //!   variant path access (`col:field.sub[0]`), and the aggregate/scalar function set
@@ -29,6 +33,7 @@ pub mod optimize;
 pub mod plan;
 pub mod sql;
 pub mod storage;
+pub mod store;
 pub mod variant;
 pub mod verify;
 

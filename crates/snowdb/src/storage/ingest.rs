@@ -3,8 +3,19 @@
 //! Implements the paper's "in-situ processing without manual schema definition
 //! or data loading" staging path (§I): each document becomes a row, the column
 //! set is inferred from the data, and nested values land in `VARIANT` columns.
+//!
+//! Ingest is *streaming* with bounded memory: a first pass over the input
+//! infers the schema one document at a time (keeping only per-column type
+//! state), and a second pass parses again and pushes rows into a
+//! [`TableBuilder`](super::TableBuilder) that seals — and, for a persistent
+//! database, flushes to disk — each micro-partition as soon as it fills.
+//! Peak memory is one open partition plus one parsed document, independent of
+//! input size, and every sealed partition is charged against the session's
+//! `STATEMENT_MEMORY_LIMIT` as it goes.
 
-use super::{ColumnDef, ColumnType};
+use std::io::BufRead;
+
+use super::{ColumnDef, ColumnType, DEFAULT_PARTITION_ROWS};
 use crate::error::{Result, SnowError};
 use crate::variant::{parse_json, Variant};
 use crate::Database;
@@ -31,23 +42,33 @@ fn type_of(v: &Variant) -> Option<ColumnType> {
     }
 }
 
-/// Infers a schema from parsed documents: one column per top-level key (in
-/// first-seen order), scalar types widened across documents, structures as
-/// `VARIANT`. All-null columns default to `VARIANT`.
-pub fn infer_schema(docs: &[Variant]) -> Result<Vec<ColumnDef>> {
-    let mut order: Vec<String> = Vec::new();
-    let mut types: std::collections::HashMap<String, Option<ColumnType>> = Default::default();
-    for d in docs {
-        let obj = d.as_object().ok_or_else(|| {
+/// Incremental schema inference: one column per top-level key (in first-seen
+/// order), scalar types widened across documents, structures as `VARIANT`.
+/// Holds only per-column type state — O(columns), not O(documents).
+#[derive(Default)]
+pub struct SchemaInferer {
+    order: Vec<String>,
+    types: std::collections::HashMap<String, Option<ColumnType>>,
+    docs: usize,
+}
+
+impl SchemaInferer {
+    pub fn new() -> SchemaInferer {
+        SchemaInferer::default()
+    }
+
+    /// Folds one document into the running schema.
+    pub fn observe(&mut self, doc: &Variant) -> Result<()> {
+        let obj = doc.as_object().ok_or_else(|| {
             SnowError::Catalog("ingestion expects one JSON object per line".into())
         })?;
         for (k, v) in obj.iter() {
             let key = k.to_uppercase();
-            let entry = match types.get_mut(&key) {
+            let entry = match self.types.get_mut(&key) {
                 Some(e) => e,
                 None => {
-                    order.push(key.clone());
-                    types.entry(key.clone()).or_insert(None)
+                    self.order.push(key.clone());
+                    self.types.entry(key.clone()).or_insert(None)
                 }
             };
             *entry = match (*entry, type_of(v)) {
@@ -56,17 +77,56 @@ pub fn infer_schema(docs: &[Variant]) -> Result<Vec<ColumnDef>> {
                 (Some(a), Some(b)) => Some(unify(a, b)),
             };
         }
+        self.docs += 1;
+        Ok(())
     }
-    if order.is_empty() {
-        return Err(SnowError::Catalog("cannot infer a schema from zero documents".into()));
+
+    /// Number of documents observed so far.
+    pub fn docs(&self) -> usize {
+        self.docs
     }
-    Ok(order
-        .into_iter()
+
+    /// The inferred schema; all-null columns default to `VARIANT`.
+    pub fn finish(&self) -> Result<Vec<ColumnDef>> {
+        if self.order.is_empty() {
+            return Err(SnowError::Catalog("cannot infer a schema from zero documents".into()));
+        }
+        Ok(self
+            .order
+            .iter()
+            .map(|name| {
+                let ty = self.types[name].unwrap_or(ColumnType::Variant);
+                ColumnDef::new(name.clone(), ty)
+            })
+            .collect())
+    }
+}
+
+/// Infers a schema from already-parsed documents (the non-streaming
+/// convenience wrapper over [`SchemaInferer`]).
+pub fn infer_schema(docs: &[Variant]) -> Result<Vec<ColumnDef>> {
+    let mut inf = SchemaInferer::new();
+    for d in docs {
+        inf.observe(d)?;
+    }
+    inf.finish()
+}
+
+/// Extracts one row from a document, matching schema names back to document
+/// keys case-insensitively; missing keys load as NULL.
+fn row_from_doc(doc: &Variant, names: &[String]) -> Vec<Variant> {
+    names
+        .iter()
         .map(|name| {
-            let ty = types[&name].unwrap_or(ColumnType::Variant);
-            ColumnDef::new(name, ty)
+            doc.as_object()
+                .and_then(|o| {
+                    o.iter()
+                        .find(|(k, _)| k.eq_ignore_ascii_case(name))
+                        .map(|(_, v)| v.clone())
+                })
+                .unwrap_or(Variant::Null)
         })
-        .collect())
+        .collect()
 }
 
 impl Database {
@@ -74,33 +134,51 @@ impl Database {
     /// Returns the number of rows loaded. Keys missing from a document load
     /// as NULL; unknown keys seen later widen the schema.
     pub fn load_jsonl(&self, table: &str, text: &str) -> Result<usize> {
-        let docs: Vec<Variant> = text
-            .lines()
-            .filter(|l| !l.trim().is_empty())
-            .map(parse_json)
-            .collect::<Result<_>>()?;
-        let schema = infer_schema(&docs)?;
+        self.load_jsonl_lines(table, || Ok(text.lines().map(|l| Ok(l.to_string()))))
+    }
+
+    /// Streaming variant of [`Database::load_jsonl`] reading from a file:
+    /// the file is scanned twice through a buffered reader (schema pass, then
+    /// load pass) and never held in memory as a whole.
+    pub fn load_jsonl_path(&self, table: &str, path: impl AsRef<std::path::Path>) -> Result<usize> {
+        let path = path.as_ref();
+        self.load_jsonl_lines(table, || {
+            let f = std::fs::File::open(path)
+                .map_err(|e| SnowError::Storage(format!("{}: open: {e}", path.display())))?;
+            Ok(std::io::BufReader::new(f).lines().map(|r| {
+                r.map_err(|e| SnowError::Storage(format!("read line: {e}")))
+            }))
+        })
+    }
+
+    /// Two-pass streaming core: `mk_lines` opens a fresh pass over the input.
+    fn load_jsonl_lines<F, I>(&self, table: &str, mk_lines: F) -> Result<usize>
+    where
+        F: Fn() -> Result<I>,
+        I: Iterator<Item = Result<String>>,
+    {
+        // Pass 1: incremental schema inference; documents are parsed and
+        // immediately discarded.
+        let mut inf = SchemaInferer::new();
+        for line in mk_lines()? {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            inf.observe(&parse_json(&line)?)?;
+        }
+        let n = inf.docs();
+        let schema = inf.finish()?;
         let names: Vec<String> = schema.iter().map(|c| c.name.clone()).collect();
-        let n = docs.len();
-        self.load_table(
-            table,
-            schema,
-            docs.iter().map(|d| {
-                names
-                    .iter()
-                    .map(|name| {
-                        // Case-insensitive match back to the document's key.
-                        d.as_object()
-                            .and_then(|o| {
-                                o.iter()
-                                    .find(|(k, _)| k.eq_ignore_ascii_case(name))
-                                    .map(|(_, v)| v.clone())
-                            })
-                            .unwrap_or(Variant::Null)
-                    })
-                    .collect()
-            }),
-        )?;
+
+        // Pass 2: re-parse and stream rows into the (possibly disk-flushing)
+        // table builder; partitions seal and flush incrementally.
+        let rows = mk_lines()?.filter_map(move |line| match line {
+            Ok(l) if l.trim().is_empty() => None,
+            Ok(l) => Some(parse_json(&l).map(|doc| row_from_doc(&doc, &names))),
+            Err(e) => Some(Err(e)),
+        });
+        self.load_table_stream(table, schema, rows, DEFAULT_PARTITION_ROWS)?;
         Ok(n)
     }
 }
@@ -166,5 +244,35 @@ mod tests {
         assert!(db.load_jsonl("t", "[1, 2]").is_err());
         assert!(db.load_jsonl("t", "").is_err());
         assert!(db.load_jsonl("t", "not json").is_err());
+    }
+
+    #[test]
+    fn load_jsonl_path_streams_from_a_file() {
+        let path = std::env::temp_dir().join(format!("snowdb-ingest-{}.jsonl", std::process::id()));
+        let mut text = String::new();
+        for i in 0..100 {
+            text.push_str(&format!("{{\"id\": {i}, \"sq\": {}}}\n", i * i));
+        }
+        std::fs::write(&path, &text).unwrap();
+        let db = Database::new();
+        let n = db.load_jsonl_path("t", &path).unwrap();
+        assert_eq!(n, 100);
+        let r = db.query("SELECT SUM(sq) FROM t").unwrap();
+        assert_eq!(r.rows[0][0], Variant::Int((0..100).map(|i| i * i).sum()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ingest_charges_the_session_memory_budget() {
+        let db = Database::new();
+        db.execute("SET STATEMENT_MEMORY_LIMIT = 512").unwrap();
+        let mut text = String::new();
+        for i in 0..2000 {
+            text.push_str(&format!("{{\"id\": {i}, \"pad\": \"xxxxxxxxxxxxxxxx\"}}\n"));
+        }
+        let err = db.load_jsonl("t", &text).unwrap_err();
+        assert!(matches!(err, SnowError::ResourceExhausted(_)), "{err}");
+        db.execute("UNSET STATEMENT_MEMORY_LIMIT").unwrap();
+        assert!(db.load_jsonl("t", &text).is_ok());
     }
 }

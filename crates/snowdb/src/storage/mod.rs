@@ -15,10 +15,18 @@ pub mod morsel;
 mod table;
 
 pub use ingest::infer_schema;
-pub use table::{ColumnDef, MicroPartition, Table, TableBuilder, DEFAULT_PARTITION_ROWS};
+pub use table::{
+    ColumnDef, MemSink, MicroPartition, PartitionSink, Table, TableBuilder,
+    DEFAULT_PARTITION_ROWS,
+};
 
 use std::cmp::Ordering;
+use std::sync::Arc;
 
+use crate::error::Result;
+use crate::govern::QueryGovernor;
+use crate::store::cache::CacheOutcome;
+use crate::store::DiskPartition;
 use crate::variant::{cmp_variants, Variant};
 
 /// Declared type of a table column.
@@ -37,6 +45,18 @@ pub enum ColumnType {
 }
 
 impl ColumnType {
+    /// Canonical SQL type name; round-trips through [`ColumnType::parse`]
+    /// (used by the persistent store's manifest).
+    pub fn name(self) -> &'static str {
+        match self {
+            ColumnType::Int => "INT",
+            ColumnType::Float => "FLOAT",
+            ColumnType::Bool => "BOOLEAN",
+            ColumnType::Str => "VARCHAR",
+            ColumnType::Variant => "VARIANT",
+        }
+    }
+
     /// Parses a SQL type name.
     pub fn parse(name: &str) -> Option<ColumnType> {
         match name.to_ascii_uppercase().as_str() {
@@ -203,18 +223,162 @@ impl ZoneMap {
     }
 }
 
+/// One micro-partition as the scan operator sees it: either fully resident
+/// in memory or backed by an immutable partition file that is read lazily,
+/// one column block at a time.
+///
+/// This is the abstraction that makes pruning *real*: the executor consults
+/// only [`ScanSource::zone_map`] and [`ScanSource::column_bytes`] — both
+/// metadata, free of data I/O — to decide what to read, and then fetches
+/// exactly the surviving columns via [`ScanSource::read_column_governed`].
+/// For a disk partition, a pruned partition or an unprojected column
+/// therefore contributes **zero** file bytes to `bytes_scanned`.
+#[derive(Debug)]
+pub enum ScanSource {
+    /// A memory-resident partition (the default for non-persistent tables).
+    Mem(MicroPartition),
+    /// A partition file of a persistent database, read lazily through the
+    /// store's shared buffer cache.
+    Disk(DiskPartition),
+}
+
+/// Result of materializing one column from a [`ScanSource`].
+#[derive(Clone, Debug)]
+pub struct ColumnRead {
+    /// The decoded column, shared with the buffer cache for disk reads.
+    pub data: Arc<ColumnData>,
+    /// Bytes charged to `bytes_scanned`: the estimated in-memory size for
+    /// memory partitions; the *exact file bytes read* for disk partitions —
+    /// zero on a buffer-cache hit.
+    pub io_bytes: u64,
+    /// Decoded bytes newly materialized by this read (charged against the
+    /// query's memory budget); zero for memory partitions and cache hits.
+    pub mem_bytes: u64,
+    /// Cache accounting for disk reads; `None` for memory partitions.
+    pub cache: Option<CacheOutcome>,
+}
+
+impl ScanSource {
+    /// Number of rows in the partition.
+    pub fn row_count(&self) -> usize {
+        match self {
+            ScanSource::Mem(p) => p.row_count(),
+            ScanSource::Disk(p) => p.row_count(),
+        }
+    }
+
+    /// Zone map for column `i`, when available. Metadata-only for both
+    /// arms: disk partitions carry zone maps in their footer.
+    pub fn zone_map(&self, i: usize) -> Option<&ZoneMap> {
+        match self {
+            ScanSource::Mem(p) => p.zone_map(i),
+            ScanSource::Disk(p) => p.zone_map(i),
+        }
+    }
+
+    /// Cost of reading column `i`: estimated in-memory bytes (memory) or
+    /// exact encoded block length (disk). This is what a scan *saves* by
+    /// pruning the partition or skipping the column.
+    pub fn column_bytes(&self, i: usize) -> u64 {
+        match self {
+            ScanSource::Mem(p) => p.column_bytes(i),
+            ScanSource::Disk(p) => p.column_bytes(i),
+        }
+    }
+
+    /// Sum of [`ScanSource::column_bytes`] over all columns.
+    pub fn total_bytes(&self) -> u64 {
+        match self {
+            ScanSource::Mem(p) => p.total_bytes(),
+            ScanSource::Disk(p) => p.total_bytes(),
+        }
+    }
+
+    /// True for disk-backed partitions.
+    pub fn is_disk(&self) -> bool {
+        matches!(self, ScanSource::Disk(_))
+    }
+
+    /// The memory partition, when this source is memory-resident.
+    pub fn as_mem(&self) -> Option<&MicroPartition> {
+        match self {
+            ScanSource::Mem(p) => Some(p),
+            ScanSource::Disk(_) => None,
+        }
+    }
+
+    /// Materializes column `i` under the query's governor. Disk reads pass a
+    /// [`StoreRead`](crate::govern::chaos::ChaosSite::StoreRead) checkpoint
+    /// first, then consult the buffer cache, and only on a miss touch the
+    /// file — charging exactly the block's bytes.
+    pub fn read_column_governed(
+        &self,
+        i: usize,
+        gov: &QueryGovernor,
+        op: &str,
+    ) -> Result<ColumnRead> {
+        match self {
+            ScanSource::Mem(p) => Ok(ColumnRead {
+                data: p.column_arc(i),
+                io_bytes: p.column_bytes(i),
+                mem_bytes: 0,
+                cache: None,
+            }),
+            ScanSource::Disk(p) => p.read_column_governed(i, gov, op),
+        }
+    }
+
+    /// Ungoverned convenience read (catalog maintenance, baselines, tests).
+    pub fn read_column(&self, i: usize) -> Result<Arc<ColumnData>> {
+        Ok(self
+            .read_column_governed(i, &QueryGovernor::unbounded(), "Scan")?
+            .data)
+    }
+
+    /// Fully materializes the partition in memory (persistence round-trips,
+    /// `INSERT` table rebuilds). Cheap for memory partitions — columns are
+    /// `Arc`-shared, not copied.
+    pub fn to_mem(&self) -> Result<MicroPartition> {
+        match self {
+            ScanSource::Mem(p) => Ok(p.clone()),
+            ScanSource::Disk(p) => {
+                let cols = (0..p.meta().columns.len())
+                    .map(|i| self.read_column(i))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(MicroPartition::from_arc_columns(cols))
+            }
+        }
+    }
+}
+
 /// Accumulated scan statistics for one query execution.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ScanStats {
     /// Bytes of column data actually read (referenced columns of non-pruned
-    /// partitions) — the §V-E metric.
+    /// partitions) — the §V-E metric. Estimated in-memory bytes for memory
+    /// tables; **exact file bytes read** for disk tables (cache hits cost 0).
     pub bytes_scanned: u64,
     /// Total partitions considered across all scans.
     pub partitions_total: u64,
     /// Partitions actually read after zone-map pruning.
     pub partitions_scanned: u64,
+    /// Partitions excluded by zone-map pruning (`total - scanned`, kept
+    /// explicitly so merged multi-scan stats stay interpretable).
+    pub partitions_pruned: u64,
+    /// Column blocks of scanned partitions skipped by projection pruning.
+    pub columns_skipped: u64,
+    /// Bytes *not* read thanks to partition pruning and column skipping —
+    /// the saved-I/O counterpart of `bytes_scanned`, uniform across memory
+    /// and disk scans.
+    pub bytes_skipped: u64,
     /// Rows produced by scans.
     pub rows_scanned: u64,
+    /// Buffer-cache hits (disk scans only).
+    pub cache_hits: u64,
+    /// Buffer-cache misses, i.e. column blocks fetched from files.
+    pub cache_misses: u64,
+    /// Blocks evicted from the buffer cache while this query loaded blocks.
+    pub cache_evictions: u64,
 }
 
 impl ScanStats {
@@ -223,7 +387,26 @@ impl ScanStats {
         self.bytes_scanned += other.bytes_scanned;
         self.partitions_total += other.partitions_total;
         self.partitions_scanned += other.partitions_scanned;
+        self.partitions_pruned += other.partitions_pruned;
+        self.columns_skipped += other.columns_skipped;
+        self.bytes_skipped += other.bytes_skipped;
         self.rows_scanned += other.rows_scanned;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+    }
+
+    /// Folds one column access outcome into the stats.
+    pub fn record_read(&mut self, read: &ColumnRead) {
+        self.bytes_scanned += read.io_bytes;
+        if let Some(c) = read.cache {
+            if c.hit {
+                self.cache_hits += 1;
+            } else {
+                self.cache_misses += 1;
+            }
+            self.cache_evictions += c.evictions;
+        }
     }
 }
 

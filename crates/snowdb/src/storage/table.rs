@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use super::{ColumnData, ColumnType, ZoneMap};
+use super::{ColumnData, ColumnType, ScanSource, ZoneMap};
 use crate::error::{Result, SnowError};
 use crate::variant::Variant;
 
@@ -26,21 +26,31 @@ impl ColumnDef {
     }
 }
 
-/// One immutable horizontal shard of a table.
+/// One immutable horizontal shard of a table, resident in memory.
+///
+/// Columns are individually `Arc`-shared so a scan can hand a column to an
+/// operator without copying, and so the disk path can cache decoded blocks
+/// under the same representation.
 #[derive(Clone, Debug)]
 pub struct MicroPartition {
-    columns: Vec<ColumnData>,
+    columns: Vec<Arc<ColumnData>>,
     zone_maps: Vec<Option<ZoneMap>>,
     column_bytes: Vec<u64>,
     row_count: usize,
 }
 
 impl MicroPartition {
-    fn seal(columns: Vec<ColumnData>) -> MicroPartition {
-        let row_count = columns.first().map_or(0, ColumnData::len);
+    pub(crate) fn seal(columns: Vec<ColumnData>) -> MicroPartition {
+        MicroPartition::from_arc_columns(columns.into_iter().map(Arc::new).collect())
+    }
+
+    /// Seals pre-shared columns (used by the store when rewriting a table's
+    /// partitions without copying the data).
+    pub(crate) fn from_arc_columns(columns: Vec<Arc<ColumnData>>) -> MicroPartition {
+        let row_count = columns.first().map_or(0, |c| c.len());
         debug_assert!(columns.iter().all(|c| c.len() == row_count));
-        let zone_maps = columns.iter().map(ZoneMap::build).collect();
-        let column_bytes = columns.iter().map(ColumnData::estimated_size).collect();
+        let zone_maps = columns.iter().map(|c| ZoneMap::build(c)).collect();
+        let column_bytes = columns.iter().map(|c| c.estimated_size()).collect();
         MicroPartition { columns, zone_maps, column_bytes, row_count }
     }
 
@@ -51,7 +61,12 @@ impl MicroPartition {
 
     /// Column data by position.
     pub fn column(&self, i: usize) -> &ColumnData {
-        &self.columns[i]
+        self.columns[i].as_ref()
+    }
+
+    /// Shared handle to column `i`.
+    pub fn column_arc(&self, i: usize) -> Arc<ColumnData> {
+        self.columns[i].clone()
     }
 
     /// Zone map for column `i`, when available.
@@ -70,19 +85,32 @@ impl MicroPartition {
     }
 }
 
-/// An immutable snapshot of a table: schema plus sealed micro-partitions.
+/// An immutable snapshot of a table: schema plus sealed partition sources.
 ///
 /// Tables are `Arc`-shared into query executions; ingest builds a fresh snapshot
 /// via [`TableBuilder`], which keeps queries free of locking on the data path.
+/// Each partition is a [`ScanSource`] — fully resident for in-memory tables,
+/// a lazily-read partition file for persistent ones.
 #[derive(Clone, Debug)]
 pub struct Table {
     name: String,
     schema: Vec<ColumnDef>,
-    partitions: Vec<Arc<MicroPartition>>,
+    partitions: Vec<Arc<ScanSource>>,
     row_count: usize,
 }
 
 impl Table {
+    /// Assembles a table from already-sealed partition sources (the store's
+    /// reopen path).
+    pub(crate) fn from_parts(
+        name: String,
+        schema: Vec<ColumnDef>,
+        partitions: Vec<Arc<ScanSource>>,
+    ) -> Table {
+        let row_count = partitions.iter().map(|p| p.row_count()).sum();
+        Table { name, schema, partitions, row_count }
+    }
+
     /// Table name.
     pub fn name(&self) -> &str {
         &self.name
@@ -98,8 +126,8 @@ impl Table {
         self.schema.iter().position(|c| c.name.eq_ignore_ascii_case(name))
     }
 
-    /// Sealed partitions.
-    pub fn partitions(&self) -> &[Arc<MicroPartition>] {
+    /// Sealed partition sources.
+    pub fn partitions(&self) -> &[Arc<ScanSource>] {
         &self.partitions
     }
 
@@ -108,9 +136,29 @@ impl Table {
         self.row_count
     }
 
-    /// Total estimated uncompressed bytes.
+    /// Total bytes across all partitions (estimated in-memory bytes for
+    /// memory partitions, exact on-disk block bytes for disk partitions).
     pub fn total_bytes(&self) -> u64 {
         self.partitions.iter().map(|p| p.total_bytes()).sum()
+    }
+}
+
+/// Destination of sealed micro-partitions during ingest.
+///
+/// The builder streams: as soon as a partition fills, it is sealed and handed
+/// to the sink — kept in memory ([`MemSink`]), written straight to a
+/// partition file (the store's sink), or wrapped with governor accounting —
+/// so ingest memory is bounded by one open partition, not the whole table.
+pub trait PartitionSink {
+    fn flush(&self, part: MicroPartition) -> Result<Arc<ScanSource>>;
+}
+
+/// The default sink: partitions stay resident in memory.
+pub struct MemSink;
+
+impl PartitionSink for MemSink {
+    fn flush(&self, part: MicroPartition) -> Result<Arc<ScanSource>> {
+        Ok(Arc::new(ScanSource::Mem(part)))
     }
 }
 
@@ -119,7 +167,8 @@ pub struct TableBuilder {
     name: String,
     schema: Vec<ColumnDef>,
     partition_rows: usize,
-    sealed: Vec<Arc<MicroPartition>>,
+    sink: Box<dyn PartitionSink>,
+    sealed: Vec<Arc<ScanSource>>,
     open: Vec<ColumnData>,
     open_rows: usize,
     total_rows: usize,
@@ -137,12 +186,23 @@ impl TableBuilder {
         schema: Vec<ColumnDef>,
         partition_rows: usize,
     ) -> TableBuilder {
+        TableBuilder::with_sink(name, schema, partition_rows, Box::new(MemSink))
+    }
+
+    /// Starts a builder flushing sealed partitions into `sink`.
+    pub fn with_sink(
+        name: impl Into<String>,
+        schema: Vec<ColumnDef>,
+        partition_rows: usize,
+        sink: Box<dyn PartitionSink>,
+    ) -> TableBuilder {
         assert!(partition_rows > 0, "partition size must be positive");
         let open = schema.iter().map(|c| ColumnData::empty(c.ty)).collect();
         TableBuilder {
             name: name.into(),
             schema,
             partition_rows,
+            sink,
             sealed: Vec::new(),
             open,
             open_rows: 0,
@@ -166,32 +226,34 @@ impl TableBuilder {
         self.open_rows += 1;
         self.total_rows += 1;
         if self.open_rows >= self.partition_rows {
-            self.seal_open();
+            self.seal_open()?;
         }
         Ok(())
     }
 
-    fn seal_open(&mut self) {
+    fn seal_open(&mut self) -> Result<()> {
         if self.open_rows == 0 {
-            return;
+            return Ok(());
         }
         let cols = std::mem::replace(
             &mut self.open,
             self.schema.iter().map(|c| ColumnData::empty(c.ty)).collect(),
         );
-        self.sealed.push(Arc::new(MicroPartition::seal(cols)));
+        self.sealed.push(self.sink.flush(MicroPartition::seal(cols))?);
         self.open_rows = 0;
+        Ok(())
     }
 
-    /// Seals any open partition and produces the immutable table.
-    pub fn finish(mut self) -> Table {
-        self.seal_open();
-        Table {
+    /// Seals any open partition and produces the immutable table. Fallible
+    /// because the final flush may hit the sink (e.g. a disk write).
+    pub fn finish(mut self) -> Result<Table> {
+        self.seal_open()?;
+        Ok(Table {
             name: self.name,
             schema: self.schema,
             partitions: self.sealed,
             row_count: self.total_rows,
-        }
+        })
     }
 }
 
@@ -209,7 +271,7 @@ mod tests {
         for i in 0..10 {
             b.push_row(&[Variant::Int(i)]).unwrap();
         }
-        let t = b.finish();
+        let t = b.finish().unwrap();
         assert_eq!(t.row_count(), 10);
         assert_eq!(t.partitions().len(), 4);
         assert_eq!(t.partitions()[0].row_count(), 3);
@@ -228,7 +290,7 @@ mod tests {
         for i in [1, 2, 100, 200] {
             b.push_row(&[Variant::Int(i)]).unwrap();
         }
-        let t = b.finish();
+        let t = b.finish().unwrap();
         let zm0 = t.partitions()[0].zone_map(0).unwrap();
         let zm1 = t.partitions()[1].zone_map(0).unwrap();
         assert_eq!(zm0.max, Variant::Int(2));
@@ -237,7 +299,7 @@ mod tests {
 
     #[test]
     fn column_index_is_case_insensitive() {
-        let t = TableBuilder::new("t", vec![int_col("Foo")]).finish();
+        let t = TableBuilder::new("t", vec![int_col("Foo")]).finish().unwrap();
         assert_eq!(t.column_index("FOO"), Some(0));
         assert_eq!(t.column_index("foo"), Some(0));
         assert_eq!(t.column_index("bar"), None);
@@ -245,9 +307,25 @@ mod tests {
 
     #[test]
     fn empty_table_has_no_partitions() {
-        let t = TableBuilder::new("t", vec![int_col("a")]).finish();
+        let t = TableBuilder::new("t", vec![int_col("a")]).finish().unwrap();
         assert_eq!(t.partitions().len(), 0);
         assert_eq!(t.row_count(), 0);
         assert_eq!(t.total_bytes(), 0);
+    }
+
+    /// A failing sink propagates through `push_row`/`finish` as a typed
+    /// error instead of losing data silently.
+    #[test]
+    fn sink_errors_propagate() {
+        struct FailSink;
+        impl PartitionSink for FailSink {
+            fn flush(&self, _part: MicroPartition) -> Result<Arc<ScanSource>> {
+                Err(SnowError::Storage("disk full".into()))
+            }
+        }
+        let mut b = TableBuilder::with_sink("t", vec![int_col("a")], 2, Box::new(FailSink));
+        b.push_row(&[Variant::Int(1)]).unwrap();
+        let err = b.push_row(&[Variant::Int(2)]).unwrap_err();
+        assert!(matches!(err, SnowError::Storage(_)));
     }
 }

@@ -1,0 +1,533 @@
+//! Persistent micro-partition store.
+//!
+//! This subsystem gives `snowdb` the storage architecture the paper's
+//! performance story rests on (§II-B): tables live as *immutable* columnar
+//! partition files on disk, a versioned manifest names the live partitions of
+//! every table, scans read lazily — per column block, through a shared
+//! buffer cache — and pruning decisions translate into file bytes that are
+//! **never read**, making `bytes_scanned` actual I/O rather than an estimate.
+//!
+//! Layout of a database directory:
+//!
+//! ```text
+//! <dir>/MANIFEST        committed catalog (JSON, see `manifest`)
+//! <dir>/MANIFEST.tmp    commit-in-progress debris, ignored and swept
+//! <dir>/parts/pN.part   immutable partition files (see `format`)
+//! ```
+//!
+//! Invariants:
+//! - partition files are written *before* the manifest commit that
+//!   references them and never modified afterwards;
+//! - the rename of `MANIFEST.tmp` onto `MANIFEST` is the single atomic
+//!   commit point — a crash at any step reopens to the previous version;
+//! - partition file names are never reused (`next_file` is persisted), so a
+//!   stale reader can never observe a recycled file;
+//! - files not reachable from the committed manifest are crash debris and
+//!   are swept on open.
+
+pub mod cache;
+pub mod format;
+pub mod manifest;
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::error::{Result, SnowError};
+use crate::govern::chaos::ChaosSchedule;
+use crate::govern::QueryGovernor;
+use crate::storage::{ColumnDef, ColumnRead, MicroPartition, ScanSource, Table, ZoneMap};
+
+pub use cache::{BufferCache, CacheOutcome, CacheStats, DEFAULT_CACHE_BYTES};
+pub use format::{ColumnMeta, PartitionMeta};
+pub use manifest::{Manifest, PartRef, TableManifest};
+
+fn storage(msg: impl Into<String>) -> SnowError {
+    SnowError::Storage(msg.into())
+}
+
+/// One disk-backed micro-partition: a path, the decoded footer (schema, zone
+/// maps, block ranges), and a handle on the store's shared buffer cache.
+/// All metadata questions are answered from the footer without touching
+/// block bytes; data reads go through [`DiskPartition::read_column_governed`].
+#[derive(Debug)]
+pub struct DiskPartition {
+    path: PathBuf,
+    /// Unique id (the file's sequence number) — the cache key namespace.
+    file_id: u64,
+    meta: PartitionMeta,
+    cache: Arc<BufferCache>,
+}
+
+impl DiskPartition {
+    pub fn row_count(&self) -> usize {
+        self.meta.row_count
+    }
+
+    pub fn zone_map(&self, i: usize) -> Option<&ZoneMap> {
+        self.meta.columns[i].zone_map.as_ref()
+    }
+
+    /// Exact encoded length of column `i`'s block — the I/O cost of reading
+    /// it, and the savings of skipping it.
+    pub fn column_bytes(&self, i: usize) -> u64 {
+        self.meta.columns[i].len
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.meta.total_block_bytes()
+    }
+
+    /// The decoded footer.
+    pub fn meta(&self) -> &PartitionMeta {
+        &self.meta
+    }
+
+    /// Materializes column `i`: governor checkpoint (the `StoreRead` chaos
+    /// site), then buffer cache, then — only on a miss — a CRC-checked read
+    /// of exactly the block's bytes. The miss charges the decoded size
+    /// against the query's memory budget; hits are free.
+    pub fn read_column_governed(
+        &self,
+        i: usize,
+        gov: &QueryGovernor,
+        op: &str,
+    ) -> Result<ColumnRead> {
+        gov.store_checkpoint(op)?;
+        let key = (self.file_id, i as u32);
+        if let Some(data) = self.cache.get(key) {
+            return Ok(ColumnRead {
+                data,
+                io_bytes: 0,
+                mem_bytes: 0,
+                cache: Some(CacheOutcome { hit: true, evictions: 0 }),
+            });
+        }
+        let cm = &self.meta.columns[i];
+        let data = Arc::new(format::read_column(&self.path, cm, self.meta.row_count)?);
+        let mem_bytes = data.estimated_size();
+        let evictions = self.cache.insert(key, data.clone(), mem_bytes);
+        gov.charge_memory(mem_bytes, op)?;
+        Ok(ColumnRead {
+            data,
+            io_bytes: cm.len,
+            mem_bytes,
+            cache: Some(CacheOutcome { hit: false, evictions }),
+        })
+    }
+}
+
+/// Handle on an open database directory: the committed catalog state, the
+/// shared buffer cache, and the commit machinery. One `Store` is shared by
+/// the [`Database`](crate::engine::Database) that opened it.
+pub struct Store {
+    dir: PathBuf,
+    parts_dir: PathBuf,
+    cache: Arc<BufferCache>,
+    /// The manifest to be written by the *next* commit: the committed state
+    /// plus any file-sequence numbers allocated since. Held across commit
+    /// I/O, serializing commits.
+    state: Mutex<Manifest>,
+    chaos: Mutex<Option<Arc<ChaosSchedule>>>,
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("dir", &self.dir)
+            .field("version", &self.version())
+            .finish()
+    }
+}
+
+impl Store {
+    /// Opens (or initializes) the database directory and reconstructs every
+    /// committed table. Crash debris — a leftover `MANIFEST.tmp`, partition
+    /// files not referenced by the committed manifest — is swept.
+    pub fn open(dir: impl AsRef<Path>) -> Result<(Arc<Store>, Vec<Table>)> {
+        let dir = dir.as_ref().to_path_buf();
+        let parts_dir = dir.join("parts");
+        std::fs::create_dir_all(&parts_dir)
+            .map_err(|e| storage(format!("{}: create: {e}", parts_dir.display())))?;
+
+        let committed = manifest::read_manifest(&dir)?.unwrap_or_default();
+        sweep_debris(&dir, &parts_dir, &committed);
+
+        let cache = Arc::new(BufferCache::new(DEFAULT_CACHE_BYTES));
+        let store = Arc::new(Store {
+            dir,
+            parts_dir,
+            cache,
+            state: Mutex::new(committed.clone()),
+            chaos: Mutex::new(None),
+        });
+
+        let mut tables = Vec::new();
+        for (name, tm) in &committed.tables {
+            let mut partitions = Vec::with_capacity(tm.partitions.len());
+            for pref in &tm.partitions {
+                partitions.push(Arc::new(ScanSource::Disk(store.open_partition(pref, name)?)));
+            }
+            tables.push(Table::from_parts(name.clone(), tm.schema.clone(), partitions));
+        }
+        Ok((store, tables))
+    }
+
+    /// Initializes a *fresh* database directory; refuses to clobber one that
+    /// already holds a committed manifest (use [`Store::open`] for that).
+    pub fn create(dir: impl AsRef<Path>) -> Result<Arc<Store>> {
+        let dir = dir.as_ref();
+        if dir.join(manifest::MANIFEST_FILE).exists() {
+            return Err(storage(format!(
+                "{}: directory already contains a database (open it instead)",
+                dir.display()
+            )));
+        }
+        let (store, _tables) = Store::open(dir)?;
+        Ok(store)
+    }
+
+    /// Validates and wires up one committed partition file.
+    fn open_partition(&self, pref: &PartRef, table: &str) -> Result<DiskPartition> {
+        let path = self.parts_dir.join(&pref.file);
+        let file_id = parse_file_id(&pref.file).ok_or_else(|| {
+            storage(format!(
+                "table '{table}': malformed partition file name '{}'",
+                pref.file
+            ))
+        })?;
+        let meta = format::read_footer(&path)?;
+        if meta.row_count != pref.rows {
+            return Err(storage(format!(
+                "table '{table}': {} holds {} rows but the manifest says {}",
+                path.display(),
+                meta.row_count,
+                pref.rows
+            )));
+        }
+        Ok(DiskPartition { path, file_id, meta, cache: self.cache.clone() })
+    }
+
+    /// Allocates the next partition-file sequence number. The number is
+    /// consumed even if the write or commit later fails — names are never
+    /// reused within a catalog lineage.
+    fn alloc_file_id(&self) -> u64 {
+        let mut state = self.state.lock().expect("store state lock");
+        let id = state.next_file;
+        state.next_file += 1;
+        id
+    }
+
+    /// Writes one sealed partition as an immutable file (not yet visible:
+    /// only a manifest commit publishes it). Returns the scan source plus the
+    /// manifest reference for the commit.
+    pub fn write_partition(
+        self: &Arc<Store>,
+        part: &MicroPartition,
+        schema: &[ColumnDef],
+    ) -> Result<(Arc<ScanSource>, PartRef)> {
+        let file_id = self.alloc_file_id();
+        let file = format!("p{file_id}.part");
+        let path = self.parts_dir.join(&file);
+        let meta = format::write_partition(&path, schema, part)?;
+        let pref = PartRef { file, rows: meta.row_count };
+        let disk = DiskPartition { path, file_id, meta, cache: self.cache.clone() };
+        Ok((Arc::new(ScanSource::Disk(disk)), pref))
+    }
+
+    /// A [`PartitionSink`](crate::storage::PartitionSink) that streams sealed
+    /// partitions straight to disk, collecting their manifest references.
+    pub fn sink(self: &Arc<Store>, schema: Vec<ColumnDef>) -> DiskSink {
+        DiskSink {
+            store: self.clone(),
+            schema,
+            refs: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Commits a new or replaced table atomically. On error (including
+    /// injected `ManifestCommit` faults) the previous catalog version stays
+    /// committed and the freshly written files remain invisible debris.
+    pub fn commit_table(
+        &self,
+        name: &str,
+        schema: Vec<ColumnDef>,
+        partitions: Vec<PartRef>,
+    ) -> Result<u64> {
+        self.commit_with(|m| {
+            m.tables
+                .insert(name.to_string(), TableManifest { schema, partitions });
+        })
+    }
+
+    /// Commits a table drop; returns the new version. The dropped table's
+    /// partition files are unlinked best-effort *after* the commit succeeds.
+    pub fn commit_drop(&self, name: &str) -> Result<u64> {
+        let mut dropped: Vec<String> = Vec::new();
+        let version = self.commit_with(|m| {
+            if let Some(tm) = m.tables.remove(name) {
+                dropped = tm.partitions.into_iter().map(|p| p.file).collect();
+            }
+        })?;
+        for file in dropped {
+            let _ = std::fs::remove_file(self.parts_dir.join(file));
+        }
+        Ok(version)
+    }
+
+    fn commit_with(&self, mutate: impl FnOnce(&mut Manifest)) -> Result<u64> {
+        let mut state = self.state.lock().expect("store state lock");
+        let mut next = state.clone();
+        next.version += 1;
+        mutate(&mut next);
+        let chaos = self.chaos.lock().expect("store chaos lock").clone();
+        manifest::commit_manifest(&self.dir, &next, chaos.as_deref())?;
+        let version = next.version;
+        *state = next;
+        Ok(version)
+    }
+
+    /// The committed catalog version.
+    pub fn version(&self) -> u64 {
+        self.state.lock().expect("store state lock").version
+    }
+
+    /// The database directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The shared buffer cache.
+    pub fn cache(&self) -> &Arc<BufferCache> {
+        &self.cache
+    }
+
+    /// Buffer-cache counters (hits / misses / evictions / residency).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Re-bounds the buffer cache (evicting immediately if shrinking).
+    pub fn set_cache_capacity(&self, bytes: u64) {
+        self.cache.set_capacity(bytes);
+    }
+
+    /// Arms (or clears) a fault schedule on the store's commit path — the
+    /// `ManifestCommit` chaos site. Read-path faults (`StoreRead`) ride in
+    /// each query's governor instead.
+    pub fn set_chaos(&self, schedule: Option<ChaosSchedule>) {
+        *self.chaos.lock().expect("store chaos lock") = schedule.map(Arc::new);
+    }
+}
+
+/// Streams sealed partitions to disk during ingest. Clone-cheap: clones share
+/// the collected manifest references.
+#[derive(Clone)]
+pub struct DiskSink {
+    store: Arc<Store>,
+    schema: Vec<ColumnDef>,
+    refs: Arc<Mutex<Vec<PartRef>>>,
+}
+
+impl DiskSink {
+    /// The manifest references of every partition flushed so far, in order.
+    pub fn refs(&self) -> Vec<PartRef> {
+        self.refs.lock().expect("sink refs lock").clone()
+    }
+}
+
+impl crate::storage::PartitionSink for DiskSink {
+    fn flush(&self, part: MicroPartition) -> Result<Arc<ScanSource>> {
+        let (source, pref) = self.store.write_partition(&part, &self.schema)?;
+        self.refs.lock().expect("sink refs lock").push(pref);
+        Ok(source)
+    }
+}
+
+/// `pN.part` → `N`.
+fn parse_file_id(file: &str) -> Option<u64> {
+    file.strip_prefix('p')?.strip_suffix(".part")?.parse().ok()
+}
+
+/// Removes commit debris: a leftover `MANIFEST.tmp` and partition files not
+/// referenced by the committed manifest. Safe because files only become
+/// meaningful through a commit, and `next_file` never reuses names.
+fn sweep_debris(dir: &Path, parts_dir: &Path, committed: &Manifest) {
+    let _ = std::fs::remove_file(dir.join(manifest::MANIFEST_TMP));
+    let live: std::collections::HashSet<&str> = committed
+        .tables
+        .values()
+        .flat_map(|t| t.partitions.iter().map(|p| p.file.as_str()))
+        .collect();
+    let Ok(entries) = std::fs::read_dir(parts_dir) else { return };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if !live.contains(name) {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::{ColumnType, TableBuilder};
+    use crate::Variant;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("snowdb-store-{}-{tag}-{n}", std::process::id()))
+    }
+
+    fn schema() -> Vec<ColumnDef> {
+        vec![
+            ColumnDef::new("ID", ColumnType::Int),
+            ColumnDef::new("NAME", ColumnType::Str),
+        ]
+    }
+
+    fn build_table(store: &Arc<Store>, rows: i64) -> (Table, Vec<PartRef>) {
+        let sink = store.sink(schema());
+        let mut b = TableBuilder::with_sink("T", schema(), 4, Box::new(sink.clone()));
+        for i in 0..rows {
+            b.push_row(&[Variant::Int(i), Variant::str(format!("n{i}"))]).unwrap();
+        }
+        let t = b.finish().unwrap();
+        (t, sink.refs())
+    }
+
+    #[test]
+    fn write_commit_reopen_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        {
+            let store = Store::create(&dir).unwrap();
+            let (t, refs) = build_table(&store, 10);
+            assert_eq!(t.partitions().len(), 3);
+            assert_eq!(refs.len(), 3);
+            store.commit_table("T", schema(), refs).unwrap();
+            assert_eq!(store.version(), 1);
+        }
+        let (store, tables) = Store::open(&dir).unwrap();
+        assert_eq!(store.version(), 1);
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert_eq!(t.name(), "T");
+        assert_eq!(t.row_count(), 10);
+        assert_eq!(t.schema(), schema());
+        assert!(t.partitions().iter().all(|p| p.is_disk()));
+        // Lazy read returns the data.
+        let col = t.partitions()[0].read_column(0).unwrap();
+        assert_eq!(col.get(0), Variant::Int(0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn uncommitted_partitions_are_invisible_and_swept() {
+        let dir = temp_dir("sweep");
+        {
+            let store = Store::create(&dir).unwrap();
+            let (t, refs) = build_table(&store, 8);
+            store.commit_table("T", schema(), refs).unwrap();
+            drop(t);
+            // A second table is written but never committed (simulated crash).
+            let _ = build_table(&store, 5);
+        }
+        let parts_before = std::fs::read_dir(dir.join("parts")).unwrap().count();
+        assert!(parts_before > 2, "orphans present before reopen");
+        let (_store, tables) = Store::open(&dir).unwrap();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].row_count(), 8);
+        // Orphans are swept; only the committed table's two files remain.
+        let parts_after = std::fs::read_dir(dir.join("parts")).unwrap().count();
+        assert_eq!(parts_after, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_hit_makes_reads_free() {
+        let dir = temp_dir("cache");
+        let store = Store::create(&dir).unwrap();
+        let (t, refs) = build_table(&store, 4);
+        store.commit_table("T", schema(), refs).unwrap();
+        let gov = QueryGovernor::unbounded();
+        let cold = t.partitions()[0].read_column_governed(0, &gov, "Scan").unwrap();
+        assert!(cold.io_bytes > 0);
+        assert!(!cold.cache.unwrap().hit);
+        let warm = t.partitions()[0].read_column_governed(0, &gov, "Scan").unwrap();
+        assert_eq!(warm.io_bytes, 0);
+        assert!(warm.cache.unwrap().hit);
+        assert!(Arc::ptr_eq(&cold.data, &warm.data));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_reads_charge_memory_budget_on_miss_only() {
+        let dir = temp_dir("gov");
+        let store = Store::create(&dir).unwrap();
+        let (t, refs) = build_table(&store, 4);
+        store.commit_table("T", schema(), refs).unwrap();
+        // Budget too small for the decoded block: the miss trips it.
+        let tight = QueryGovernor::unbounded().with_memory_limit(1);
+        let err = t.partitions()[0]
+            .read_column_governed(0, &tight, "Scan")
+            .unwrap_err();
+        assert!(matches!(err, SnowError::ResourceExhausted(_)), "{err}");
+        // The block is now cached; a hit under the same tight budget is free.
+        let warm = t.partitions()[0]
+            .read_column_governed(0, &tight, "Scan")
+            .unwrap();
+        assert_eq!(warm.mem_bytes, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn commit_drop_unlinks_files_and_survives_reopen() {
+        let dir = temp_dir("drop");
+        let store = Store::create(&dir).unwrap();
+        let (_t, refs) = build_table(&store, 8);
+        store.commit_table("T", schema(), refs).unwrap();
+        store.commit_drop("T").unwrap();
+        assert_eq!(store.version(), 2);
+        assert_eq!(std::fs::read_dir(dir.join("parts")).unwrap().count(), 0);
+        let (store2, tables) = Store::open(&dir).unwrap();
+        assert_eq!(tables.len(), 0);
+        assert_eq!(store2.version(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_commit_fault_preserves_previous_version() {
+        let dir = temp_dir("chaos");
+        let store = Store::create(&dir).unwrap();
+        let (_t, refs) = build_table(&store, 8);
+        store.commit_table("T", schema(), refs).unwrap();
+        // Period-1 schedule: the very first injection point fires, killing
+        // the commit before the rename.
+        store.set_chaos(Some(ChaosSchedule::with_period(0xC0FFEE, 1)));
+        let (_t2, refs2) = build_table(&store, 3);
+        let err = store.commit_table("T2", schema(), refs2).unwrap_err();
+        assert!(matches!(err, SnowError::Storage(_) | SnowError::Internal(_)), "{err}");
+        store.set_chaos(None);
+        assert_eq!(store.version(), 1, "failed commit must not advance the version");
+        // Reopen sees only the committed table.
+        drop(store);
+        let (store2, tables) = Store::open(&dir).unwrap();
+        assert_eq!(store2.version(), 1);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].name(), "T");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_refuses_existing_database() {
+        let dir = temp_dir("refuse");
+        let store = Store::create(&dir).unwrap();
+        store.commit_table("T", schema(), vec![]).unwrap();
+        drop(store);
+        let err = Store::create(&dir).unwrap_err();
+        assert!(matches!(err, SnowError::Storage(_)), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

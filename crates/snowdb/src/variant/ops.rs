@@ -175,7 +175,7 @@ mod tests {
 
     #[test]
     fn ordering_puts_nulls_last() {
-        let mut vals = vec![Variant::Null, Variant::Int(2), Variant::Float(1.5)];
+        let mut vals = [Variant::Null, Variant::Int(2), Variant::Float(1.5)];
         vals.sort_by(cmp_variants);
         assert_eq!(vals[0], Variant::Float(1.5));
         assert_eq!(vals[1], Variant::Int(2));

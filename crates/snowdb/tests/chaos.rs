@@ -185,7 +185,7 @@ fn cancellation_is_prompt_and_typed() {
         let worker = {
             let (db, gov) = (db.clone(), gov.clone());
             let sql = sql.to_string();
-            std::thread::spawn(move || db.query_governed(&sql, &opts, gov))
+            std::thread::spawn(move || db.query_governed(&sql, &opts, gov).map_err(Box::new))
         };
         // Let the query get in flight, then cancel.
         std::thread::sleep(Duration::from_millis(150));

@@ -29,6 +29,15 @@ impl Session {
         Session { db }
     }
 
+    /// Connects to a persistent on-disk database (opening or initializing the
+    /// directory) — the embedded analogue of Snowpark's
+    /// `Session.builder.configs(...).create()` connecting to a warehouse.
+    /// Committed tables are available immediately; their data is read lazily,
+    /// per column block, through the store's shared buffer cache.
+    pub fn open(dir: impl AsRef<std::path::Path>) -> snowdb::Result<Session> {
+        Ok(Session { db: Arc::new(Database::open(dir)?) })
+    }
+
     /// The underlying engine handle.
     pub fn database(&self) -> &Database {
         &self.db

@@ -5,7 +5,13 @@
 //! ```text
 //! cargo run --bin jsoniq-repl                       # demo dataset preloaded
 //! cargo run --bin jsoniq-repl -- events=data.jsonl  # load JSONL into a table
+//! cargo run --bin jsoniq-repl -- --db mydb          # open/create a persistent db
 //! ```
+//!
+//! With `--db <dir>` the session runs against a persistent database: tables
+//! already committed there are available immediately (reads are lazy, through
+//! the store's buffer cache), and newly loaded JSONL streams straight to
+//! immutable partition files under an atomically committed catalog.
 //!
 //! Queries may span lines and end with `;`. Commands:
 //!   \sql        toggle printing the generated SQL
@@ -17,6 +23,7 @@
 //!   \interp     toggle interpreter mode (default: translate + execute)
 //!   \strategy   toggle flag-column / JOIN-based nested-query strategy
 //!   \tables     list tables
+//!   \save <dir> persist the current in-memory catalog to a new database dir
 //!   \q          quit
 
 use std::io::{BufRead, Write};
@@ -73,23 +80,42 @@ mod sigint {
 
 fn main() {
     sigint::install();
-    let db = Arc::new(Database::new());
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
+    let mut db_dir: Option<String> = None;
+    let mut specs: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--db" {
+            db_dir = Some(args.next().unwrap_or_else(|| panic!("--db needs a directory")));
+        } else if let Some(dir) = arg.strip_prefix("--db=") {
+            db_dir = Some(dir.to_string());
+        } else {
+            specs.push(arg);
+        }
+    }
+    let db = match &db_dir {
+        Some(dir) => {
+            let db = Arc::new(
+                Database::open(dir).unwrap_or_else(|e| panic!("cannot open db {dir}: {e}")),
+            );
+            println!("opened database '{dir}' (tables: {:?})", db.table_names());
+            db
+        }
+        None => Arc::new(Database::new()),
+    };
+    if specs.is_empty() && db_dir.is_none() {
         load_demo(&db);
         println!("loaded demo collection 'events' ({} rows)", db.table("EVENTS").unwrap().row_count());
-    } else {
-        for spec in &args {
-            let (table, path) = spec
-                .split_once('=')
-                .unwrap_or_else(|| panic!("expected table=file.jsonl, got '{spec}'"));
-            load_jsonl(&db, table, path);
-            println!(
-                "loaded '{}' ({} rows)",
-                table,
-                db.table(table).map(|t| t.row_count()).unwrap_or(0)
-            );
-        }
+    }
+    for spec in &specs {
+        let (table, path) = spec
+            .split_once('=')
+            .unwrap_or_else(|| panic!("expected table=file.jsonl, got '{spec}'"));
+        load_jsonl(&db, table, path);
+        println!(
+            "loaded '{}' ({} rows)",
+            table,
+            db.table(table).map(|t| t.row_count()).unwrap_or(0)
+        );
     }
 
     let mut show_sql = true;
@@ -135,6 +161,19 @@ fn main() {
                     println!("nested-query strategy: {strategy:?}");
                 }
                 "\\tables" => println!("{:?}", db.table_names()),
+                cmd if cmd.starts_with("\\save") => {
+                    match cmd.strip_prefix("\\save").map(str::trim) {
+                        Some(dir) if !dir.is_empty() => match db.persist_to(dir) {
+                            Ok(()) => println!(
+                                "saved {} table(s) to '{dir}' (catalog v{})",
+                                db.table_names().len(),
+                                db.store().map(|s| s.version()).unwrap_or(0)
+                            ),
+                            Err(e) => println!("save failed: {e}"),
+                        },
+                        _ => println!("usage: \\save <directory>"),
+                    }
+                }
                 other => println!("unknown command {other}"),
             }
             print_prompt(&buffer);
@@ -263,11 +302,10 @@ fn execute_cancellable(db: &Arc<Database>, sql: &str) {
     sigint::reset();
 }
 
-/// Loads a JSONL file through the engine's schema-inferring ingestion path.
+/// Loads a JSONL file through the engine's streaming schema-inferring
+/// ingestion path (two buffered passes; the file is never held in memory).
 fn load_jsonl(db: &Database, table: &str, path: &str) {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-    db.load_jsonl(table, &text)
+    db.load_jsonl_path(table, path)
         .unwrap_or_else(|e| panic!("cannot load {path}: {e}"));
 }
 
