@@ -1,0 +1,100 @@
+//! Typed vectorized kernels vs the boxed row-at-a-time path.
+//!
+//! Same data, same plans, same thread count (1, to isolate kernel cost from
+//! parallelism) — the only difference is `QueryOptions::vectorize`. The target
+//! the vectorization work is held to: >= 2x on scan-heavy filter/arithmetic/
+//! aggregate shapes over shredded typed columns.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snowdb::storage::{ColumnDef, ColumnType};
+use snowdb::{Database, QueryOptions, Variant};
+
+const ROWS: i64 = 262_144;
+const PARTITION_ROWS: usize = 16_384;
+
+/// A fully shredded typed table: the best case the kernels are built for.
+fn typed_db() -> Database {
+    let db = Database::new();
+    db.load_table_with_partition_rows(
+        "t",
+        vec![
+            ColumnDef::new("A", ColumnType::Int),
+            ColumnDef::new("B", ColumnType::Int),
+            ColumnDef::new("X", ColumnType::Float),
+        ],
+        (0..ROWS).map(|i| {
+            vec![
+                Variant::Int(i % 1000),
+                Variant::Int(i % 17),
+                Variant::Float((i % 1000) as f64 * 0.25),
+            ]
+        }),
+        PARTITION_ROWS,
+    )
+    .unwrap();
+    db
+}
+
+/// The same table with every tenth value switching numeric class, so each
+/// column promotes to boxed Variant: measures that the fallback path costs no
+/// more than the pre-vectorization executor.
+fn mixed_db() -> Database {
+    let db = Database::new();
+    db.load_table_with_partition_rows(
+        "t",
+        vec![
+            ColumnDef::new("A", ColumnType::Variant),
+            ColumnDef::new("B", ColumnType::Variant),
+            ColumnDef::new("X", ColumnType::Variant),
+        ],
+        (0..ROWS).map(|i| {
+            let a = if i % 10 == 9 {
+                Variant::Float((i % 1000) as f64)
+            } else {
+                Variant::Int(i % 1000)
+            };
+            let b =
+                if i % 10 == 4 { Variant::Float((i % 17) as f64) } else { Variant::Int(i % 17) };
+            vec![a, b, Variant::Float((i % 1000) as f64 * 0.25)]
+        }),
+        PARTITION_ROWS,
+    )
+    .unwrap();
+    db
+}
+
+const QUERIES: &[(&str, &str)] = &[
+    ("filter", "SELECT A FROM t WHERE A < 500 AND X >= 10.0"),
+    ("arith", "SELECT A + B * 2 - (X + A) * 3.5 FROM t WHERE B + 1 > 0"),
+    ("global-agg", "SELECT SUM(A), AVG(X), COUNT(B), MIN(A), MAX(X) FROM t"),
+    ("group-agg", "SELECT B, SUM(A), COUNT(*) FROM t GROUP BY B"),
+    ("join", "SELECT COUNT(*) FROM t l JOIN t r ON l.B = r.B WHERE l.A < 20 AND r.A < 20"),
+];
+
+fn run_pair(c: &mut Criterion, group_name: &str, db: &Database) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for &(id, sql) in QUERIES {
+        for (mode, vectorize) in [("vec", true), ("row", false)] {
+            let opts =
+                QueryOptions { optimize: true, threads: Some(1), vectorize: Some(vectorize) };
+            group.bench_function(format!("{id}-{mode}"), |b| {
+                b.iter(|| std::hint::black_box(db.query_with(sql, &opts).expect("runs").rows.len()))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_kernels_typed(c: &mut Criterion) {
+    let db = typed_db();
+    run_pair(c, "kernels-typed", &db);
+}
+
+fn bench_kernels_mixed(c: &mut Criterion) {
+    let db = mixed_db();
+    run_pair(c, "kernels-mixed", &db);
+}
+
+criterion_group!(benches, bench_kernels_typed, bench_kernels_mixed);
+criterion_main!(benches);

@@ -112,7 +112,11 @@ pub fn verify_jsoniq(db: &Arc<Database>, src: &str, lattice: &JsoniqLattice) -> 
             }
         };
         for cfg in &lattice.sql {
-            let opts = QueryOptions { optimize: cfg.optimize, threads: Some(cfg.threads) };
+            let opts = QueryOptions {
+                optimize: cfg.optimize,
+                threads: Some(cfg.threads),
+                vectorize: Some(cfg.vectorize),
+            };
             let label = format!("{tag}/{}", cfg.label());
             let plan = db
                 .explain_with(&sql, cfg.optimize)
@@ -228,8 +232,8 @@ mod tests {
         let report = verify_jsoniq(&db, q, &JsoniqLattice::full(4));
         assert!(report.agrees(), "{}", report.render());
         assert_eq!(report.baseline, "interpreter");
-        // interpreter + 2 strategies × 6 SQL configs
-        assert_eq!(report.outcomes.len(), 13);
+        // interpreter + 2 strategies × 12 SQL configs
+        assert_eq!(report.outcomes.len(), 25);
     }
 
     #[test]

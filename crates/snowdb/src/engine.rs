@@ -123,11 +123,14 @@ pub struct QueryOptions {
     pub optimize: bool,
     /// Explicit worker-thread count; `None` uses the database default.
     pub threads: Option<usize>,
+    /// Use the typed vectorized kernels; `None` resolves from
+    /// `SNOWDB_VECTORIZE` (on unless set to `0`/`false`/`off`).
+    pub vectorize: Option<bool>,
 }
 
 impl Default for QueryOptions {
     fn default() -> QueryOptions {
-        QueryOptions { optimize: true, threads: None }
+        QueryOptions { optimize: true, threads: None, vectorize: None }
     }
 }
 
@@ -399,8 +402,10 @@ impl Database {
         let compile_time = t0.elapsed();
 
         let threads = opts.threads.map_or_else(|| self.effective_threads(), |t| t.max(1));
+        let vectorize =
+            opts.vectorize.unwrap_or_else(crate::exec::vectorize_from_env);
         let (batches, phys_metrics, ctx, exec_time) =
-            self.run_physical(&plan, threads, gov.clone());
+            self.run_physical(&plan, threads, vectorize, gov.clone());
         let batches = match batches {
             Ok(b) => b,
             Err(error) => {
@@ -456,11 +461,12 @@ impl Database {
         &self,
         plan: &Node,
         threads: usize,
+        vectorize: bool,
         gov: Arc<QueryGovernor>,
     ) -> (Result<Vec<crate::exec::Chunk>>, OpMetrics, ExecCtx, Duration) {
         let t = Instant::now();
         let phys: PhysNode<'_> = lower(plan, threads);
-        let mut ctx = ExecCtx::with_governor(gov);
+        let mut ctx = ExecCtx::worker(gov, vectorize);
         // Last line of panic isolation: a panic escaping the morsel layer's
         // catch_unwind (e.g. one injected at a claim gate) must not cross the
         // engine boundary. The catalog is only read during execution and all
@@ -499,8 +505,12 @@ impl Database {
 
     fn explain_analyze_plan(&self, plan: &Node) -> Result<String> {
         let gov = Arc::new(QueryGovernor::from_params(&self.session_params()));
-        let (batches, metrics, ctx, exec_time) =
-            self.run_physical(plan, self.effective_threads(), gov.clone());
+        let (batches, metrics, ctx, exec_time) = self.run_physical(
+            plan,
+            self.effective_threads(),
+            crate::exec::vectorize_from_env(),
+            gov.clone(),
+        );
         let batches = batches?;
         let rows = pipeline::total_rows(&batches);
         let mut out = crate::plan::explain_analyze(plan, &metrics);

@@ -6,6 +6,48 @@ use crate::error::{Result, SnowError};
 use crate::plan::AggKind;
 use crate::variant::{cmp_variants, Key, Variant};
 
+use super::column::ColumnVec;
+
+/// True when [`Accumulator::update_column`] reproduces the serial row fold
+/// exactly for this column representation — same values *and* same errors.
+///
+/// Kinds that can raise a type error mid-fold (`SUM`, `AVG`, `BOOLAND_AGG`,
+/// `BOOLOR_AGG`) are only eligible when the column's type guarantees the
+/// serial fold cannot error, so column-major agg evaluation never reorders an
+/// error against another aggregate's row-major fold. Two-argument aggregates
+/// (`MIN_BY`/`MAX_BY`) always take the row path.
+pub fn column_eligible(kind: AggKind, col: &ColumnVec) -> bool {
+    match kind {
+        AggKind::CountStar
+        | AggKind::Count
+        | AggKind::CountDistinct
+        | AggKind::Min
+        | AggKind::Max
+        | AggKind::ArrayAgg
+        | AggKind::AnyValue => true,
+        AggKind::Sum | AggKind::Avg => matches!(
+            col,
+            ColumnVec::Null(_) | ColumnVec::Int { .. } | ColumnVec::Float { .. }
+        ),
+        AggKind::BoolAnd | AggKind::BoolOr => {
+            matches!(col, ColumnVec::Null(_) | ColumnVec::Bool { .. })
+        }
+        AggKind::MinBy | AggKind::MaxBy => false,
+    }
+}
+
+/// Non-null count of a column without materializing any [`Variant`].
+fn count_valid(col: &ColumnVec) -> i64 {
+    match col {
+        ColumnVec::Null(_) => 0,
+        ColumnVec::Int { valid, .. }
+        | ColumnVec::Float { valid, .. }
+        | ColumnVec::Bool { valid, .. } => valid.count_valid() as i64,
+        ColumnVec::Str(v) => v.iter().filter(|s| s.is_some()).count() as i64,
+        ColumnVec::Var(v) => v.iter().filter(|x| !x.is_null()).count() as i64,
+    }
+}
+
 /// One running aggregate state.
 #[derive(Debug)]
 pub enum Accumulator {
@@ -151,6 +193,121 @@ impl Accumulator {
         Ok(())
     }
 
+    /// Folds a whole column into the state, replicating the serial
+    /// row-at-a-time fold exactly (same values, same errors, same ties).
+    /// Callers must check [`column_eligible`] for this accumulator's kind
+    /// first; an ineligible column is an internal error.
+    pub fn update_column(&mut self, col: &ColumnVec) -> Result<()> {
+        match self {
+            Accumulator::CountStar(n) => *n += col.len() as i64,
+            Accumulator::Count(n) => *n += count_valid(col),
+            Accumulator::CountDistinct(set) => {
+                for r in 0..col.len() {
+                    if !col.is_null_at(r) {
+                        set.insert(col.key_at(r));
+                    }
+                }
+            }
+            Accumulator::Sum { acc } => return sum_column(acc, col),
+            Accumulator::Avg { sum, n } => match col {
+                ColumnVec::Null(_) => {}
+                ColumnVec::Int { vals, valid } => {
+                    for (i, &x) in vals.iter().enumerate() {
+                        if valid.get(i) {
+                            *sum += x as f64;
+                            *n += 1;
+                        }
+                    }
+                }
+                ColumnVec::Float { vals, valid } => {
+                    for (i, &x) in vals.iter().enumerate() {
+                        if valid.get(i) {
+                            *sum += x;
+                            *n += 1;
+                        }
+                    }
+                }
+                _ => {
+                    return Err(SnowError::Exec(
+                        "internal: AVG column fold on non-numeric column".into(),
+                    ))
+                }
+            },
+            Accumulator::Min(m) => {
+                for r in 0..col.len() {
+                    let v = col.get(r);
+                    if !v.is_null()
+                        && m.as_ref()
+                            .is_none_or(|cur| cmp_variants(&v, cur) == std::cmp::Ordering::Less)
+                    {
+                        *m = Some(v);
+                    }
+                }
+            }
+            Accumulator::Max(m) => {
+                for r in 0..col.len() {
+                    let v = col.get(r);
+                    if !v.is_null()
+                        && m.as_ref().is_none_or(|cur| {
+                            cmp_variants(&v, cur) == std::cmp::Ordering::Greater
+                        })
+                    {
+                        *m = Some(v);
+                    }
+                }
+            }
+            Accumulator::ArrayAgg(items) => {
+                for r in 0..col.len() {
+                    if !col.is_null_at(r) {
+                        items.push(col.get(r));
+                    }
+                }
+            }
+            // The serial fold stores the first value even when it is NULL.
+            Accumulator::AnyValue(slot) => {
+                if slot.is_none() && !col.is_empty() {
+                    *slot = Some(col.get(0));
+                }
+            }
+            Accumulator::BoolAnd(b) => match col {
+                ColumnVec::Null(_) => {}
+                ColumnVec::Bool { vals, valid } => {
+                    for (i, &x) in vals.iter().enumerate() {
+                        if valid.get(i) {
+                            *b = Some(b.unwrap_or(true) && x);
+                        }
+                    }
+                }
+                _ => {
+                    return Err(SnowError::Exec(
+                        "internal: BOOLAND_AGG column fold on non-bool column".into(),
+                    ))
+                }
+            },
+            Accumulator::BoolOr(b) => match col {
+                ColumnVec::Null(_) => {}
+                ColumnVec::Bool { vals, valid } => {
+                    for (i, &x) in vals.iter().enumerate() {
+                        if valid.get(i) {
+                            *b = Some(b.unwrap_or(false) || x);
+                        }
+                    }
+                }
+                _ => {
+                    return Err(SnowError::Exec(
+                        "internal: BOOLOR_AGG column fold on non-bool column".into(),
+                    ))
+                }
+            },
+            Accumulator::MinBy { .. } | Accumulator::MaxBy { .. } => {
+                return Err(SnowError::Exec(
+                    "internal: column fold on a two-argument aggregate".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
     /// Folds another partial state of the same kind into this one.
     ///
     /// `other` must come from a *later* slice of the input than `self`:
@@ -280,6 +437,54 @@ impl Accumulator {
                 }
             }
         }
+    }
+}
+
+/// Column-major `SUM` fold that is element-for-element identical to the
+/// serial `update` loop: first non-null stored as-is, `Int` additions
+/// checked-then-promoted to `Float` on overflow, mixed pairs coerced through
+/// the same `as f64` path as [`add`]. A non-numeric accumulator (possible
+/// when an earlier batch fell back row-major and stored a non-numeric first
+/// value) raises exactly the serial type error via [`add`].
+fn sum_column(acc: &mut Option<Variant>, col: &ColumnVec) -> Result<()> {
+    match col {
+        ColumnVec::Null(_) => Ok(()),
+        ColumnVec::Int { vals, valid } => {
+            for (i, &x) in vals.iter().enumerate() {
+                if !valid.get(i) {
+                    continue;
+                }
+                let next = match acc.take() {
+                    None => Variant::Int(x),
+                    Some(Variant::Int(cur)) => match cur.checked_add(x) {
+                        Some(v) => Variant::Int(v),
+                        None => Variant::Float(cur as f64 + x as f64),
+                    },
+                    Some(Variant::Float(f)) => Variant::Float(f + x as f64),
+                    Some(cur) => add(&cur, &Variant::Int(x))?,
+                };
+                *acc = Some(next);
+            }
+            Ok(())
+        }
+        ColumnVec::Float { vals, valid } => {
+            for (i, &x) in vals.iter().enumerate() {
+                if !valid.get(i) {
+                    continue;
+                }
+                let next = match acc.take() {
+                    None => Variant::Float(x),
+                    Some(Variant::Int(cur)) => Variant::Float(cur as f64 + x),
+                    Some(Variant::Float(f)) => Variant::Float(f + x),
+                    Some(cur) => add(&cur, &Variant::Float(x))?,
+                };
+                *acc = Some(next);
+            }
+            Ok(())
+        }
+        _ => Err(SnowError::Exec(
+            "internal: SUM column fold on non-numeric column".into(),
+        )),
     }
 }
 
@@ -415,6 +620,74 @@ mod tests {
         b.update2(&Variant::from("second"), &Variant::Int(1)).unwrap();
         a.merge(b).unwrap();
         assert_eq!(a.finish(), Variant::from("first"));
+    }
+
+    #[test]
+    fn column_fold_matches_row_fold() {
+        let batches: Vec<Vec<Variant>> = vec![
+            vec![Variant::Int(4), Variant::Null, Variant::Int(1)],
+            vec![Variant::Float(2.5), Variant::Float(f64::NAN), Variant::Null],
+            vec![Variant::Int(i64::MAX), Variant::Int(i64::MAX)],
+            vec![Variant::Bool(true), Variant::Null, Variant::Bool(false)],
+            vec![Variant::Null, Variant::Null],
+        ];
+        for kind in [
+            AggKind::CountStar,
+            AggKind::Count,
+            AggKind::CountDistinct,
+            AggKind::Sum,
+            AggKind::Min,
+            AggKind::Max,
+            AggKind::Avg,
+            AggKind::ArrayAgg,
+            AggKind::AnyValue,
+            AggKind::BoolAnd,
+            AggKind::BoolOr,
+        ] {
+            for batch in &batches {
+                let col = ColumnVec::from_variants(batch.clone());
+                if !column_eligible(kind, &col) {
+                    continue;
+                }
+                let mut serial = Accumulator::new(kind);
+                let mut serial_err = None;
+                for v in batch {
+                    if let Err(e) = serial.update(v) {
+                        serial_err = Some(e);
+                        break;
+                    }
+                }
+                let mut columnar = Accumulator::new(kind);
+                let col_res = columnar.update_column(&col);
+                match (serial_err, col_res) {
+                    (None, Ok(())) => {
+                        assert_eq!(
+                            columnar.finish(),
+                            serial.finish(),
+                            "kind {kind:?} batch {batch:?}"
+                        );
+                    }
+                    (Some(_), Err(_)) => {}
+                    (s, c) => panic!("kind {kind:?}: serial {s:?} vs column {c:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sum_column_reproduces_serial_error_on_poisoned_accumulator() {
+        // A row-major batch can store a non-numeric first value unchecked;
+        // the column fold over a later numeric batch must raise the same
+        // type error the serial fold would.
+        let mut serial = Accumulator::new(AggKind::Sum);
+        serial.update(&Variant::from("oops")).unwrap();
+        let e1 = serial.update(&Variant::Int(1)).unwrap_err();
+        let mut columnar = Accumulator::new(AggKind::Sum);
+        columnar.update(&Variant::from("oops")).unwrap();
+        let e2 = columnar
+            .update_column(&ColumnVec::from_variants(vec![Variant::Int(1)]))
+            .unwrap_err();
+        assert_eq!(e1.to_string(), e2.to_string());
     }
 
     #[test]

@@ -32,7 +32,7 @@ impl<'a> RowView<'a> {
         let mut rest = idx;
         for (chunk, row) in self.parts {
             if rest < chunk.cols.len() {
-                return Ok(chunk.cols[rest][*row].clone());
+                return Ok(chunk.cols[rest].get(*row));
             }
             rest -= chunk.cols.len();
         }
@@ -798,7 +798,10 @@ mod tests {
 
     #[test]
     fn out_of_range_column_is_a_typed_error_not_a_panic() {
-        let c = Chunk { cols: vec![vec![Variant::Int(1)]], rows: 1 };
+        let c = Chunk {
+            cols: vec![crate::exec::ColumnVec::from_variants(vec![Variant::Int(1)])],
+            rows: 1,
+        };
         let parts = [(&c, 0usize)];
         let err = eval(&PExpr::Col(5), RowView::new(&parts), &mut ectx()).unwrap_err();
         assert!(matches!(err, SnowError::Exec(_)));

@@ -24,6 +24,10 @@ pub struct OpMetricsCell {
     /// [`Chunk::approx_bytes`](crate::exec::Chunk::approx_bytes)): max over
     /// batches for streaming operators, total materialization for breakers.
     peak_mem_bytes: AtomicU64,
+    /// Rows processed through typed vectorized kernels.
+    rows_vectorized: AtomicU64,
+    /// Rows that fell back to the row-at-a-time Variant path.
+    rows_fallback: AtomicU64,
 }
 
 impl OpMetricsCell {
@@ -64,6 +68,16 @@ impl OpMetricsCell {
         self.peak_mem_bytes.fetch_max(bytes, Ordering::Relaxed);
     }
 
+    /// Counts rows processed through typed vectorized kernels.
+    pub fn add_vectorized(&self, rows: u64) {
+        self.rows_vectorized.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Counts rows that fell back to the row-at-a-time Variant path.
+    pub fn add_fallback(&self, rows: u64) {
+        self.rows_fallback.fetch_add(rows, Ordering::Relaxed);
+    }
+
     /// Immutable snapshot (taken after execution completes).
     pub fn snapshot(
         &self,
@@ -79,6 +93,8 @@ impl OpMetricsCell {
             busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
             peak_rows: self.peak_rows.load(Ordering::Relaxed),
             peak_mem_bytes: self.peak_mem_bytes.load(Ordering::Relaxed),
+            rows_vectorized: self.rows_vectorized.load(Ordering::Relaxed),
+            rows_fallback: self.rows_fallback.load(Ordering::Relaxed),
             parallelism,
             children,
         }
@@ -100,6 +116,11 @@ pub struct OpMetrics {
     pub peak_rows: u64,
     /// Peak estimated intermediate bytes held by the operator at once.
     pub peak_mem_bytes: u64,
+    /// Rows this operator processed through typed vectorized kernels.
+    pub rows_vectorized: u64,
+    /// Rows this operator processed on the row-at-a-time Variant path after a
+    /// kernel declined (mixed types, fallible shapes, volatile expressions).
+    pub rows_fallback: u64,
     /// Worker count the operator ran with.
     pub parallelism: usize,
     pub children: Vec<OpMetrics>,
@@ -114,12 +135,17 @@ impl OpMetrics {
     /// The annotation `EXPLAIN ANALYZE` appends to a plan line.
     pub fn annotation(&self) -> String {
         format!(
-            "rows={} batches={} time={:.3?} peak={} mem={}{}",
+            "rows={} batches={} time={:.3?} peak={} mem={}{}{}",
             self.rows_out,
             self.batches,
             self.busy,
             self.peak_rows,
             self.peak_mem_bytes,
+            if self.rows_vectorized + self.rows_fallback > 0 {
+                format!(" vec={}/{}", self.rows_vectorized, self.rows_fallback)
+            } else {
+                String::new()
+            },
             if self.parallelism > 1 {
                 format!(" workers={}", self.parallelism)
             } else {
@@ -138,6 +164,8 @@ mod tests {
         let cell = OpMetricsCell::default();
         cell.record_batch(100, 40, Duration::from_micros(5));
         cell.record_batch(50, 60, Duration::from_micros(3));
+        cell.add_vectorized(90);
+        cell.add_fallback(10);
         let m = cell.snapshot("Filter".into(), 4, Vec::new());
         assert_eq!(m.rows_in, 150);
         assert_eq!(m.rows_out, 100);
@@ -145,6 +173,17 @@ mod tests {
         assert_eq!(m.peak_rows, 60);
         assert_eq!(m.busy, Duration::from_micros(8));
         assert_eq!(m.parallelism, 4);
+        assert_eq!(m.rows_vectorized, 90);
+        assert_eq!(m.rows_fallback, 10);
         assert!(m.annotation().contains("workers=4"));
+        assert!(m.annotation().contains("vec=90/10"));
+    }
+
+    #[test]
+    fn annotation_omits_vec_counts_when_unused() {
+        let cell = OpMetricsCell::default();
+        cell.record_batch(10, 10, Duration::from_micros(1));
+        let m = cell.snapshot("Scan".into(), 1, Vec::new());
+        assert!(!m.annotation().contains("vec="));
     }
 }

@@ -1,10 +1,13 @@
 //! Plan execution: materializing operators over columnar chunks.
 
 pub mod agg;
+pub mod column;
 pub mod expr;
+pub mod kernel;
 pub mod metrics;
 pub mod pipeline;
 
+pub use column::{Bitmap, ColumnVec};
 pub use expr::{eval, truth, RowView};
 
 use std::collections::HashMap;
@@ -19,62 +22,53 @@ use crate::variant::{cmp_variants, Key, Variant};
 
 use agg::Accumulator;
 
-/// A fully materialized intermediate result: columns of variants.
+/// A fully materialized intermediate result: typed columns with validity
+/// bitmaps ([`ColumnVec`]); genuinely mixed data falls back to boxed variants
+/// per column.
 #[derive(Clone, Debug, Default)]
 pub struct Chunk {
-    pub cols: Vec<Vec<Variant>>,
+    pub cols: Vec<ColumnVec>,
     pub rows: usize,
 }
 
 impl Chunk {
     /// An empty chunk with the given arity.
     pub fn empty(arity: usize) -> Chunk {
-        Chunk { cols: vec![Vec::new(); arity], rows: 0 }
+        Chunk { cols: vec![ColumnVec::new(); arity], rows: 0 }
     }
 
     /// Reads one row as a vector (used at the result boundary).
     pub fn row(&self, i: usize) -> Vec<Variant> {
-        self.cols.iter().map(|c| c[i].clone()).collect()
+        self.cols.iter().map(|c| c.get(i)).collect()
     }
 
     fn push_row_from(&mut self, other: &Chunk, row: usize) {
         for (dst, src) in self.cols.iter_mut().zip(&other.cols) {
-            dst.push(src[row].clone());
+            dst.push_from(src, row);
         }
         self.rows += 1;
     }
 
-    /// Cheap memory estimate for governance accounting: the flat `Variant`
-    /// footprint plus a first-row sample of deep (string/array/object) bytes
-    /// extrapolated over all rows. O(arity + first-row depth) per batch — not
-    /// per-row — so the estimate costs nothing on the hot path while still
-    /// catching the `ARRAY_AGG`/join blow-ups where every row carries a large
-    /// nested value.
+    /// Cheap memory estimate for governance accounting: typed columns are
+    /// measured exactly; string/variant columns extrapolate a first-row
+    /// sample over all rows. O(arity) per batch — not per-row — so the
+    /// estimate costs nothing on the hot path while still catching the
+    /// `ARRAY_AGG`/join blow-ups where every row carries a large nested
+    /// value.
     pub fn approx_bytes(&self) -> u64 {
-        let flat = (self.cols.len() * self.rows * std::mem::size_of::<Variant>()) as u64;
-        if self.rows == 0 {
-            return flat;
-        }
-        let sample: u64 = self
-            .cols
-            .iter()
-            .filter_map(|c| c.first())
-            .map(|v| v.estimated_size())
-            .sum();
-        flat + sample * self.rows as u64
+        self.cols.iter().map(ColumnVec::approx_bytes).sum()
     }
 
-    /// Consumes the chunk into row vectors without cloning any cell: each
-    /// column is drained once and its values moved into place. This is the
-    /// result-boundary path; [`Chunk::row`] stays for callers that only
-    /// borrow the chunk.
+    /// Consumes the chunk into row vectors; boxed values are moved, typed
+    /// values materialize exactly once. This is the result-boundary path;
+    /// [`Chunk::row`] stays for callers that only borrow the chunk.
     pub fn into_rows(self) -> Vec<Vec<Variant>> {
         let arity = self.cols.len();
         let mut out: Vec<Vec<Variant>> =
             (0..self.rows).map(|_| Vec::with_capacity(arity)).collect();
         for col in self.cols {
             debug_assert_eq!(col.len(), out.len());
-            for (row, v) in out.iter_mut().zip(col) {
+            for (row, v) in out.iter_mut().zip(col.into_variants()) {
                 row.push(v);
             }
         }
@@ -82,8 +76,17 @@ impl Chunk {
     }
 }
 
+/// Resolves the `SNOWDB_VECTORIZE` environment default: vectorized kernels
+/// are on unless the variable is set to `0`/`false`/`off`.
+pub fn vectorize_from_env() -> bool {
+    match std::env::var("SNOWDB_VECTORIZE") {
+        Ok(v) => !matches!(v.trim(), "0" | "false" | "FALSE" | "off" | "OFF"),
+        Err(_) => true,
+    }
+}
+
 /// Mutable per-query execution state.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ExecCtx {
     pub stats: ScanStats,
     /// Counter backing `SEQ8()`.
@@ -92,6 +95,21 @@ pub struct ExecCtx {
     /// budgets, chaos. Defaults to an unbounded governor, so ungoverned
     /// callers pay only a relaxed atomic load per batch boundary.
     pub gov: Arc<QueryGovernor>,
+    /// Whether the batched executor may use vectorized kernels. The serial
+    /// reference executor ignores this — it is the never-vectorizing
+    /// baseline the oracle compares against.
+    pub vectorize: bool,
+}
+
+impl Default for ExecCtx {
+    fn default() -> ExecCtx {
+        ExecCtx {
+            stats: ScanStats::default(),
+            seq_counter: 0,
+            gov: Arc::default(),
+            vectorize: vectorize_from_env(),
+        }
+    }
 }
 
 impl ExecCtx {
@@ -100,6 +118,13 @@ impl ExecCtx {
     pub fn with_governor(gov: Arc<QueryGovernor>) -> ExecCtx {
         ExecCtx { gov, ..ExecCtx::default() }
     }
+
+    /// A worker-thread context sharing `gov` and inheriting an explicit
+    /// vectorization choice (workers must not re-read the environment: the
+    /// per-query option may override it).
+    pub fn worker(gov: Arc<QueryGovernor>, vectorize: bool) -> ExecCtx {
+        ExecCtx { gov, vectorize, ..ExecCtx::default() }
+    }
 }
 
 /// Executes a bound (and optimized) plan to completion.
@@ -107,8 +132,8 @@ pub fn execute(node: &Node, ctx: &mut ExecCtx) -> Result<Chunk> {
     match &node.kind {
         NodeKind::Values => Ok(Chunk { cols: Vec::new(), rows: 1 }),
         NodeKind::Scan { table, pushed, materialize } => {
-            let mut cols: Vec<Vec<Variant>> =
-                vec![Vec::new(); table.schema().len()];
+            let mut cols: Vec<ColumnVec> =
+                vec![ColumnVec::new(); table.schema().len()];
             let mut rows = 0usize;
             for part in table.partitions() {
                 ctx.stats.partitions_total += 1;
@@ -134,16 +159,15 @@ pub fn execute(node: &Node, ctx: &mut ExecCtx) -> Result<Chunk> {
                         let read = part.read_column_governed(i, &ctx.gov, "Scan")?;
                         ctx.stats.record_read(&read);
                         let data = read.data;
-                        out.reserve(data.len());
-                        for r in 0..data.len() {
-                            out.push(data.get(r));
-                        }
+                        // Shredded storage lands in the matching typed
+                        // representation — no per-value boxing.
+                        out.append(ColumnVec::from_column_data(&data, 0, data.len()));
                     } else {
                         // Unreferenced columns are never read; fill with nulls
                         // to keep positional addressing intact.
                         ctx.stats.columns_skipped += 1;
                         ctx.stats.bytes_skipped += part.column_bytes(i);
-                        out.resize(out.len() + part.row_count(), Variant::Null);
+                        out.push_nulls(part.row_count());
                     }
                 }
                 rows += part.row_count();
@@ -152,8 +176,8 @@ pub fn execute(node: &Node, ctx: &mut ExecCtx) -> Result<Chunk> {
         }
         NodeKind::Project { input, exprs } => {
             let inp = execute(input, ctx)?;
-            let mut cols: Vec<Vec<Variant>> =
-                exprs.iter().map(|_| Vec::with_capacity(inp.rows)).collect();
+            let mut cols: Vec<ColumnVec> =
+                exprs.iter().map(|_| ColumnVec::new()).collect();
             // SEQ8() numbers rows within the projection evaluating it, starting
             // at zero. This makes row ids deterministic per plan site, so two
             // occurrences of the same subquery (the JOIN-based nested-query
@@ -182,11 +206,7 @@ pub fn execute(node: &Node, ctx: &mut ExecCtx) -> Result<Chunk> {
                     keep.push(r);
                 }
             }
-            let cols = inp
-                .cols
-                .iter()
-                .map(|c| keep.iter().map(|&r| c[r].clone()).collect())
-                .collect();
+            let cols = inp.cols.iter().map(|c| c.gather(&keep)).collect();
             Ok(Chunk { cols, rows: keep.len() })
         }
         NodeKind::Flatten { input, expr, outer } => {
@@ -202,7 +222,7 @@ pub fn execute(node: &Node, ctx: &mut ExecCtx) -> Result<Chunk> {
                             key: Variant,
                             this: Variant| {
                     for (i, col) in out.cols.iter_mut().enumerate().take(in_arity) {
-                        col.push(inp.cols[i][r].clone());
+                        col.push_from(&inp.cols[i], r);
                     }
                     out.cols[in_arity].push(value);
                     out.cols[in_arity + 1].push(index);
@@ -251,7 +271,10 @@ pub fn execute(node: &Node, ctx: &mut ExecCtx) -> Result<Chunk> {
         NodeKind::Limit { input, n } => {
             let inp = execute(input, ctx)?;
             let n = (*n as usize).min(inp.rows);
-            let cols = inp.cols.iter().map(|c| c[..n].to_vec()).collect();
+            let mut cols = inp.cols;
+            for c in &mut cols {
+                c.truncate(n);
+            }
             Ok(Chunk { cols, rows: n })
         }
         NodeKind::UnionAll { left, right } => {
@@ -261,7 +284,7 @@ pub fn execute(node: &Node, ctx: &mut ExecCtx) -> Result<Chunk> {
                 return Err(SnowError::Exec("UNION ALL arity mismatch".into()));
             }
             for (dst, src) in l.cols.iter_mut().zip(r.cols) {
-                dst.extend(src);
+                dst.append(src);
             }
             l.rows += r.rows;
             Ok(l)
@@ -271,7 +294,7 @@ pub fn execute(node: &Node, ctx: &mut ExecCtx) -> Result<Chunk> {
             let mut seen = std::collections::HashSet::new();
             let mut out = Chunk::empty(inp.cols.len());
             for r in 0..inp.rows {
-                let key: Vec<Key> = inp.cols.iter().map(|c| Key::of(&c[r])).collect();
+                let key: Vec<Key> = inp.cols.iter().map(|c| c.key_at(r)).collect();
                 if seen.insert(key) {
                     out.push_row_from(&inp, r);
                 }
@@ -351,8 +374,8 @@ fn exec_aggregate(
     }
 
     let n_out = group_vals.len();
-    let mut cols: Vec<Vec<Variant>> =
-        vec![Vec::with_capacity(n_out); groups.len() + aggs.len()];
+    let mut cols: Vec<ColumnVec> =
+        vec![ColumnVec::new(); groups.len() + aggs.len()];
     for (gv, st) in group_vals.into_iter().zip(states) {
         for (i, v) in gv.into_iter().enumerate() {
             cols[i].push(v);
@@ -471,12 +494,12 @@ fn join_chunks(
 
     let emit = |out: &mut Chunk, lr: usize, rr: Option<usize>| {
         for (i, col) in out.cols.iter_mut().enumerate().take(la) {
-            col.push(l.cols[i][lr].clone());
+            col.push_from(&l.cols[i], lr);
         }
         for (i, col) in out.cols.iter_mut().enumerate().skip(la) {
             match rr {
-                Some(rr) => col.push(r.cols[i - la][rr].clone()),
-                None => col.push(Variant::Null),
+                Some(rr) => col.push_from(&r.cols[i - la], rr),
+                None => col.push_null(),
             }
         }
         out.rows += 1;
@@ -605,10 +628,6 @@ fn exec_sort(input: &Node, keys: &[SortKey], ctx: &mut ExecCtx) -> Result<Chunk>
         }
         std::cmp::Ordering::Equal
     });
-    let cols = inp
-        .cols
-        .iter()
-        .map(|c| order.iter().map(|&r| c[r].clone()).collect())
-        .collect();
+    let cols = inp.cols.iter().map(|c| c.gather(&order)).collect();
     Ok(Chunk { cols, rows: inp.rows })
 }

@@ -36,6 +36,17 @@
 //!   the one serial execution would have reported;
 //! - volatile expressions outside projections (a `SEQ8()` in a filter or join
 //!   condition) fall back to the serial reference implementation.
+//!
+//! # Vectorized execution
+//!
+//! Batches are columnar ([`ColumnVec`]), and when `ctx.vectorize` is on
+//! (default; `SNOWDB_VECTORIZE=0` disables) each operator first offers its
+//! expressions to the typed kernels in [`super::kernel`]. Kernels only accept
+//! *infallible* expression shapes, so a successful vectorized evaluation is
+//! value-identical to the serial row loop; everything else — and every row of
+//! a batch whose expressions decline — runs on the row-at-a-time Variant
+//! path. Both outcomes are counted per operator (`rows_vectorized` /
+//! `rows_fallback`, rendered as `vec=` by `EXPLAIN ANALYZE`).
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -47,7 +58,10 @@ use crate::sql::JoinKind;
 use crate::storage::morsel::try_parallel_indexed_governed;
 use crate::variant::{Key, Variant};
 
-use super::agg::Accumulator;
+use super::agg::{column_eligible, Accumulator};
+use super::column::ColumnVec;
+use super::kernel::{eval_vec, mask_keep};
+use super::metrics::OpMetricsCell;
 use super::{
     cmp_sort_values, eval, join_chunks, split_join_on, truth, Chunk, ExecCtx, RowView,
 };
@@ -102,7 +116,7 @@ pub fn concat_batches(batches: Vec<Chunk>, arity: usize) -> Chunk {
     };
     for c in iter {
         for (dst, src) in first.cols.iter_mut().zip(c.cols) {
-            dst.extend(src);
+            dst.append(src);
         }
         first.rows += c.rows;
     }
@@ -229,8 +243,12 @@ fn apply_stage(stage: &PhysNode<'_>, chunk: Chunk, ctx: &mut ExecCtx) -> Result<
     let start = Instant::now();
     let rows_in = chunk.rows as u64;
     let out = match &stage.logical.kind {
-        NodeKind::Filter { pred, .. } => filter_batch(pred, &chunk, ctx)?,
-        NodeKind::Project { exprs, .. } => project_batch(exprs, &chunk, ctx, 0)?,
+        NodeKind::Filter { pred, .. } => {
+            filter_batch(pred, &chunk, ctx, Some(&stage.metrics))?
+        }
+        NodeKind::Project { exprs, .. } => {
+            project_batch(exprs, &chunk, ctx, 0, Some(&stage.metrics))?
+        }
         _ => unreachable!("fused stages are filters and projections"),
     };
     stage.metrics.record_batch(rows_in, out.rows as u64, start.elapsed());
@@ -253,6 +271,7 @@ fn exec_scan(
     let parts = table.partitions();
     let arity = table.schema().len();
     let gov = ctx.gov.clone();
+    let vectorize = ctx.vectorize;
     let op = scan.op_name();
     let results = try_parallel_indexed_governed(
         parts.len(),
@@ -261,7 +280,7 @@ fn exec_scan(
         |pi, msg| worker_panic_error(&op, pi, msg),
         |pi| {
             let part = &parts[pi];
-            let mut wctx = ExecCtx::with_governor(gov.clone());
+            let mut wctx = ExecCtx::worker(gov.clone(), vectorize);
             wctx.stats.partitions_total = 1;
             // Zone-map pruning: skip the partition when any pushed predicate
             // proves no row can match. Pruned partitions contribute zero bytes.
@@ -303,19 +322,20 @@ fn exec_scan(
                 wctx.gov.checkpoint(&op)?;
                 let start = Instant::now();
                 let hi = (lo + BATCH_ROWS).min(n);
-                let mut cols: Vec<Vec<Variant>> = Vec::with_capacity(arity);
+                // Shredded storage columns transfer into typed ColumnVecs
+                // directly — values are never boxed into per-row Variants on
+                // the way into the pipeline.
+                let mut cols: Vec<ColumnVec> = Vec::with_capacity(arity);
                 for src in data.iter().take(arity) {
-                    let mut col = Vec::with_capacity(hi - lo);
                     if let Some(data) = src {
-                        for r in lo..hi {
-                            col.push(data.get(r));
-                        }
+                        cols.push(ColumnVec::from_column_data(data, lo, hi));
                     } else {
                         // Unreferenced columns are never read; fill with nulls
                         // to keep positional addressing intact.
-                        col.resize(hi - lo, Variant::Null);
+                        let mut col = ColumnVec::new();
+                        col.push_nulls(hi - lo);
+                        cols.push(col);
                     }
-                    cols.push(col);
                 }
                 let mut chunk = Chunk { cols, rows: hi - lo };
                 scan.metrics.record_batch(0, chunk.rows as u64, start.elapsed());
@@ -343,7 +363,28 @@ fn exec_scan(
 // Streaming operators over batch lists
 // ---------------------------------------------------------------------------
 
-fn filter_batch(pred: &PExpr, inp: &Chunk, ctx: &mut ExecCtx) -> Result<Chunk> {
+fn filter_batch(
+    pred: &PExpr,
+    inp: &Chunk,
+    ctx: &mut ExecCtx,
+    cell: Option<&OpMetricsCell>,
+) -> Result<Chunk> {
+    if ctx.vectorize {
+        if let Some(mask) = eval_vec(pred, inp) {
+            // A non-boolean mask value falls through to the row loop, which
+            // raises the serial type error at the offending row.
+            if let Some(keep) = mask_keep(&mask) {
+                if let Some(cell) = cell {
+                    cell.add_vectorized(inp.rows as u64);
+                }
+                let cols = inp.cols.iter().map(|c| c.gather(&keep)).collect();
+                return Ok(Chunk { cols, rows: keep.len() });
+            }
+        }
+    }
+    if let Some(cell) = cell {
+        cell.add_fallback(inp.rows as u64);
+    }
     let mut keep = Vec::with_capacity(inp.rows);
     for r in 0..inp.rows {
         let parts = [(inp, r)];
@@ -352,11 +393,7 @@ fn filter_batch(pred: &PExpr, inp: &Chunk, ctx: &mut ExecCtx) -> Result<Chunk> {
             keep.push(r);
         }
     }
-    let cols = inp
-        .cols
-        .iter()
-        .map(|c| keep.iter().map(|&r| c[r].clone()).collect())
-        .collect();
+    let cols = inp.cols.iter().map(|c| c.gather(&keep)).collect();
     Ok(Chunk { cols, rows: keep.len() })
 }
 
@@ -370,9 +407,50 @@ fn project_batch(
     inp: &Chunk,
     ctx: &mut ExecCtx,
     seq_base: i64,
+    cell: Option<&OpMetricsCell>,
 ) -> Result<Chunk> {
-    let mut cols: Vec<Vec<Variant>> =
-        exprs.iter().map(|_| Vec::with_capacity(inp.rows)).collect();
+    if ctx.vectorize && !exprs.iter().any(PExpr::is_volatile) {
+        let tried: Vec<Option<ColumnVec>> =
+            exprs.iter().map(|e| eval_vec(e, inp)).collect();
+        if tried.iter().all(Option::is_some) {
+            if let Some(cell) = cell {
+                cell.add_vectorized(inp.rows as u64);
+            }
+            let cols = tried.into_iter().map(Option::unwrap).collect();
+            return Ok(Chunk { cols, rows: inp.rows });
+        }
+        // Mixed outcome: keep the kernel results and evaluate the declined
+        // expressions row-major *together*, preserving the serial
+        // (row, expression) error order among them — the vectorized ones are
+        // infallible, so they cannot mask an earlier serial error.
+        if let Some(cell) = cell {
+            cell.add_fallback(inp.rows as u64);
+        }
+        let mut cols: Vec<ColumnVec> = Vec::with_capacity(exprs.len());
+        let mut missing: Vec<usize> = Vec::new();
+        for (i, t) in tried.into_iter().enumerate() {
+            match t {
+                Some(c) => cols.push(c),
+                None => {
+                    cols.push(ColumnVec::new());
+                    missing.push(i);
+                }
+            }
+        }
+        for r in 0..inp.rows {
+            let parts = [(inp, r)];
+            let view = RowView::new(&parts);
+            for &i in &missing {
+                let v = eval(&exprs[i], view, ctx)?;
+                cols[i].push(v);
+            }
+        }
+        return Ok(Chunk { cols, rows: inp.rows });
+    }
+    if let Some(cell) = cell {
+        cell.add_fallback(inp.rows as u64);
+    }
+    let mut cols: Vec<ColumnVec> = exprs.iter().map(|_| ColumnVec::new()).collect();
     let saved_seq = ctx.seq_counter;
     for r in 0..inp.rows {
         ctx.seq_counter = seq_base + r as i64;
@@ -396,7 +474,7 @@ fn exec_filter(p: &PhysNode<'_>, pred: &PExpr, ctx: &mut ExecCtx) -> Result<Vec<
         for c in &input {
             ctx.gov.checkpoint("Filter")?;
             let start = Instant::now();
-            let f = filter_batch(pred, c, ctx)?;
+            let f = filter_batch(pred, c, ctx, Some(&p.metrics))?;
             p.metrics.record_batch(c.rows as u64, f.rows as u64, start.elapsed());
             charge_batch(p, ctx, "Filter", &f)?;
             if f.rows > 0 {
@@ -406,6 +484,7 @@ fn exec_filter(p: &PhysNode<'_>, pred: &PExpr, ctx: &mut ExecCtx) -> Result<Vec<
         return Ok(out);
     }
     let gov = ctx.gov.clone();
+    let vectorize = ctx.vectorize;
     let batches = try_parallel_indexed_governed(
         input.len(),
         p.parallelism,
@@ -413,8 +492,8 @@ fn exec_filter(p: &PhysNode<'_>, pred: &PExpr, ctx: &mut ExecCtx) -> Result<Vec<
         |bi, msg| worker_panic_error("Filter", bi, msg),
         |bi| {
             let start = Instant::now();
-            let mut wctx = ExecCtx::with_governor(gov.clone());
-            let out = filter_batch(pred, &input[bi], &mut wctx)?;
+            let mut wctx = ExecCtx::worker(gov.clone(), vectorize);
+            let out = filter_batch(pred, &input[bi], &mut wctx, Some(&p.metrics))?;
             p.metrics.record_batch(input[bi].rows as u64, out.rows as u64, start.elapsed());
             charge_batch(p, &wctx, "Filter", &out)?;
             Ok(out)
@@ -435,6 +514,7 @@ fn exec_project(
     // per-worker context leaves the caller's counter untouched, mirroring the
     // serial executor's save/restore.
     let gov = ctx.gov.clone();
+    let vectorize = ctx.vectorize;
     let batches = try_parallel_indexed_governed(
         input.len(),
         p.parallelism,
@@ -442,8 +522,9 @@ fn exec_project(
         |bi, msg| worker_panic_error("Project", bi, msg),
         |bi| {
             let start = Instant::now();
-            let mut wctx = ExecCtx::with_governor(gov.clone());
-            let out = project_batch(exprs, &input[bi], &mut wctx, bases[bi] as i64)?;
+            let mut wctx = ExecCtx::worker(gov.clone(), vectorize);
+            let out =
+                project_batch(exprs, &input[bi], &mut wctx, bases[bi] as i64, Some(&p.metrics))?;
             p.metrics.record_batch(input[bi].rows as u64, out.rows as u64, start.elapsed());
             charge_batch(p, &wctx, "Project", &out)?;
             Ok(out)
@@ -461,19 +542,41 @@ fn flatten_batch(
     inp: &Chunk,
     ctx: &mut ExecCtx,
     row_base: i64,
+    cell: Option<&OpMetricsCell>,
 ) -> Result<Chunk> {
     let in_arity = inp.cols.len();
     let mut out = Chunk::empty(in_arity + 5);
+    // The flatten source evaluates vectorized when possible; the emit loop is
+    // per-row either way (output cardinality is data-dependent), but input
+    // columns pass through typed via `push_from` and the `SEQ` column stays a
+    // typed Int column.
+    let vec_src = if ctx.vectorize && !expr.is_volatile() {
+        eval_vec(expr, inp)
+    } else {
+        None
+    };
+    if let Some(cell) = cell {
+        if vec_src.is_some() {
+            cell.add_vectorized(inp.rows as u64);
+        } else {
+            cell.add_fallback(inp.rows as u64);
+        }
+    }
     for r in 0..inp.rows {
-        let parts = [(inp, r)];
-        let v = eval(expr, RowView::new(&parts), ctx)?;
+        let v = match &vec_src {
+            Some(col) => col.get(r),
+            None => {
+                let parts = [(inp, r)];
+                eval(expr, RowView::new(&parts), ctx)?
+            }
+        };
         let emit = |out: &mut Chunk,
                     value: Variant,
                     index: Variant,
                     key: Variant,
                     this: Variant| {
             for (i, col) in out.cols.iter_mut().enumerate().take(in_arity) {
-                col.push(inp.cols[i][r].clone());
+                col.push_from(&inp.cols[i], r);
             }
             out.cols[in_arity].push(value);
             out.cols[in_arity + 1].push(index);
@@ -516,7 +619,7 @@ fn exec_flatten(
         for (bi, c) in input.iter().enumerate() {
             ctx.gov.checkpoint("Flatten")?;
             let start = Instant::now();
-            let f = flatten_batch(expr, outer, c, ctx, bases[bi] as i64)?;
+            let f = flatten_batch(expr, outer, c, ctx, bases[bi] as i64, Some(&p.metrics))?;
             p.metrics.record_batch(c.rows as u64, f.rows as u64, start.elapsed());
             charge_batch(p, ctx, "Flatten", &f)?;
             if f.rows > 0 {
@@ -526,6 +629,7 @@ fn exec_flatten(
         return Ok(out);
     }
     let gov = ctx.gov.clone();
+    let vectorize = ctx.vectorize;
     let batches = try_parallel_indexed_governed(
         input.len(),
         p.parallelism,
@@ -533,8 +637,15 @@ fn exec_flatten(
         |bi, msg| worker_panic_error("Flatten", bi, msg),
         |bi| {
             let start = Instant::now();
-            let mut wctx = ExecCtx::with_governor(gov.clone());
-            let out = flatten_batch(expr, outer, &input[bi], &mut wctx, bases[bi] as i64)?;
+            let mut wctx = ExecCtx::worker(gov.clone(), vectorize);
+            let out = flatten_batch(
+                expr,
+                outer,
+                &input[bi],
+                &mut wctx,
+                bases[bi] as i64,
+                Some(&p.metrics),
+            )?;
             p.metrics.record_batch(input[bi].rows as u64, out.rows as u64, start.elapsed());
             charge_batch(p, &wctx, "Flatten", &out)?;
             Ok(out)
@@ -618,6 +729,157 @@ impl AggState {
         Ok(())
     }
 
+    /// Folds one batch, preferring the column-major path. Returns through the
+    /// row-at-a-time [`AggState::fold`] whenever [`AggState::try_fold_vec`]
+    /// declines, counting rows on the matching metrics counter.
+    fn fold_batch(
+        &mut self,
+        groups: &[PExpr],
+        aggs: &[AggExpr],
+        inp: &Chunk,
+        ctx: &mut ExecCtx,
+        cell: &OpMetricsCell,
+    ) -> Result<()> {
+        if ctx.vectorize && self.try_fold_vec(groups, aggs, inp)? {
+            cell.add_vectorized(inp.rows as u64);
+            return Ok(());
+        }
+        cell.add_fallback(inp.rows as u64);
+        self.fold(groups, aggs, inp, ctx)
+    }
+
+    /// Attempts a column-major fold of one batch: group keys and aggregate
+    /// arguments evaluate through the typed kernels, group slots come from
+    /// [`ColumnVec::key_at`], and accumulators consume whole columns (global
+    /// aggregation) or per-row typed values (grouped).
+    ///
+    /// Returns `Ok(false)` — with the state untouched — when any expression
+    /// declines to vectorize or a two-argument aggregate is present. The
+    /// global path additionally requires every accumulator to be provably
+    /// infallible for its column ([`column_eligible`] plus a numeric `SUM`
+    /// state), so column-major evaluation can never reorder errors across
+    /// aggregates relative to the serial row loop.
+    fn try_fold_vec(
+        &mut self,
+        groups: &[PExpr],
+        aggs: &[AggExpr],
+        inp: &Chunk,
+    ) -> Result<bool> {
+        if aggs.iter().any(|a| a.arg2.is_some()) {
+            return Ok(false);
+        }
+        let mut gcols = Vec::with_capacity(groups.len());
+        for g in groups {
+            match eval_vec(g, inp) {
+                Some(c) => gcols.push(c),
+                None => return Ok(false),
+            }
+        }
+        if groups.is_empty() {
+            // A SUM accumulator holding a non-numeric value (stored unchecked
+            // by an earlier row-major batch) errors on the next numeric value;
+            // take the row path so the (row, aggregate) error order matches.
+            if let Some(&slot) = self.index.get(&Vec::new()) {
+                if self.states[slot].iter().any(|st| {
+                    matches!(st, Accumulator::Sum { acc: Some(v) }
+                        if !matches!(v, Variant::Int(_) | Variant::Float(_)))
+                }) {
+                    return Ok(false);
+                }
+            }
+            // Evaluate and eligibility-check one aggregate at a time so an
+            // ineligible argument (e.g. SUM over a mixed Variant column)
+            // declines before the remaining arguments pay for evaluation —
+            // bare column references decline without even a clone.
+            let mut acols = Vec::with_capacity(aggs.len());
+            for a in aggs {
+                if let Some(PExpr::Col(i)) = &a.arg {
+                    match inp.cols.get(*i) {
+                        Some(c) if column_eligible(a.kind, c) => {}
+                        _ => return Ok(false),
+                    }
+                }
+                let col = match &a.arg {
+                    Some(e) => match eval_vec(e, inp) {
+                        Some(c) => c,
+                        None => return Ok(false),
+                    },
+                    None => ColumnVec::Null(inp.rows),
+                };
+                if !column_eligible(a.kind, &col) {
+                    return Ok(false);
+                }
+                acols.push(col);
+            }
+            if inp.rows == 0 {
+                return Ok(true);
+            }
+            let slot = match self.index.get(&Vec::new()) {
+                Some(&s) => s,
+                None => {
+                    let s = self.states.len();
+                    self.index.insert(Vec::new(), s);
+                    self.group_vals.push(Vec::new());
+                    self.states
+                        .push(aggs.iter().map(|a| Accumulator::new(a.kind)).collect());
+                    s
+                }
+            };
+            for (st, col) in self.states[slot].iter_mut().zip(&acols) {
+                st.update_column(col)?;
+            }
+            return Ok(true);
+        }
+        // Grouped path: typed keys and typed per-row argument values feed the
+        // ordinary row accumulators, so any update error surfaces at exactly
+        // the serial (row, aggregate) position.
+        let mut acols = Vec::with_capacity(aggs.len());
+        for a in aggs {
+            let col = match &a.arg {
+                Some(e) => match eval_vec(e, inp) {
+                    Some(c) => c,
+                    None => return Ok(false),
+                },
+                None => ColumnVec::Null(inp.rows),
+            };
+            acols.push(col);
+        }
+        let single = groups.len() == 1;
+        for r in 0..inp.rows {
+            let slot = if single {
+                let key = gcols[0].key_at(r);
+                match self.index1.get(&key) {
+                    Some(&s) => s,
+                    None => {
+                        let s = self.states.len();
+                        self.index1.insert(key, s);
+                        self.group_vals.push(vec![gcols[0].get(r)]);
+                        self.states
+                            .push(aggs.iter().map(|a| Accumulator::new(a.kind)).collect());
+                        s
+                    }
+                }
+            } else {
+                let key: Vec<Key> = gcols.iter().map(|c| c.key_at(r)).collect();
+                match self.index.get(&key) {
+                    Some(&s) => s,
+                    None => {
+                        let s = self.states.len();
+                        self.index.insert(key, s);
+                        self.group_vals.push(gcols.iter().map(|c| c.get(r)).collect());
+                        self.states
+                            .push(aggs.iter().map(|a| Accumulator::new(a.kind)).collect());
+                        s
+                    }
+                }
+            };
+            for (st, col) in self.states[slot].iter_mut().zip(&acols) {
+                st.update(&col.get(r))?;
+            }
+        }
+        Ok(true)
+    }
+
     /// Merges a later partial into this one, in input order: new groups
     /// append (preserving global first-seen order), existing groups merge
     /// accumulators.
@@ -692,15 +954,16 @@ fn exec_aggregate(
         // Thread-local partial aggregation per batch, merged at the barrier
         // in batch order so group order and tie-breaks match serial.
         let gov = ctx.gov.clone();
+        let vectorize = ctx.vectorize;
         let partials = try_parallel_indexed_governed(
             input.len(),
             p.parallelism,
             || gov.claim_checkpoint("Aggregate"),
             |bi, msg| worker_panic_error("Aggregate", bi, msg),
             |bi| {
-                let mut wctx = ExecCtx::with_governor(gov.clone());
+                let mut wctx = ExecCtx::worker(gov.clone(), vectorize);
                 let mut st = AggState::default();
-                st.fold(groups, aggs, &input[bi], &mut wctx)?;
+                st.fold_batch(groups, aggs, &input[bi], &mut wctx, &p.metrics)?;
                 Ok(st)
             },
         )?;
@@ -713,7 +976,7 @@ fn exec_aggregate(
         let mut st = AggState::default();
         for c in &input {
             ctx.gov.checkpoint("Aggregate")?;
-            st.fold(groups, aggs, c, ctx)?;
+            st.fold_batch(groups, aggs, c, ctx, &p.metrics)?;
         }
         st
     };
@@ -725,8 +988,7 @@ fn exec_aggregate(
     }
 
     let n_out = state.group_vals.len();
-    let mut cols: Vec<Vec<Variant>> =
-        vec![Vec::with_capacity(n_out); groups.len() + aggs.len()];
+    let mut cols: Vec<ColumnVec> = vec![ColumnVec::new(); groups.len() + aggs.len()];
     for (gv, st) in state.group_vals.into_iter().zip(state.states) {
         for (i, v) in gv.into_iter().enumerate() {
             cols[i].push(v);
@@ -783,31 +1045,56 @@ fn exec_join(
     };
 
     // Hash join: build on the right side (serial — the build is a hash
-    // insert in row order; probe is the parallel phase).
+    // insert in row order; probe is the parallel phase). Key expressions go
+    // through the typed kernels when possible; `key_at` then yields exactly
+    // the group key `Key::of` would for the boxed value.
+    let vectorize = ctx.vectorize;
     let hash: Option<HashMap<Vec<Key>, Vec<usize>>> = if equi.is_empty() {
         None
     } else {
         let mut table: HashMap<Vec<Key>, Vec<usize>> = HashMap::new();
-        let mut bctx = ExecCtx::with_governor(ctx.gov.clone());
-        for rr in 0..r.rows {
-            if rr % BATCH_ROWS == 0 {
-                bctx.gov.checkpoint("Join")?;
-            }
-            let parts = [(&r, rr)];
-            let view = RowView::new(&parts);
-            let mut key = Vec::with_capacity(equi.len());
-            let mut has_null = false;
-            for (_, rk) in &equi {
-                let v = eval(rk, view, &mut bctx)?;
-                if v.is_null() {
-                    has_null = true;
-                    break;
+        let build_cols: Option<Vec<ColumnVec>> = if vectorize {
+            equi.iter().map(|(_, rk)| eval_vec(rk, &r)).collect()
+        } else {
+            None
+        };
+        match build_cols {
+            Some(kcols) => {
+                for rr in 0..r.rows {
+                    if rr % BATCH_ROWS == 0 {
+                        ctx.gov.checkpoint("Join")?;
+                    }
+                    // NULL keys never match in SQL equality.
+                    if kcols.iter().any(|c| c.is_null_at(rr)) {
+                        continue;
+                    }
+                    let key: Vec<Key> = kcols.iter().map(|c| c.key_at(rr)).collect();
+                    table.entry(key).or_default().push(rr);
                 }
-                key.push(Key::of(&v));
             }
-            // NULL keys never match in SQL equality.
-            if !has_null {
-                table.entry(key).or_default().push(rr);
+            None => {
+                let mut bctx = ExecCtx::worker(ctx.gov.clone(), vectorize);
+                for rr in 0..r.rows {
+                    if rr % BATCH_ROWS == 0 {
+                        bctx.gov.checkpoint("Join")?;
+                    }
+                    let parts = [(&r, rr)];
+                    let view = RowView::new(&parts);
+                    let mut key = Vec::with_capacity(equi.len());
+                    let mut has_null = false;
+                    for (_, rk) in &equi {
+                        let v = eval(rk, view, &mut bctx)?;
+                        if v.is_null() {
+                            has_null = true;
+                            break;
+                        }
+                        key.push(Key::of(&v));
+                    }
+                    // NULL keys never match in SQL equality.
+                    if !has_null {
+                        table.entry(key).or_default().push(rr);
+                    }
+                }
             }
         }
         Some(table)
@@ -815,8 +1102,12 @@ fn exec_join(
 
     let gov = ctx.gov.clone();
     let probe = |lb: &Chunk| -> Result<Chunk> {
-        let mut wctx = ExecCtx::with_governor(gov.clone());
-        let mut out = Chunk::empty(la + ra);
+        let mut wctx = ExecCtx::worker(gov.clone(), vectorize);
+        // Matches accumulate as (left, right) row indices; the output chunk
+        // is a typed gather at the end, so column representations survive the
+        // join untouched (`None` right rows become NULLs on the outer side).
+        let mut lidx: Vec<usize> = Vec::new();
+        let mut ridx: Vec<Option<usize>> = Vec::new();
         let residual_ok = |wctx: &mut ExecCtx, lr: usize, rr: usize| -> Result<bool> {
             for e in &residual {
                 let parts = [(lb, lr), (&r, rr)];
@@ -827,18 +1118,6 @@ fn exec_join(
             }
             Ok(true)
         };
-        let emit = |out: &mut Chunk, lr: usize, rr: Option<usize>| {
-            for (i, col) in out.cols.iter_mut().enumerate().take(la) {
-                col.push(lb.cols[i][lr].clone());
-            }
-            for (i, col) in out.cols.iter_mut().enumerate().skip(la) {
-                match rr {
-                    Some(rr) => col.push(r.cols[i - la][rr].clone()),
-                    None => col.push(Variant::Null),
-                }
-            }
-            out.rows += 1;
-        };
         match &hash {
             None => {
                 // Nested-loop join for cross joins and non-equi conditions.
@@ -846,47 +1125,79 @@ fn exec_join(
                     let mut matched = false;
                     for rr in 0..r.rows {
                         if residual_ok(&mut wctx, lr, rr)? {
-                            emit(&mut out, lr, Some(rr));
+                            lidx.push(lr);
+                            ridx.push(Some(rr));
                             matched = true;
                         }
                     }
                     if kind == JoinKind::LeftOuter && !matched {
-                        emit(&mut out, lr, None);
+                        lidx.push(lr);
+                        ridx.push(None);
                     }
                 }
             }
             Some(table) => {
+                let probe_cols: Option<Vec<ColumnVec>> = if wctx.vectorize {
+                    equi.iter().map(|(lk, _)| eval_vec(lk, lb)).collect()
+                } else {
+                    None
+                };
+                if probe_cols.is_some() {
+                    p.metrics.add_vectorized(lb.rows as u64);
+                } else {
+                    p.metrics.add_fallback(lb.rows as u64);
+                }
                 for lr in 0..lb.rows {
-                    let parts = [(lb, lr)];
-                    let view = RowView::new(&parts);
                     let mut key = Vec::with_capacity(equi.len());
                     let mut has_null = false;
-                    for (lk, _) in &equi {
-                        let v = eval(lk, view, &mut wctx)?;
-                        if v.is_null() {
-                            has_null = true;
-                            break;
+                    match &probe_cols {
+                        Some(kcols) => {
+                            if kcols.iter().any(|c| c.is_null_at(lr)) {
+                                has_null = true;
+                            } else {
+                                key.extend(kcols.iter().map(|c| c.key_at(lr)));
+                            }
                         }
-                        key.push(Key::of(&v));
+                        None => {
+                            let parts = [(lb, lr)];
+                            let view = RowView::new(&parts);
+                            for (lk, _) in &equi {
+                                let v = eval(lk, view, &mut wctx)?;
+                                if v.is_null() {
+                                    has_null = true;
+                                    break;
+                                }
+                                key.push(Key::of(&v));
+                            }
+                        }
                     }
                     let mut matched = false;
                     if !has_null {
                         if let Some(rows) = table.get(&key) {
                             for &rr in rows {
                                 if residual_ok(&mut wctx, lr, rr)? {
-                                    emit(&mut out, lr, Some(rr));
+                                    lidx.push(lr);
+                                    ridx.push(Some(rr));
                                     matched = true;
                                 }
                             }
                         }
                     }
                     if kind == JoinKind::LeftOuter && !matched {
-                        emit(&mut out, lr, None);
+                        lidx.push(lr);
+                        ridx.push(None);
                     }
                 }
             }
         }
-        Ok(out)
+        let mut cols: Vec<ColumnVec> = Vec::with_capacity(la + ra);
+        for c in &lb.cols {
+            cols.push(c.gather(&lidx));
+        }
+        for c in &r.cols {
+            cols.push(c.gather_opt(&ridx));
+        }
+        Ok(Chunk { cols, rows: lidx.len() })
     };
 
     let batches = try_parallel_indexed_governed(
@@ -917,13 +1228,14 @@ fn exec_sort(p: &PhysNode<'_>, keys: &[SortKey], ctx: &mut ExecCtx) -> Result<Ve
     let start = Instant::now();
 
     let gov = ctx.gov.clone();
+    let vectorize = ctx.vectorize;
     let volatile = keys.iter().any(|k| k.expr.is_volatile());
     // Key evaluation parallelizes per batch; each result is key-major.
     let key_cols: Vec<Vec<Vec<Variant>>> = if volatile {
         let mut all = Vec::with_capacity(input.len());
         for c in &input {
             ctx.gov.checkpoint("Sort")?;
-            all.push(eval_sort_keys(keys, c, ctx)?);
+            all.push(eval_sort_keys(keys, c, ctx, Some(&p.metrics))?);
         }
         all
     } else {
@@ -933,8 +1245,8 @@ fn exec_sort(p: &PhysNode<'_>, keys: &[SortKey], ctx: &mut ExecCtx) -> Result<Ve
             || gov.claim_checkpoint("Sort"),
             |bi, msg| worker_panic_error("Sort", bi, msg),
             |bi| {
-                let mut wctx = ExecCtx::with_governor(gov.clone());
-                eval_sort_keys(keys, &input[bi], &mut wctx)
+                let mut wctx = ExecCtx::worker(gov.clone(), vectorize);
+                eval_sort_keys(keys, &input[bi], &mut wctx, Some(&p.metrics))
             },
         )?
     };
@@ -972,10 +1284,10 @@ fn exec_sort(p: &PhysNode<'_>, keys: &[SortKey], ctx: &mut ExecCtx) -> Result<Ve
             let t0 = Instant::now();
             let lo = ob * BATCH_ROWS;
             let hi = (lo + BATCH_ROWS).min(in_rows);
-            let mut cols: Vec<Vec<Variant>> = vec![Vec::with_capacity(hi - lo); arity];
+            let mut cols: Vec<ColumnVec> = vec![ColumnVec::new(); arity];
             for &(bi, r) in &order[lo..hi] {
                 for (i, col) in cols.iter_mut().enumerate() {
-                    col.push(input[bi as usize].cols[i][r as usize].clone());
+                    col.push_from(&input[bi as usize].cols[i], r as usize);
                 }
             }
             let out = Chunk { cols, rows: hi - lo };
@@ -994,15 +1306,31 @@ fn eval_sort_keys(
     keys: &[SortKey],
     inp: &Chunk,
     ctx: &mut ExecCtx,
+    cell: Option<&OpMetricsCell>,
 ) -> Result<Vec<Vec<Variant>>> {
     let mut out = Vec::with_capacity(keys.len());
+    let mut all_vec = true;
     for k in keys {
+        if ctx.vectorize && !k.expr.is_volatile() {
+            if let Some(col) = eval_vec(&k.expr, inp) {
+                out.push(col.into_variants());
+                continue;
+            }
+        }
+        all_vec = false;
         let mut col = Vec::with_capacity(inp.rows);
         for r in 0..inp.rows {
             let parts = [(inp, r)];
             col.push(eval(&k.expr, RowView::new(&parts), ctx)?);
         }
         out.push(col);
+    }
+    if let Some(cell) = cell {
+        if all_vec {
+            cell.add_vectorized(inp.rows as u64);
+        } else {
+            cell.add_fallback(inp.rows as u64);
+        }
     }
     Ok(out)
 }
@@ -1067,7 +1395,7 @@ fn exec_distinct(p: &PhysNode<'_>, ctx: &mut ExecCtx) -> Result<Vec<Chunk>> {
     for c in &input {
         ctx.gov.checkpoint("Distinct")?;
         for r in 0..c.rows {
-            let key: Vec<Key> = c.cols.iter().map(|col| Key::of(&col[r])).collect();
+            let key: Vec<Key> = c.cols.iter().map(|col| col.key_at(r)).collect();
             if seen.insert(key) {
                 cur.push_row_from(c, r);
                 if cur.rows == BATCH_ROWS {

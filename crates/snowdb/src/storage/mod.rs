@@ -112,20 +112,58 @@ impl ColumnData {
         self.len() == 0
     }
 
-    /// Appends a variant value, coercing it to the column's storage type.
+    /// Appends a variant value.
     ///
-    /// Type-mismatched values are stored as null; in the Snowflake model the load
-    /// path would have rejected them, and the workloads only exercise the clean path.
+    /// A value is stored natively only when the conversion to the column's
+    /// storage type is *lossless*: an integral double may shred into an `Int`
+    /// column, an integer below 2^53 into a `Float` column. Any value the
+    /// column cannot hold exactly promotes the **whole column** to
+    /// [`ColumnData::Variant`] — mirroring Snowflake's "lowest common type"
+    /// columnarization, which falls back to VARIANT storage when a
+    /// micro-partition's values drift. Data is never truncated or nulled-out:
+    /// `push` followed by [`ColumnData::get`] always round-trips a value equal
+    /// to the input.
     pub fn push(&mut self, v: &Variant) {
+        match (&mut *self, v) {
+            (ColumnData::Int(col), Variant::Null) => col.push(None),
+            (ColumnData::Int(col), Variant::Int(i)) => col.push(Some(*i)),
+            (ColumnData::Int(col), Variant::Float(f))
+                if f.fract() == 0.0
+                    && *f >= -9_223_372_036_854_775_808.0
+                    && *f < 9_223_372_036_854_775_808.0 =>
+            {
+                col.push(Some(*f as i64))
+            }
+            (ColumnData::Float(col), Variant::Null) => col.push(None),
+            (ColumnData::Float(col), Variant::Float(f)) => col.push(Some(*f)),
+            (ColumnData::Float(col), Variant::Int(i))
+                if cmp_variants(&Variant::Float(*i as f64), v) == Ordering::Equal =>
+            {
+                col.push(Some(*i as f64))
+            }
+            (ColumnData::Bool(col), Variant::Null) => col.push(None),
+            (ColumnData::Bool(col), Variant::Bool(b)) => col.push(Some(*b)),
+            (ColumnData::Str(col), Variant::Null) => col.push(None),
+            (ColumnData::Str(col), Variant::Str(s)) => col.push(Some(s.clone())),
+            (ColumnData::Variant(col), v) => col.push(v.clone()),
+            (_, v) => {
+                *self = ColumnData::Variant(self.to_variants());
+                self.push(v);
+            }
+        }
+    }
+
+    /// The storage type the column currently holds. For a column promoted to
+    /// `Variant` mid-ingest this is [`ColumnType::Variant`] regardless of the
+    /// declared schema type — persistence must record the *actual* type so the
+    /// decoder reads back what was encoded.
+    pub fn column_type(&self) -> ColumnType {
         match self {
-            ColumnData::Int(col) => col.push(v.as_i64()),
-            ColumnData::Float(col) => col.push(v.as_f64()),
-            ColumnData::Bool(col) => col.push(v.as_bool()),
-            ColumnData::Str(col) => col.push(match v {
-                Variant::Str(s) => Some(s.clone()),
-                _ => None,
-            }),
-            ColumnData::Variant(col) => col.push(v.clone()),
+            ColumnData::Int(_) => ColumnType::Int,
+            ColumnData::Float(_) => ColumnType::Float,
+            ColumnData::Bool(_) => ColumnType::Bool,
+            ColumnData::Str(_) => ColumnType::Str,
+            ColumnData::Variant(_) => ColumnType::Variant,
         }
     }
 
@@ -426,10 +464,51 @@ mod tests {
     }
 
     #[test]
-    fn column_type_mismatch_stores_null() {
+    fn column_type_mismatch_promotes_to_variant() {
+        // A drifting value must never be truncated or nulled-out: the column
+        // promotes to Variant storage and keeps every value exactly.
         let mut c = ColumnData::empty(ColumnType::Int);
+        c.push(&Variant::Int(5));
         c.push(&Variant::str("oops"));
-        assert!(c.get(0).is_null());
+        c.push(&Variant::Int(6));
+        assert_eq!(c.column_type(), ColumnType::Variant);
+        assert_eq!(c.get(0), Variant::Int(5));
+        assert_eq!(c.get(1), Variant::str("oops"));
+        assert_eq!(c.get(2), Variant::Int(6));
+    }
+
+    #[test]
+    fn lossy_numeric_pushes_promote_instead_of_truncating() {
+        // Non-integral double into an Int column: the old path stored
+        // `as_i64()` (null), silently losing the value.
+        let mut c = ColumnData::empty(ColumnType::Int);
+        c.push(&Variant::Float(7.5));
+        assert_eq!(c.column_type(), ColumnType::Variant);
+        assert_eq!(c.get(0), Variant::Float(7.5));
+
+        // 2^63 is out of i64 range: must not saturate to i64::MAX.
+        let mut c = ColumnData::empty(ColumnType::Int);
+        c.push(&Variant::Float(9.223372036854776e18));
+        assert_eq!(c.get(0), Variant::Float(9.223372036854776e18));
+
+        // An integer above 2^53 does not fit a double exactly: a Float column
+        // must promote rather than round it.
+        let mut c = ColumnData::empty(ColumnType::Float);
+        let big = (1i64 << 53) + 1;
+        c.push(&Variant::Int(big));
+        assert_eq!(c.column_type(), ColumnType::Variant);
+        assert_eq!(c.get(0), Variant::Int(big));
+
+        // ...while a small integer shreds into the Float column losslessly.
+        let mut c = ColumnData::empty(ColumnType::Float);
+        c.push(&Variant::Int(42));
+        assert_eq!(c.column_type(), ColumnType::Float);
+        assert_eq!(c.get(0), Variant::Float(42.0));
+
+        // NaN into an Int column promotes (fract() of NaN is NaN).
+        let mut c = ColumnData::empty(ColumnType::Int);
+        c.push(&Variant::Float(f64::NAN));
+        assert_eq!(c.column_type(), ColumnType::Variant);
     }
 
     #[test]

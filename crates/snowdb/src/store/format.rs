@@ -540,9 +540,12 @@ pub fn write_partition(
         encode_column(part.column(i), &mut buf);
         let len = buf.len() as u64 - offset;
         let crc = crc32(&buf[offset as usize..]);
+        // Record the type the block was *encoded* with, not the declared
+        // schema type: a column that drifted mid-ingest is promoted to
+        // Variant storage, and the decoder keys off this footer field.
         columns.push(ColumnMeta {
             name: def.name.clone(),
-            ty: def.ty,
+            ty: part.column(i).column_type(),
             offset,
             len,
             crc,

@@ -9,7 +9,7 @@ mod json;
 mod ops;
 
 pub use json::{parse_json, to_json};
-pub use ops::{cmp_variants, Key, NumericPair};
+pub use ops::{cmp_f64, cmp_i64_f64, cmp_variants, Key, NumericPair};
 
 use std::fmt;
 use std::sync::Arc;

@@ -35,17 +35,27 @@ impl PartialEq for Variant {
             (Variant::Str(a), Variant::Str(b)) => a == b,
             (Variant::Array(a), Variant::Array(b)) => a == b,
             (Variant::Object(a), Variant::Object(b)) => a == b,
-            (a, b) => match NumericPair::coerce(a, b) {
-                Some(NumericPair::Int(x, y)) => x == y,
-                // Equality is the Equal case of the same total order that
-                // drives sorting, MIN/MAX, and zone maps: NaN equals itself
-                // (and sorts after every other number, Snowflake's rule).
-                // IEEE `==` would make `eq` disagree with `cmp_variants`, and
-                // zone-map pruning built on the total order would then drop
-                // partitions whose rows the equality-based filter keeps.
-                Some(NumericPair::Float(x, y)) => cmp_f64(x, y) == Ordering::Equal,
-                None => false,
-            },
+            (Variant::Int(x), Variant::Int(y)) => x == y,
+            // Mixed Int/Float equality goes through the exact comparison, not
+            // `x as f64`: the conversion rounds for |x| > 2^53, which made
+            // distinct values compare equal (corrupting ORDER BY, join keys,
+            // and DISTINCT).
+            (Variant::Int(x), Variant::Float(y)) => {
+                cmp_i64_f64(*x, *y) == Ordering::Equal
+            }
+            (Variant::Float(x), Variant::Int(y)) => {
+                cmp_i64_f64(*y, *x) == Ordering::Equal
+            }
+            // Equality is the Equal case of the same total order that
+            // drives sorting, MIN/MAX, and zone maps: NaN equals itself
+            // (and sorts after every other number, Snowflake's rule).
+            // IEEE `==` would make `eq` disagree with `cmp_variants`, and
+            // zone-map pruning built on the total order would then drop
+            // partitions whose rows the equality-based filter keeps.
+            (Variant::Float(x), Variant::Float(y)) => {
+                cmp_f64(*x, *y) == Ordering::Equal
+            }
+            _ => false,
         }
     }
 }
@@ -96,18 +106,52 @@ pub fn cmp_variants(a: &Variant, b: &Variant) -> Ordering {
             }
             x.len().cmp(&y.len())
         }
-        (a, b) => match NumericPair::coerce(a, b) {
-            Some(NumericPair::Int(x, y)) => x.cmp(&y),
-            Some(NumericPair::Float(x, y)) => cmp_f64(x, y),
-            None => rank(a).cmp(&rank(b)),
-        },
+        (Variant::Int(x), Variant::Int(y)) => x.cmp(y),
+        (Variant::Int(x), Variant::Float(y)) => cmp_i64_f64(*x, *y),
+        (Variant::Float(x), Variant::Int(y)) => cmp_i64_f64(*y, *x).reverse(),
+        (Variant::Float(x), Variant::Float(y)) => cmp_f64(*x, *y),
+        (a, b) => rank(a).cmp(&rank(b)),
+    }
+}
+
+/// Exact comparison of an `i64` against an `f64`, without converting the
+/// integer to `f64` first (that conversion rounds for |x| > 2^53 and made
+/// distinct values compare equal). Follows the shared NaN rule: NaN sorts
+/// after every number, so an integer is always `Less` than NaN.
+pub fn cmp_i64_f64(x: i64, y: f64) -> Ordering {
+    if y.is_nan() {
+        return Ordering::Less;
+    }
+    // Every i64 lies strictly below 2^63; a float at or above that bound
+    // (including +inf) exceeds every integer, and symmetrically below -2^63.
+    // Both bounds are exactly representable as f64.
+    if y >= 9_223_372_036_854_775_808.0 {
+        return Ordering::Less;
+    }
+    if y < -9_223_372_036_854_775_808.0 {
+        return Ordering::Greater;
+    }
+    // Finite y with -2^63 <= y < 2^63: the truncation fits in i64 exactly.
+    let t = y.trunc() as i64;
+    match x.cmp(&t) {
+        Ordering::Equal => {
+            let frac = y - y.trunc();
+            if frac > 0.0 {
+                Ordering::Less
+            } else if frac < 0.0 {
+                Ordering::Greater
+            } else {
+                Ordering::Equal
+            }
+        }
+        o => o,
     }
 }
 
 /// The shared float order: IEEE for comparable values, NaN == NaN, and NaN
 /// greater than everything else. `partial_cmp` returns `None` only when at
 /// least one side is NaN.
-fn cmp_f64(x: f64, y: f64) -> Ordering {
+pub fn cmp_f64(x: f64, y: f64) -> Ordering {
     match x.partial_cmp(&y) {
         Some(o) => o,
         None => match (x.is_nan(), y.is_nan()) {
@@ -139,23 +183,35 @@ impl Key {
             Variant::Null => Key::Null,
             Variant::Bool(b) => Key::Bool(*b),
             Variant::Int(i) => Key::Int(*i),
-            Variant::Float(f) => {
-                if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64
-                {
-                    Key::Int(*f as i64)
-                } else if f.is_nan() {
-                    Key::Float(f64::NAN.to_bits())
-                } else if *f == 0.0 {
-                    Key::Int(0)
-                } else {
-                    Key::Float(f.to_bits())
-                }
-            }
+            Variant::Float(f) => Key::of_f64(*f),
             Variant::Str(s) => Key::Str(s.clone()),
             Variant::Array(a) => Key::Array(a.iter().map(Key::of).collect()),
             Variant::Object(o) => Key::Object(
                 o.iter().map(|(k, v)| (Arc::from(k), Key::of(v))).collect(),
             ),
+        }
+    }
+
+    /// Canonical key for a double, shared between [`Key::of`] and the typed
+    /// column kernels so grouping cannot diverge between the two paths.
+    ///
+    /// Integral doubles that convert to `i64` exactly canonicalize to
+    /// `Key::Int` so `1` and `1.0` land in one group; the upper bound is
+    /// *strict* `< 2^63` because 2^63 itself is not an i64 (the old guard used
+    /// `<= i64::MAX as f64`, which rounds the bound up to 2^63, so
+    /// `9.223372036854776e18` passed and the saturating cast collided it with
+    /// `i64::MAX`). `-0.0` has zero fract and casts to `0`, unifying it with
+    /// `0.0` and `0`; NaN canonicalizes to one bit pattern, matching the
+    /// NaN == NaN total order.
+    pub fn of_f64(f: f64) -> Key {
+        if f.is_nan() {
+            Key::Float(f64::NAN.to_bits())
+        } else if f.fract() == 0.0
+            && (-9_223_372_036_854_775_808.0..9_223_372_036_854_775_808.0).contains(&f)
+        {
+            Key::Int(f as i64)
+        } else {
+            Key::Float(f.to_bits())
         }
     }
 }
@@ -220,6 +276,114 @@ mod tests {
         let c = Variant::array(vec![Variant::Int(1)]);
         assert_eq!(cmp_variants(&a, &b), Ordering::Less);
         assert_eq!(cmp_variants(&c, &a), Ordering::Less);
+    }
+
+    #[test]
+    fn large_int_float_comparison_is_exact() {
+        // 2^53 is the first point where f64 can no longer represent every
+        // integer; the old `x as f64` coercion collapsed neighbors here.
+        let p53 = 1i64 << 53; // 9007199254740992
+        let f53 = p53 as f64; // exact
+        assert_eq!(Variant::Int(p53), Variant::Float(f53));
+        assert_ne!(Variant::Int(p53 + 1), Variant::Float(f53));
+        assert_eq!(
+            cmp_variants(&Variant::Int(p53 + 1), &Variant::Float(f53)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            cmp_variants(&Variant::Float(f53), &Variant::Int(p53 + 1)),
+            Ordering::Less
+        );
+        assert_ne!(Variant::Int(-(p53 + 1)), Variant::Float(-f53));
+        assert_eq!(
+            cmp_variants(&Variant::Int(-(p53 + 1)), &Variant::Float(-f53)),
+            Ordering::Less
+        );
+        // i64::MAX as f64 rounds up to 2^63, which is strictly greater than
+        // every i64 — the two must not compare equal.
+        let max_f = i64::MAX as f64; // 2^63
+        assert_ne!(Variant::Int(i64::MAX), Variant::Float(max_f));
+        assert_eq!(
+            cmp_variants(&Variant::Int(i64::MAX), &Variant::Float(max_f)),
+            Ordering::Less
+        );
+        // i64::MIN as f64 is exactly -2^63, so that pair *is* equal.
+        assert_eq!(Variant::Int(i64::MIN), Variant::Float(i64::MIN as f64));
+        // Fractional parts break ties on the integer part.
+        assert_eq!(cmp_i64_f64(5, 5.5), Ordering::Less);
+        assert_eq!(cmp_i64_f64(-5, -5.5), Ordering::Greater);
+        // Infinities and NaN: ints below +inf and NaN, above -inf.
+        assert_eq!(cmp_i64_f64(i64::MAX, f64::INFINITY), Ordering::Less);
+        assert_eq!(cmp_i64_f64(i64::MIN, f64::NEG_INFINITY), Ordering::Greater);
+        assert_eq!(cmp_i64_f64(i64::MAX, f64::NAN), Ordering::Less);
+    }
+
+    #[test]
+    fn eq_is_equal_case_of_cmp_for_mixed_numeric() {
+        let ints = [0, 1, -1, (1i64 << 53) + 1, i64::MAX, i64::MIN];
+        let floats = [
+            0.0,
+            -0.0,
+            0.5,
+            (1i64 << 53) as f64,
+            9.223372036854776e18,
+            -9.223372036854776e18,
+            f64::NAN,
+            f64::INFINITY,
+        ];
+        for &x in &ints {
+            for &y in &floats {
+                assert_eq!(
+                    Variant::Int(x) == Variant::Float(y),
+                    cmp_variants(&Variant::Int(x), &Variant::Float(y)) == Ordering::Equal,
+                    "eq/cmp disagree on ({x}, {y})"
+                );
+                assert_eq!(
+                    cmp_variants(&Variant::Int(x), &Variant::Float(y)),
+                    cmp_variants(&Variant::Float(y), &Variant::Int(x)).reverse(),
+                    "cmp not antisymmetric on ({x}, {y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_floats_do_not_collide_group_keys() {
+        // 9.223372036854776e18 is 2^63: the old `<= i64::MAX as f64` guard
+        // admitted it and the saturating cast collided it with i64::MAX.
+        let big = 9.223372036854776e18;
+        assert_ne!(Key::of(&Variant::Float(big)), Key::of(&Variant::Int(i64::MAX)));
+        assert_eq!(Key::of(&Variant::Float(big)), Key::of(&Variant::Float(big)));
+        // -2^63 is exactly representable, so it unifies with i64::MIN...
+        assert_eq!(
+            Key::of(&Variant::Float(-9.223372036854776e18)),
+            Key::of(&Variant::Int(i64::MIN))
+        );
+        // ...but the next representable double below must not.
+        let below = (-9.223372036854776e18f64).next_down();
+        assert_ne!(Key::of(&Variant::Float(below)), Key::of(&Variant::Int(i64::MIN)));
+        // Key unification must agree with equality: equal values share a key,
+        // distinct values get distinct keys.
+        for v in [big, -9.223372036854776e18, below] {
+            assert_eq!(
+                Variant::Float(v) == Variant::Int(i64::MAX),
+                Key::of(&Variant::Float(v)) == Key::of(&Variant::Int(i64::MAX))
+            );
+            assert_eq!(
+                Variant::Float(v) == Variant::Int(i64::MIN),
+                Key::of(&Variant::Float(v)) == Key::of(&Variant::Int(i64::MIN))
+            );
+        }
+    }
+
+    #[test]
+    fn zero_and_nan_keys_stay_coherent() {
+        assert_eq!(Key::of(&Variant::Float(-0.0)), Key::of(&Variant::Float(0.0)));
+        assert_eq!(Key::of(&Variant::Float(-0.0)), Key::of(&Variant::Int(0)));
+        let nan_key = Key::of(&Variant::Float(f64::NAN));
+        assert_eq!(nan_key, Key::of(&Variant::Float(-f64::NAN)));
+        assert_ne!(nan_key, Key::of(&Variant::Float(f64::INFINITY)));
+        assert_ne!(Key::of(&Variant::Float(f64::INFINITY)), Key::of(&Variant::Float(f64::NEG_INFINITY)));
     }
 
     #[test]

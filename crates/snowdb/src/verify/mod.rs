@@ -41,30 +41,36 @@ pub struct SqlConfig {
     pub optimize: bool,
     /// Worker threads for the morsel-parallel pipeline.
     pub threads: usize,
+    /// Run the typed vectorized kernels or force the row-at-a-time path.
+    pub vectorize: bool,
 }
 
 impl SqlConfig {
     /// Human-readable label used in reports.
     pub fn label(&self) -> String {
         format!(
-            "{}/threads={}",
+            "{}/threads={}/{}",
             if self.optimize { "optimized" } else { "raw" },
-            self.threads
+            self.threads,
+            if self.vectorize { "vec" } else { "row" }
         )
     }
 }
 
-/// The default lattice: {optimized, raw} × {1, 2, `max_threads`} with
-/// duplicate thread counts collapsed. The optimized serial configuration
-/// comes first and acts as the baseline.
+/// The default lattice: {optimized, raw} × {1, 2, `max_threads`} ×
+/// {vectorized, row-at-a-time} with duplicate thread counts collapsed. The
+/// optimized serial vectorized configuration comes first and acts as the
+/// baseline.
 pub fn default_lattice(max_threads: usize) -> Vec<SqlConfig> {
     let mut threads = vec![1usize, 2, max_threads.max(1)];
     threads.sort_unstable();
     threads.dedup();
-    let mut out = Vec::with_capacity(threads.len() * 2);
+    let mut out = Vec::with_capacity(threads.len() * 4);
     for optimize in [true, false] {
         for &t in &threads {
-            out.push(SqlConfig { optimize, threads: t });
+            for vectorize in [true, false] {
+                out.push(SqlConfig { optimize, threads: t, vectorize });
+            }
         }
     }
     out
@@ -93,7 +99,11 @@ pub fn verify_sql(
 
     let mut runs = Vec::with_capacity(configs.len());
     for cfg in configs {
-        let opts = QueryOptions { optimize: cfg.optimize, threads: Some(cfg.threads) };
+        let opts = QueryOptions {
+            optimize: cfg.optimize,
+            threads: Some(cfg.threads),
+            vectorize: Some(cfg.vectorize),
+        };
         match db.query_with(sql, &opts) {
             Ok(result) => {
                 // Annotate the plan with the measured metrics now, while both
@@ -244,7 +254,8 @@ pub fn verify_sql_chaos(
     threads: usize,
     epsilon: f64,
 ) -> Result<ChaosReport> {
-    let opts = QueryOptions { optimize: true, threads: Some(threads) };
+    let opts =
+        QueryOptions { optimize: true, threads: Some(threads), vectorize: None };
     let baseline = match db.query_with(sql, &opts) {
         Ok(r) => Ok(canonical_rows(r.rows)),
         Err(e) => Err(e.to_string()),
@@ -403,12 +414,12 @@ mod tests {
     #[test]
     fn default_lattice_covers_both_optimizer_modes() {
         let l = default_lattice(4);
-        assert_eq!(l.len(), 6);
-        assert!(l.iter().any(|c| c.optimize && c.threads == 4));
-        assert!(l.iter().any(|c| !c.optimize && c.threads == 1));
+        assert_eq!(l.len(), 12);
+        assert!(l.iter().any(|c| c.optimize && c.threads == 4 && c.vectorize));
+        assert!(l.iter().any(|c| !c.optimize && c.threads == 1 && !c.vectorize));
         // Duplicate thread counts collapse.
-        assert_eq!(default_lattice(1).len(), 4);
-        assert_eq!(l[0], SqlConfig { optimize: true, threads: 1 });
+        assert_eq!(default_lattice(1).len(), 8);
+        assert_eq!(l[0], SqlConfig { optimize: true, threads: 1, vectorize: true });
     }
 
     #[test]

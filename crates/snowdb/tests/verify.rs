@@ -250,6 +250,141 @@ fn verify_nan_agrees_across_lattice() {
     }
 }
 
+/// Integer/float comparison is exact beyond 2^53: before `cmp_i64_f64`, the
+/// compare path coerced `i64 as f64`, so 2^53 and 2^53+1 compared equal —
+/// filters, DISTINCT and GROUP BY all disagreed with exact integer semantics
+/// around the mantissa boundary. Every value here straddles that boundary.
+#[test]
+fn verify_large_int_float_comparison_is_exact() {
+    const P53: i64 = 1 << 53;
+    let d = Database::new();
+    d.load_table_with_partition_rows(
+        "t",
+        vec![
+            ColumnDef::new("ID", ColumnType::Int),
+            ColumnDef::new("N", ColumnType::Variant),
+        ],
+        [
+            Variant::Int(P53),
+            Variant::Int(P53 + 1),
+            Variant::Float(P53 as f64),
+            Variant::Int(i64::MAX),
+            Variant::Float(9.007199254740993e15),
+            Variant::Int(-P53 - 1),
+            Variant::Float(-(P53 as f64)),
+        ]
+        .into_iter()
+        .enumerate()
+        .map(|(i, n)| vec![Variant::Int(i as i64), n]),
+        2,
+    )
+    .unwrap();
+    for sql in [
+        format!("SELECT ID FROM t WHERE N = {}.0", P53),
+        format!("SELECT ID FROM t WHERE N > {}", P53),
+        "SELECT COUNT(DISTINCT N) FROM t".to_string(),
+        "SELECT N, COUNT(*) FROM t GROUP BY N".to_string(),
+        "SELECT ID FROM t ORDER BY N, ID".to_string(),
+    ] {
+        let report = verify_sql(&d, &sql, &default_lattice(4), DEFAULT_EPSILON).unwrap();
+        assert_agrees(&sql, &report);
+    }
+    // The exact-compare fix itself (not just lattice agreement): Int(2^53+1)
+    // must not equal the float 2^53. Matching rows are Int(2^53), Float(2^53),
+    // and the 9.007199254740993e15 literal (which rounds to 2^53 as an f64).
+    let r = d
+        .query(&format!("SELECT COUNT(*) FROM t WHERE N = {}.0", P53))
+        .unwrap();
+    assert_eq!(r.rows[0][0], Variant::Int(3), "Int(2^53+1) must not match Float(2^53)");
+}
+
+/// Float group keys at the 2^63 boundary: the old guard `f <= i64::MAX as f64`
+/// admitted 9223372036854775808.0 (which rounds to 2^63), so `f as i64`
+/// saturated and the float silently shared a group with `Int(i64::MAX)` —
+/// while `=` said they differ. The fixed `Key::of_f64` keeps eq ⇔ same key,
+/// including -0.0/0.0 unification and NaN self-equality.
+#[test]
+fn verify_float_group_keys_at_i64_boundary() {
+    let d = Database::new();
+    d.load_table_with_partition_rows(
+        "t",
+        vec![
+            ColumnDef::new("ID", ColumnType::Int),
+            ColumnDef::new("K", ColumnType::Variant),
+        ],
+        [
+            Variant::Int(i64::MAX),
+            Variant::Float(9.223372036854776e18), // 2^63 as a float
+            Variant::Int(i64::MIN),
+            Variant::Float(-9.223372036854776e18), // exactly -2^63: unifies
+            Variant::Float(0.0),
+            Variant::Float(-0.0),
+            Variant::Int(0),
+            Variant::Float(f64::NAN),
+            Variant::Float(f64::NAN),
+        ]
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| vec![Variant::Int(i as i64), k]),
+        3,
+    )
+    .unwrap();
+    for sql in [
+        "SELECT K, COUNT(*) FROM t GROUP BY K",
+        "SELECT COUNT(DISTINCT K) FROM t",
+        "SELECT COUNT(*) FROM t a, t b WHERE a.K = b.K",
+    ] {
+        let report = verify_sql(&d, sql, &default_lattice(4), DEFAULT_EPSILON).unwrap();
+        assert_agrees(sql, &report);
+    }
+    // 2^63-as-float must NOT group with Int(i64::MAX); -2^63 must unify with
+    // Int(i64::MIN); ±0.0 and Int(0) share one group; the two NaNs share one.
+    let r = d.query("SELECT COUNT(DISTINCT K) FROM t").unwrap();
+    assert_eq!(r.rows[0][0], Variant::Int(5));
+}
+
+/// Drifting ingest: a column declared Int that later receives fractional,
+/// out-of-range, or non-numeric values must promote to Variant and preserve
+/// every value exactly — the old `ColumnData::push` silently truncated 7.5 to
+/// 7 and stored strings as NULL, so results depended on partition layout.
+#[test]
+fn verify_drifting_column_ingest_promotes_not_truncates() {
+    let d = Database::new();
+    d.load_table_with_partition_rows(
+        "t",
+        vec![ColumnDef::new("X", ColumnType::Int)],
+        [
+            Variant::Int(1),
+            Variant::Float(7.5),
+            Variant::Int(3),
+            Variant::Float(9.223372036854776e18),
+            Variant::from("drift"),
+            Variant::Float(4.0), // integral: stays lossless in an Int column
+            Variant::Null,
+        ]
+        .into_iter()
+        .map(|x| vec![x]),
+        2,
+    )
+    .unwrap();
+    for sql in [
+        "SELECT X FROM t",
+        "SELECT COUNT(*) FROM t WHERE X = 7.5",
+        "SELECT SUM(X) FROM t WHERE X < 100",
+        "SELECT X, COUNT(*) FROM t GROUP BY X",
+    ] {
+        let report = verify_sql(&d, sql, &default_lattice(4), DEFAULT_EPSILON).unwrap();
+        assert_agrees(sql, &report);
+    }
+    // The exact values survive ingest: 7.5 is still 7.5, the string is still
+    // a string, and nothing collapsed to NULL.
+    let r = d.query("SELECT X FROM t").unwrap();
+    let got: Vec<&Variant> = r.rows.iter().map(|row| &row[0]).collect();
+    assert!(got.iter().any(|v| matches!(v, Variant::Float(f) if *f == 7.5)));
+    assert!(got.iter().any(|v| matches!(v, Variant::Str(s) if &**s == "drift")));
+    assert_eq!(got.iter().filter(|v| v.is_null()).count(), 1);
+}
+
 /// Random generation is reproducible: the corpus CI job and a local repro with
 /// the same seed must see identical queries.
 #[test]
