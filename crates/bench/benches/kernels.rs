@@ -76,8 +76,64 @@ fn run_pair(c: &mut Criterion, group_name: &str, db: &Database) {
     group.sample_size(10);
     for &(id, sql) in QUERIES {
         for (mode, vectorize) in [("vec", true), ("row", false)] {
-            let opts =
-                QueryOptions { optimize: true, threads: Some(1), vectorize: Some(vectorize) };
+            let opts = QueryOptions {
+                optimize: true,
+                threads: Some(1),
+                vectorize: Some(vectorize),
+                encode: None,
+            };
+            group.bench_function(format!("{id}-{mode}"), |b| {
+                b.iter(|| std::hint::black_box(db.query_with(sql, &opts).expect("runs").rows.len()))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// A low-cardinality string table ingested with encoding forced on, so every
+/// string block is dictionary-coded and the int key column run-length-coded.
+/// The dict-filter / dict-group-by target: >= 2x over the decoded path.
+fn dict_db() -> Database {
+    snowdb::storage::set_ingest_encoding(Some(true));
+    let db = Database::new();
+    let cities = ["tokyo", "lima", "oslo", "cairo", "quito", "seoul", "accra", "dakar"];
+    db.load_table_with_partition_rows(
+        "s",
+        vec![
+            ColumnDef::new("CITY", ColumnType::Str),
+            ColumnDef::new("N", ColumnType::Int),
+        ],
+        (0..ROWS).map(|i| {
+            vec![
+                Variant::str(cities[(i % cities.len() as i64) as usize]),
+                Variant::Int(i / 1000),
+            ]
+        }),
+        PARTITION_ROWS,
+    )
+    .unwrap();
+    snowdb::storage::set_ingest_encoding(None);
+    db
+}
+
+const DICT_QUERIES: &[(&str, &str)] = &[
+    ("dict-filter", "SELECT N FROM s WHERE CITY = 'oslo'"),
+    ("dict-in", "SELECT N FROM s WHERE CITY IN ('lima', 'seoul', 'dakar')"),
+    ("dict-group-by", "SELECT CITY, COUNT(*), SUM(N) FROM s GROUP BY CITY"),
+];
+
+fn bench_kernels_dict(c: &mut Criterion) {
+    let db = dict_db();
+    let mut group = c.benchmark_group("kernels-dict");
+    group.sample_size(10);
+    for &(id, sql) in DICT_QUERIES {
+        for (mode, encode) in [("enc", true), ("dec", false)] {
+            let opts = QueryOptions {
+                optimize: true,
+                threads: Some(1),
+                vectorize: Some(true),
+                encode: Some(encode),
+            };
             group.bench_function(format!("{id}-{mode}"), |b| {
                 b.iter(|| std::hint::black_box(db.query_with(sql, &opts).expect("runs").rows.len()))
             });
@@ -96,5 +152,5 @@ fn bench_kernels_mixed(c: &mut Criterion) {
     run_pair(c, "kernels-mixed", &db);
 }
 
-criterion_group!(benches, bench_kernels_typed, bench_kernels_mixed);
+criterion_group!(benches, bench_kernels_typed, bench_kernels_mixed, bench_kernels_dict);
 criterion_main!(benches);

@@ -92,5 +92,86 @@ fn bench_pruned_scan(c: &mut Criterion) {
     std::fs::remove_dir_all(&dir).ok();
 }
 
-criterion_group!(benches, bench_cold_vs_warm, bench_pruned_scan);
+/// An on-disk SSB database ingested with encoding forced on or off, so the
+/// partition files carry dictionary/run-length blocks (or plain ones).
+fn ssb_disk_db(tag: &str, encode: bool) -> (Arc<Database>, std::path::PathBuf) {
+    snowdb::storage::set_ingest_encoding(Some(encode));
+    let staged = Database::new();
+    ssb::generator::load_ssb(
+        &staged,
+        &ssb::generator::SsbConfig { lineorders: 8192, seed: 7, partition_rows: 512 },
+    );
+    snowdb::storage::set_ingest_encoding(None);
+    let dir =
+        std::env::temp_dir().join(format!("snowq-bench-store-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    staged.persist_to(&dir).expect("persist");
+    let db = Arc::new(Database::open(&dir).expect("reopen"));
+    (db, dir)
+}
+
+/// Recursive on-disk footprint of a database directory.
+fn dir_bytes(dir: &std::path::Path) -> u64 {
+    let mut total = 0;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                total += dir_bytes(&p);
+            } else {
+                total += e.metadata().map(|m| m.len()).unwrap_or(0);
+            }
+        }
+    }
+    total
+}
+
+/// Cold-scan file bytes and warm cache-hit rate, before vs. after encoding:
+/// the same SSB data written plain and dictionary/run-length coded. The
+/// printed byte and hit/miss figures are the artifact the CI encodings job
+/// uploads alongside the timing comparison.
+fn bench_encoded_store(c: &mut Criterion) {
+    // On-disk footprint of the ADL corpus, plain vs. encoded, for the
+    // EXPERIMENTS.md before/after table (SSB is printed inside the loop).
+    for (mode, encode) in [("plain", false), ("encoded", true)] {
+        snowdb::storage::set_ingest_encoding(Some(encode));
+        let staged = staged_db();
+        snowdb::storage::set_ingest_encoding(None);
+        let dir = std::env::temp_dir()
+            .join(format!("snowq-bench-store-adl-{mode}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        staged.persist_to(&dir).expect("persist");
+        eprintln!("store_encoding/adl-{mode}: {} bytes on disk", dir_bytes(&dir));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    let sql = "SELECT LO_SHIPMODE, COUNT(*) FROM lineorder GROUP BY LO_SHIPMODE";
+    let mut group = c.benchmark_group("store_encoding");
+    group.sample_size(20);
+    for (mode, encode) in [("plain", false), ("encoded", true)] {
+        let (db, dir) = ssb_disk_db(&format!("enc-{mode}"), encode);
+        let store = db.store().expect("store attached");
+        eprintln!("store_encoding/{mode}: {} bytes on disk", dir_bytes(&dir));
+        group.bench_function(format!("cold-{mode}"), |b| {
+            b.iter(|| {
+                store.cache().clear();
+                std::hint::black_box(db.query(sql).expect("runs").profile.scan.bytes_scanned)
+            })
+        });
+        // One priming run, then report the steady-state cache-hit rate.
+        db.query(sql).expect("primes");
+        let scan = db.query(sql).expect("runs").profile.scan;
+        eprintln!(
+            "store_encoding/{mode}: warm cache {} hit(s) / {} miss(es)",
+            scan.cache_hits, scan.cache_misses
+        );
+        group.bench_function(format!("warm-{mode}"), |b| {
+            b.iter(|| std::hint::black_box(db.query(sql).expect("runs").rows.len()))
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold_vs_warm, bench_pruned_scan, bench_encoded_store);
 criterion_main!(benches);

@@ -116,6 +116,7 @@ pub fn verify_jsoniq(db: &Arc<Database>, src: &str, lattice: &JsoniqLattice) -> 
                 optimize: cfg.optimize,
                 threads: Some(cfg.threads),
                 vectorize: Some(cfg.vectorize),
+                encode: Some(cfg.encode),
             };
             let label = format!("{tag}/{}", cfg.label());
             let plan = db
@@ -232,8 +233,8 @@ mod tests {
         let report = verify_jsoniq(&db, q, &JsoniqLattice::full(4));
         assert!(report.agrees(), "{}", report.render());
         assert_eq!(report.baseline, "interpreter");
-        // interpreter + 2 strategies × 12 SQL configs
-        assert_eq!(report.outcomes.len(), 25);
+        // interpreter + 2 strategies × 24 SQL configs
+        assert_eq!(report.outcomes.len(), 49);
     }
 
     #[test]

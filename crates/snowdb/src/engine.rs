@@ -126,11 +126,16 @@ pub struct QueryOptions {
     /// Use the typed vectorized kernels; `None` resolves from
     /// `SNOWDB_VECTORIZE` (on unless set to `0`/`false`/`off`).
     pub vectorize: Option<bool>,
+    /// Let encoded (dictionary / run-length) column blocks flow into the
+    /// executor; `None` resolves from `SNOWDB_ENCODE` (on unless set to
+    /// `0`/`false`/`off`). When off, scans decode every block at the
+    /// pipeline boundary.
+    pub encode: Option<bool>,
 }
 
 impl Default for QueryOptions {
     fn default() -> QueryOptions {
-        QueryOptions { optimize: true, threads: None, vectorize: None }
+        QueryOptions { optimize: true, threads: None, vectorize: None, encode: None }
     }
 }
 
@@ -404,8 +409,9 @@ impl Database {
         let threads = opts.threads.map_or_else(|| self.effective_threads(), |t| t.max(1));
         let vectorize =
             opts.vectorize.unwrap_or_else(crate::exec::vectorize_from_env);
+        let encode = opts.encode.unwrap_or_else(crate::storage::encode_from_env);
         let (batches, phys_metrics, ctx, exec_time) =
-            self.run_physical(&plan, threads, vectorize, gov.clone());
+            self.run_physical(&plan, threads, vectorize, encode, gov.clone());
         let batches = match batches {
             Ok(b) => b,
             Err(error) => {
@@ -462,11 +468,12 @@ impl Database {
         plan: &Node,
         threads: usize,
         vectorize: bool,
+        encode: bool,
         gov: Arc<QueryGovernor>,
     ) -> (Result<Vec<crate::exec::Chunk>>, OpMetrics, ExecCtx, Duration) {
         let t = Instant::now();
         let phys: PhysNode<'_> = lower(plan, threads);
-        let mut ctx = ExecCtx::worker(gov, vectorize);
+        let mut ctx = ExecCtx::worker(gov, vectorize, encode);
         // Last line of panic isolation: a panic escaping the morsel layer's
         // catch_unwind (e.g. one injected at a claim gate) must not cross the
         // engine boundary. The catalog is only read during execution and all
@@ -509,6 +516,7 @@ impl Database {
             plan,
             self.effective_threads(),
             crate::exec::vectorize_from_env(),
+            crate::storage::encode_from_env(),
             gov.clone(),
         );
         let batches = batches?;

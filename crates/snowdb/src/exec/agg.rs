@@ -17,6 +17,12 @@ use super::column::ColumnVec;
 /// error against another aggregate's row-major fold. Two-argument aggregates
 /// (`MIN_BY`/`MAX_BY`) always take the row path.
 pub fn column_eligible(kind: AggKind, col: &ColumnVec) -> bool {
+    // Run-length columns fold like their per-run value type; the fold
+    // decodes first (see `update_column`) so order-sensitive float sums stay
+    // bit-identical to the serial row order.
+    if let ColumnVec::Runs { values, .. } = col {
+        return column_eligible(kind, values);
+    }
     match kind {
         AggKind::CountStar
         | AggKind::Count
@@ -44,6 +50,22 @@ fn count_valid(col: &ColumnVec) -> i64 {
         | ColumnVec::Float { valid, .. }
         | ColumnVec::Bool { valid, .. } => valid.count_valid() as i64,
         ColumnVec::Str(v) => v.iter().filter(|s| s.is_some()).count() as i64,
+        // Encoded columns count without materializing: codes against the
+        // NULL sentinel, runs by their lengths.
+        ColumnVec::DictStr { codes, .. } => {
+            codes.iter().filter(|&&c| c != crate::storage::NULL_CODE).count() as i64
+        }
+        ColumnVec::Runs { ends, values } => {
+            let mut n = 0i64;
+            let mut start = 0u32;
+            for (r, &end) in ends.iter().enumerate() {
+                if !values.is_null_at(r) {
+                    n += i64::from(end - start);
+                }
+                start = end;
+            }
+            n
+        }
         ColumnVec::Var(v) => v.iter().filter(|x| !x.is_null()).count() as i64,
     }
 }
@@ -198,6 +220,13 @@ impl Accumulator {
     /// Callers must check [`column_eligible`] for this accumulator's kind
     /// first; an ineligible column is an internal error.
     pub fn update_column(&mut self, col: &ColumnVec) -> Result<()> {
+        // Run-length columns decode before folding: SUM/AVG float folds are
+        // order-sensitive, and the decoded fold replays the serial row order
+        // exactly. (Dictionary columns fold in place — every arm below goes
+        // through the generic accessors.)
+        if let ColumnVec::Runs { .. } = col {
+            return self.update_column(&col.decoded());
+        }
         match self {
             Accumulator::CountStar(n) => *n += col.len() as i64,
             Accumulator::Count(n) => *n += count_valid(col),

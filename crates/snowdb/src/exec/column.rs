@@ -20,6 +20,7 @@
 
 use std::sync::Arc;
 
+use crate::storage::encode::{run_index, NULL_CODE};
 use crate::storage::ColumnData;
 use crate::variant::{Key, Variant};
 
@@ -128,6 +129,15 @@ pub enum ColumnVec {
     /// Strings use the `Option` niche directly; the `Arc` payload makes
     /// copies cheap.
     Str(Vec<Option<Arc<str>>>),
+    /// Dictionary-encoded strings flowing straight off an encoded partition
+    /// block: `codes[i]` indexes the shared dictionary,
+    /// [`NULL_CODE`] marks a NULL row. Kernels compare/hash the codes and
+    /// defer string materialization to project/sort/result boundaries.
+    DictStr { codes: Vec<u32>, dict: Arc<Vec<Arc<str>>> },
+    /// Run-length runs off an encoded partition block: run `r` covers rows
+    /// `ends[r-1]..ends[r]` (local to this batch) and `values` holds one row
+    /// per run.
+    Runs { ends: Vec<u32>, values: Box<ColumnVec> },
     /// Boxed fallback for mixed types and nested values.
     Var(Vec<Variant>),
 }
@@ -152,6 +162,8 @@ impl ColumnVec {
             ColumnVec::Float { vals, .. } => vals.len(),
             ColumnVec::Bool { vals, .. } => vals.len(),
             ColumnVec::Str(v) => v.len(),
+            ColumnVec::DictStr { codes, .. } => codes.len(),
+            ColumnVec::Runs { ends, .. } => ends.last().map_or(0, |&e| e as usize),
             ColumnVec::Var(v) => v.len(),
         }
     }
@@ -190,6 +202,14 @@ impl ColumnVec {
                 }
             }
             ColumnVec::Str(v) => v[i].clone().map_or(Variant::Null, Variant::Str),
+            ColumnVec::DictStr { codes, dict } => {
+                if codes[i] == NULL_CODE {
+                    Variant::Null
+                } else {
+                    Variant::Str(dict[codes[i] as usize].clone())
+                }
+            }
+            ColumnVec::Runs { ends, values } => values.get(run_index(ends, i)),
             ColumnVec::Var(v) => v[i].clone(),
         }
     }
@@ -202,6 +222,8 @@ impl ColumnVec {
             ColumnVec::Float { valid, .. } => !valid.get(i),
             ColumnVec::Bool { valid, .. } => !valid.get(i),
             ColumnVec::Str(v) => v[i].is_none(),
+            ColumnVec::DictStr { codes, .. } => codes[i] == NULL_CODE,
+            ColumnVec::Runs { ends, values } => values.is_null_at(run_index(ends, i)),
             ColumnVec::Var(v) => v[i].is_null(),
         }
     }
@@ -233,6 +255,14 @@ impl ColumnVec {
                 }
             }
             ColumnVec::Str(v) => v[i].clone().map_or(Key::Null, Key::Str),
+            ColumnVec::DictStr { codes, dict } => {
+                if codes[i] == NULL_CODE {
+                    Key::Null
+                } else {
+                    Key::Str(dict[codes[i] as usize].clone())
+                }
+            }
+            ColumnVec::Runs { ends, values } => values.key_at(run_index(ends, i)),
             ColumnVec::Var(v) => Key::of(&v[i]),
         }
     }
@@ -268,6 +298,13 @@ impl ColumnVec {
             }
             (ColumnVec::Str(vals), Variant::Str(s)) => vals.push(Some(s)),
             (ColumnVec::Str(vals), Variant::Null) => vals.push(None),
+            (ColumnVec::DictStr { codes, .. }, Variant::Null) => codes.push(NULL_CODE),
+            (ColumnVec::DictStr { .. } | ColumnVec::Runs { .. }, v) => {
+                // Encoded columns are scan-produced; a stray row push decodes
+                // in place and retries under the adaptive contract.
+                self.decode_in_place();
+                self.push(v);
+            }
             (ColumnVec::Var(vals), v) => vals.push(v),
             (_, v) => {
                 self.adapt_for(&v);
@@ -340,6 +377,15 @@ impl ColumnVec {
                 ColumnVec::Bool { vals: vec![false; n], valid: Bitmap::nulls(n) }
             }
             ColumnVec::Str(_) => ColumnVec::Str(vec![None; n]),
+            // Sharing the dictionary keeps subsequent same-dict copies on the
+            // cheap code path.
+            ColumnVec::DictStr { dict, .. } => {
+                ColumnVec::DictStr { codes: vec![NULL_CODE; n], dict: dict.clone() }
+            }
+            ColumnVec::Runs { values, .. } => {
+                self.adapt_to(values);
+                return;
+            }
             ColumnVec::Var(_) => ColumnVec::Var(vec![Variant::Null; n]),
         };
     }
@@ -374,6 +420,12 @@ impl ColumnVec {
                 valid.push(ovalid.get(i));
             }
             (ColumnVec::Str(vals), ColumnVec::Str(ov)) => vals.push(ov[i].clone()),
+            (
+                ColumnVec::DictStr { codes, dict },
+                ColumnVec::DictStr { codes: oc, dict: od },
+            ) if Arc::ptr_eq(dict, od) => codes.push(oc[i]),
+            (ColumnVec::Str(vals), ColumnVec::DictStr { codes, dict }) => vals
+                .push((codes[i] != NULL_CODE).then(|| dict[codes[i] as usize].clone())),
             (ColumnVec::Var(vals), ColumnVec::Var(ov)) => vals.push(ov[i].clone()),
             _ => self.push(other.get(i)),
         }
@@ -412,6 +464,15 @@ impl ColumnVec {
                 valid.extend_from(&ovalid);
             }
             (ColumnVec::Str(vals), ColumnVec::Str(ov)) => vals.extend(ov),
+            (
+                ColumnVec::DictStr { codes, dict },
+                ColumnVec::DictStr { codes: oc, dict: od },
+            ) if Arc::ptr_eq(dict, &od) => codes.extend(oc),
+            (ColumnVec::Str(vals), ColumnVec::DictStr { codes, dict }) => {
+                vals.extend(codes.iter().map(|&c| {
+                    (c != NULL_CODE).then(|| dict[c as usize].clone())
+                }));
+            }
             (ColumnVec::Var(vals), ColumnVec::Var(ov)) => vals.extend(ov),
             (_, other) => {
                 // Representation mismatch: row-wise pushes promote as needed.
@@ -440,6 +501,26 @@ impl ColumnVec {
                 ColumnVec::Bool { vals: vals.split_off(at), valid: valid.split_off(at) }
             }
             ColumnVec::Str(v) => ColumnVec::Str(v.split_off(at)),
+            ColumnVec::DictStr { codes, dict } => {
+                ColumnVec::DictStr { codes: codes.split_off(at), dict: dict.clone() }
+            }
+            ColumnVec::Runs { ends, values } => {
+                // Runs fully before `at` stay; a run straddling `at` is
+                // truncated in the head and re-opened (same value) in the
+                // tail.
+                let at_u = at as u32;
+                let r = ends.partition_point(|&e| e <= at_u);
+                let run_start = if r == 0 { 0 } else { ends[r - 1] };
+                let straddle = r < ends.len() && run_start < at_u;
+                let tail_ends: Vec<u32> = ends[r..].iter().map(|&e| e - at_u).collect();
+                ends.truncate(r);
+                let tail_values = values.split_off(r);
+                if straddle {
+                    ends.push(at_u);
+                    values.push_from(&tail_values, 0);
+                }
+                ColumnVec::Runs { ends: tail_ends, values: Box::new(tail_values) }
+            }
             ColumnVec::Var(v) => ColumnVec::Var(v.split_off(at)),
         }
     }
@@ -461,6 +542,19 @@ impl ColumnVec {
                 valid.truncate(n);
             }
             ColumnVec::Str(v) => v.truncate(n),
+            ColumnVec::DictStr { codes, .. } => codes.truncate(n),
+            ColumnVec::Runs { ends, values } => {
+                let r = ends.partition_point(|&e| (e as usize) <= n);
+                let run_start = if r == 0 { 0 } else { ends[r - 1] as usize };
+                if r < ends.len() && run_start < n {
+                    values.truncate(r + 1);
+                    ends.truncate(r);
+                    ends.push(n as u32);
+                } else {
+                    values.truncate(r);
+                    ends.truncate(r);
+                }
+            }
             ColumnVec::Var(v) => v.truncate(n),
         }
     }
@@ -499,6 +593,18 @@ impl ColumnVec {
             }
             ColumnVec::Str(v) => {
                 ColumnVec::Str(idx.iter().map(|&i| v[i].clone()).collect())
+            }
+            ColumnVec::DictStr { codes, dict } => ColumnVec::DictStr {
+                codes: idx.iter().map(|&i| codes[i]).collect(),
+                dict: dict.clone(),
+            },
+            ColumnVec::Runs { ends, values } => {
+                // Gathered runs lose contiguity; emit the typed decoded form.
+                let mut out = ColumnVec::new();
+                for &i in idx {
+                    out.push_from(values, run_index(ends, i));
+                }
+                out
             }
             ColumnVec::Var(v) => {
                 ColumnVec::Var(idx.iter().map(|&i| v[i].clone()).collect())
@@ -565,6 +671,20 @@ impl ColumnVec {
             ColumnVec::Str(v) => ColumnVec::Str(
                 idx.iter().map(|&i| i.and_then(|i| v[i].clone())).collect(),
             ),
+            ColumnVec::DictStr { codes, dict } => ColumnVec::DictStr {
+                codes: idx.iter().map(|&i| i.map_or(NULL_CODE, |i| codes[i])).collect(),
+                dict: dict.clone(),
+            },
+            ColumnVec::Runs { ends, values } => {
+                let mut out = ColumnVec::new();
+                for &i in idx {
+                    match i {
+                        Some(i) => out.push_from(values, run_index(ends, i)),
+                        None => out.push_null(),
+                    }
+                }
+                out
+            }
             ColumnVec::Var(v) => ColumnVec::Var(
                 idx.iter()
                     .map(|&i| i.map_or(Variant::Null, |i| v[i].clone()))
@@ -576,7 +696,18 @@ impl ColumnVec {
     /// Materializes rows `lo..hi` of a storage column without boxing: typed
     /// storage vectors land in the matching typed representation. This is the
     /// scan boundary that used to un-shred every batch.
-    pub fn from_column_data(data: &ColumnData, lo: usize, hi: usize) -> ColumnVec {
+    ///
+    /// `encode` controls what happens to encoded storage blocks: `true` keeps
+    /// them encoded (codes are sliced, the dictionary `Arc` is shared, runs
+    /// are re-based) so kernels can execute on the encoding; `false` decodes
+    /// eagerly at the scan — the reference behaviour the encoded path must
+    /// match bit for bit.
+    pub fn from_column_data(
+        data: &ColumnData,
+        lo: usize,
+        hi: usize,
+        encode: bool,
+    ) -> ColumnVec {
         match data {
             ColumnData::Int(v) => {
                 let mut vals = Vec::with_capacity(hi - lo);
@@ -606,7 +737,99 @@ impl ColumnVec {
                 ColumnVec::Bool { vals, valid }
             }
             ColumnData::Str(v) => ColumnVec::Str(v[lo..hi].to_vec()),
+            ColumnData::DictStr { codes, dict } => {
+                if encode {
+                    ColumnVec::DictStr { codes: codes[lo..hi].to_vec(), dict: dict.clone() }
+                } else {
+                    ColumnVec::Str(
+                        codes[lo..hi]
+                            .iter()
+                            .map(|&c| {
+                                (c != NULL_CODE).then(|| dict[c as usize].clone())
+                            })
+                            .collect(),
+                    )
+                }
+            }
+            ColumnData::Runs { ends, values } => {
+                let lo_r = run_index(ends, lo);
+                if encode {
+                    let hi_r =
+                        if hi == lo { lo_r } else { run_index(ends, hi - 1) + 1 };
+                    let new_ends: Vec<u32> = ends[lo_r..hi_r]
+                        .iter()
+                        .map(|&e| (e as usize).min(hi) as u32 - lo as u32)
+                        .collect();
+                    let vals =
+                        ColumnVec::from_column_data(values, lo_r, hi_r, encode);
+                    ColumnVec::Runs { ends: new_ends, values: Box::new(vals) }
+                } else {
+                    // Decode run-by-run: one boxed value per run, typed rows.
+                    let mut out = ColumnVec::new();
+                    let mut row = lo;
+                    for (r, &e) in ends.iter().enumerate().skip(lo_r) {
+                        if row >= hi {
+                            break;
+                        }
+                        let end = (e as usize).min(hi);
+                        let v = values.get(r);
+                        if v.is_null() {
+                            out.push_nulls(end - row);
+                        } else {
+                            for _ in row..end {
+                                out.push(v.clone());
+                            }
+                        }
+                        row = end;
+                    }
+                    out
+                }
+            }
             ColumnData::Variant(v) => ColumnVec::Var(v[lo..hi].to_vec()),
+        }
+    }
+
+    /// True when the column is an encoded (dictionary or run-length)
+    /// representation.
+    pub fn is_encoded(&self) -> bool {
+        matches!(self, ColumnVec::DictStr { .. } | ColumnVec::Runs { .. })
+    }
+
+    /// Plain (decoded) copy of the column: `DictStr` materializes strings,
+    /// `Runs` expands to its typed form; plain columns clone.
+    pub fn decoded(&self) -> ColumnVec {
+        match self {
+            ColumnVec::DictStr { codes, dict } => ColumnVec::Str(
+                codes
+                    .iter()
+                    .map(|&c| (c != NULL_CODE).then(|| dict[c as usize].clone()))
+                    .collect(),
+            ),
+            ColumnVec::Runs { ends, values } => {
+                let mut out = ColumnVec::new();
+                let mut start = 0usize;
+                for (r, &end) in ends.iter().enumerate() {
+                    let v = values.get(r);
+                    if v.is_null() {
+                        out.push_nulls(end as usize - start);
+                    } else {
+                        for _ in start..end as usize {
+                            out.push(v.clone());
+                        }
+                    }
+                    start = end as usize;
+                }
+                out
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// Replaces an encoded column with its decoded form in place; plain
+    /// columns are untouched.
+    pub fn decode_in_place(&mut self) {
+        if self.is_encoded() {
+            *self = self.decoded();
         }
     }
 
@@ -645,6 +868,16 @@ impl ColumnVec {
                     .find_map(|s| s.as_ref())
                     .map_or(1, |s| s.len() as u64 + 2);
                 v.len() as u64 * (sample + 8)
+            }
+            // Encoded columns charge their encoded footprint: codes/run ends
+            // plus the (shared) dictionary or per-run values — not the
+            // materialized strings they stand for.
+            ColumnVec::DictStr { codes, dict } => {
+                codes.len() as u64 * 4
+                    + dict.iter().map(|s| s.len() as u64 + 2).sum::<u64>()
+            }
+            ColumnVec::Runs { ends, values } => {
+                ends.len() as u64 * 4 + values.approx_bytes()
             }
             ColumnVec::Var(v) => {
                 let flat = v.len() as u64 * std::mem::size_of::<Variant>() as u64;
@@ -740,11 +973,132 @@ mod tests {
     #[test]
     fn from_column_data_stays_typed() {
         let data = ColumnData::Float(vec![Some(1.5), None, Some(2.5), Some(3.5)]);
-        let c = ColumnVec::from_column_data(&data, 1, 4);
+        let c = ColumnVec::from_column_data(&data, 1, 4, true);
         assert!(matches!(c, ColumnVec::Float { .. }));
         assert_eq!(c.len(), 3);
         assert!(c.is_null_at(0));
         assert_eq!(c.get(2), Variant::Float(3.5));
+    }
+
+    fn dict_data() -> ColumnData {
+        let dict: Vec<Arc<str>> = vec![Arc::from("a"), Arc::from("b")];
+        ColumnData::DictStr {
+            codes: vec![0, 1, NULL_CODE, 0, 1, 1],
+            dict: Arc::new(dict),
+        }
+    }
+
+    fn runs_data() -> ColumnData {
+        ColumnData::Runs {
+            ends: vec![3, 5, 9],
+            values: Box::new(ColumnData::Int(vec![Some(7), None, Some(9)])),
+        }
+    }
+
+    #[test]
+    fn from_column_data_keeps_or_decodes_encodings() {
+        let d = dict_data();
+        let enc = ColumnVec::from_column_data(&d, 1, 5, true);
+        assert!(matches!(enc, ColumnVec::DictStr { .. }));
+        let dec = ColumnVec::from_column_data(&d, 1, 5, false);
+        assert!(matches!(dec, ColumnVec::Str(_)));
+        for i in 0..4 {
+            assert_eq!(enc.get(i), dec.get(i), "row {i}");
+            assert_eq!(enc.key_at(i), dec.key_at(i), "key {i}");
+            assert_eq!(enc.is_null_at(i), dec.is_null_at(i), "null {i}");
+        }
+
+        let r = runs_data();
+        let enc = ColumnVec::from_column_data(&r, 2, 8, true);
+        assert!(matches!(enc, ColumnVec::Runs { .. }));
+        assert_eq!(enc.len(), 6);
+        let dec = ColumnVec::from_column_data(&r, 2, 8, false);
+        assert!(matches!(dec, ColumnVec::Int { .. }));
+        for i in 0..6 {
+            assert_eq!(enc.get(i), dec.get(i), "row {i}");
+            assert_eq!(enc.key_at(i), dec.key_at(i), "key {i}");
+        }
+    }
+
+    #[test]
+    fn encoded_columns_decode_on_mutation_and_stay_equal() {
+        let mut c = ColumnVec::from_column_data(&dict_data(), 0, 6, true);
+        c.push(Variant::str("z"));
+        assert!(matches!(c, ColumnVec::Str(_)));
+        assert_eq!(c.get(1), Variant::str("b"));
+        assert_eq!(c.get(6), Variant::str("z"));
+        assert!(c.is_null_at(2));
+
+        let mut r = ColumnVec::from_column_data(&runs_data(), 0, 9, true);
+        r.push(Variant::Int(42));
+        assert!(matches!(r, ColumnVec::Int { .. }));
+        assert_eq!(r.get(0), Variant::Int(7));
+        assert!(r.is_null_at(3));
+        assert_eq!(r.get(9), Variant::Int(42));
+    }
+
+    #[test]
+    fn encoded_split_truncate_gather_match_decoded() {
+        for at in 0..=9 {
+            let mut enc = ColumnVec::from_column_data(&runs_data(), 0, 9, true);
+            let mut dec = enc.decoded();
+            let enc_tail = enc.split_off(at);
+            let dec_tail = dec.split_off(at);
+            assert_eq!(enc.len(), at, "head len at {at}");
+            assert_eq!(enc_tail.len(), 9 - at);
+            for i in 0..at {
+                assert_eq!(enc.get(i), dec.get(i), "head row {i} at {at}");
+            }
+            for i in 0..9 - at {
+                assert_eq!(enc_tail.get(i), dec_tail.get(i), "tail row {i} at {at}");
+            }
+        }
+        for n in 0..=9 {
+            let mut enc = ColumnVec::from_column_data(&runs_data(), 0, 9, true);
+            let dec = enc.decoded();
+            enc.truncate(n);
+            assert_eq!(enc.len(), n, "truncate {n}");
+            for i in 0..n {
+                assert_eq!(enc.get(i), dec.get(i), "row {i} after truncate {n}");
+            }
+        }
+        let enc = ColumnVec::from_column_data(&dict_data(), 0, 6, true);
+        let g = enc.gather(&[5, 2, 0]);
+        assert!(matches!(g, ColumnVec::DictStr { .. }));
+        assert_eq!(g.get(0), Variant::str("b"));
+        assert!(g.is_null_at(1));
+        let go = enc.gather_opt(&[Some(1), None]);
+        assert_eq!(go.get(0), Variant::str("b"));
+        assert!(go.is_null_at(1));
+        let r = ColumnVec::from_column_data(&runs_data(), 0, 9, true);
+        let rg = r.gather(&[8, 4, 0]);
+        assert!(matches!(rg, ColumnVec::Int { .. }));
+        assert_eq!(rg.get(0), Variant::Int(9));
+        assert!(rg.is_null_at(1));
+        assert_eq!(rg.get(2), Variant::Int(7));
+    }
+
+    #[test]
+    fn dict_append_shares_dictionary_and_push_from_stays_on_codes() {
+        let data = dict_data();
+        let mut a = ColumnVec::from_column_data(&data, 0, 3, true);
+        let b = ColumnVec::from_column_data(&data, 3, 6, true);
+        // Same dict Arc: append stays on codes.
+        a.append(b.clone());
+        assert!(matches!(a, ColumnVec::DictStr { .. }));
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.get(4), Variant::str("b"));
+        // A NULL run adapts to the dictionary, then copies codes.
+        let mut dst = ColumnVec::new();
+        dst.push_nulls(1);
+        dst.push_from(&b, 0);
+        assert!(matches!(dst, ColumnVec::DictStr { .. }));
+        assert!(dst.is_null_at(0));
+        assert_eq!(dst.get(1), Variant::str("a"));
+        // approx_bytes charges the encoded footprint, not materialized
+        // strings.
+        let enc = ColumnVec::from_column_data(&dict_data(), 0, 6, true);
+        assert!(enc.approx_bytes() < enc.decoded().approx_bytes());
     }
 
     #[test]

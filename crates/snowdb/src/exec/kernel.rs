@@ -25,15 +25,60 @@
 //!   propagation (the serial `l == r` is false across classes); mixed-class
 //!   *ordering* errors in the serial path, so it falls back.
 
+use std::cell::Cell;
 use std::cmp::Ordering;
 use std::sync::Arc;
 
 use crate::plan::{PExpr, PStep};
 use crate::sql::{BinOp, UnaryOp};
+use crate::storage::NULL_CODE;
 use crate::variant::{cmp_f64, cmp_i64_f64, Variant};
 
 use super::column::{Bitmap, ColumnVec};
+use super::metrics::OpMetricsCell;
 use super::Chunk;
+
+thread_local! {
+    /// Rows this worker evaluated directly on dictionary codes since the last
+    /// [`eval_vec_counted`] reset.
+    static ENC_CODES: Cell<u64> = const { Cell::new(0) };
+    /// Rows whose encoded column a kernel had to materialize since the last
+    /// [`eval_vec_counted`] reset.
+    static ENC_MAT: Cell<u64> = const { Cell::new(0) };
+}
+
+fn note_on_codes(rows: usize) {
+    ENC_CODES.with(|c| c.set(c.get() + rows as u64));
+}
+
+fn note_materialized(rows: usize) {
+    ENC_MAT.with(|c| c.set(c.get() + rows as u64));
+}
+
+/// [`eval_vec`] plus per-operator accounting of encoded-execution rows: rows
+/// the kernels evaluated directly on dictionary codes versus rows whose
+/// encoded column had to be materialized first. `EXPLAIN ANALYZE` renders the
+/// two as `enc=C/M` next to the existing `vec=V/F` counters.
+pub fn eval_vec_counted(
+    e: &PExpr,
+    inp: &Chunk,
+    cell: Option<&OpMetricsCell>,
+) -> Option<ColumnVec> {
+    ENC_CODES.with(|c| c.set(0));
+    ENC_MAT.with(|c| c.set(0));
+    let out = eval_vec(e, inp);
+    if let Some(cell) = cell {
+        let codes = ENC_CODES.with(Cell::get);
+        let mat = ENC_MAT.with(Cell::get);
+        if codes > 0 {
+            cell.add_on_codes(codes);
+        }
+        if mat > 0 {
+            cell.add_materialized(mat);
+        }
+    }
+    out
+}
 
 /// Evaluates `e` over all rows of `inp`, or `None` when the expression shape
 /// or operand types have no infallible kernel.
@@ -111,7 +156,17 @@ fn eval_op<'a>(e: &'a PExpr, inp: &'a Chunk) -> Option<Op<'a>> {
     match e {
         // Out-of-range column indices fall back so the row path raises the
         // serial "column index out of range" error.
-        PExpr::Col(i) => inp.cols.get(*i).map(Op::Col),
+        PExpr::Col(i) => {
+            let c = inp.cols.get(*i)?;
+            // Run-length columns decode at the kernel boundary: the dict
+            // fast paths below are code-indexed, runs are not. Dictionary
+            // columns flow through encoded.
+            if let ColumnVec::Runs { .. } = c {
+                note_materialized(c.len());
+                return Some(Op::Own(c.decoded()));
+            }
+            Some(Op::Col(c))
+        }
         PExpr::Lit(v) => Some(Op::Scalar(v.clone())),
         PExpr::Unary { op: UnaryOp::Plus, expr } => eval_op(expr, inp),
         PExpr::Unary { op: UnaryOp::Neg, expr } => neg_kernel(&eval_op(expr, inp)?),
@@ -159,10 +214,60 @@ fn eval_op<'a>(e: &'a PExpr, inp: &'a Chunk) -> Option<Op<'a>> {
             }
             Some(Op::Own(out))
         }
-        // Everything else (CASE, functions, CAST, LIKE, IN) takes the row
+        // IN over a dictionary column with an all-literal list evaluates
+        // per dictionary entry, then maps codes. Any other IN shape takes
+        // the row path.
+        PExpr::InList { expr, list, negated } => {
+            let op = eval_op(expr, inp)?;
+            in_list_kernel(&op, list, *negated)
+        }
+        // Everything else (CASE, functions, CAST, LIKE) takes the row
         // path; SEQ8 in particular is a Func and must never vectorize.
         _ => None,
     }
+}
+
+/// Dictionary IN-list kernel: the membership of each dictionary entry is
+/// decided once against the literal list (in list order, reproducing the
+/// serial first-match and NULL-item semantics), then broadcast over the
+/// codes. Non-dictionary operands and non-literal lists decline.
+fn in_list_kernel<'a>(op: &Op<'_>, list: &[PExpr], negated: bool) -> Option<Op<'a>> {
+    let lits: Vec<&Variant> = list
+        .iter()
+        .map(|e| if let PExpr::Lit(v) = e { Some(v) } else { None })
+        .collect::<Option<_>>()?;
+    let ColumnVec::DictStr { codes, dict } = op.col()? else { return None };
+    let has_null = lits.iter().any(|v| v.is_null());
+    // Per-entry three-valued result: Some(bool) decided, None for NULL.
+    let table: Vec<Option<bool>> = dict
+        .iter()
+        .map(|d| {
+            let s = Variant::Str(d.clone());
+            if lits.iter().any(|&v| !v.is_null() && *v == s) {
+                Some(!negated)
+            } else if has_null {
+                None
+            } else {
+                Some(negated)
+            }
+        })
+        .collect();
+    let mut vals = Vec::with_capacity(codes.len());
+    let mut valid = Bitmap::new();
+    for &c in codes {
+        match if c == NULL_CODE { None } else { table[c as usize] } {
+            Some(b) => {
+                vals.push(b);
+                valid.push(true);
+            }
+            None => {
+                vals.push(false);
+                valid.push(false);
+            }
+        }
+    }
+    note_on_codes(codes.len());
+    Some(Op::Own(ColumnVec::Bool { vals, valid }))
 }
 
 fn neg_kernel<'a>(op: &Op<'_>) -> Option<Op<'a>> {
@@ -251,12 +356,33 @@ fn op_class(op: &Op<'_>) -> Option<Class> {
             Variant::Array(_) | Variant::Object(_) => Some(Class::Nested),
             Variant::Null => None,
         },
-        op => match op.col()? {
-            ColumnVec::Int { .. } | ColumnVec::Float { .. } => Some(Class::Num),
-            ColumnVec::Str(_) => Some(Class::Str),
-            ColumnVec::Bool { .. } => Some(Class::Bool),
-            ColumnVec::Null(_) | ColumnVec::Var(_) => None,
-        },
+        op => col_class(op.col()?),
+    }
+}
+
+fn col_class(c: &ColumnVec) -> Option<Class> {
+    match c {
+        ColumnVec::Int { .. } | ColumnVec::Float { .. } => Some(Class::Num),
+        ColumnVec::Str(_) | ColumnVec::DictStr { .. } => Some(Class::Str),
+        ColumnVec::Bool { .. } => Some(Class::Bool),
+        ColumnVec::Runs { values, .. } => col_class(values),
+        ColumnVec::Null(_) | ColumnVec::Var(_) => None,
+    }
+}
+
+/// Decoded string payload of a dictionary operand, or `None` when the
+/// operand is not dictionary-encoded. Counts the rows as materialized.
+fn materialize_dict(op: &Op<'_>) -> Option<Vec<Option<Arc<str>>>> {
+    if let Some(ColumnVec::DictStr { codes, dict }) = op.col() {
+        note_materialized(codes.len());
+        Some(
+            codes
+                .iter()
+                .map(|&c| (c != NULL_CODE).then(|| dict[c as usize].clone()))
+                .collect(),
+        )
+    } else {
+        None
     }
 }
 
@@ -332,7 +458,71 @@ fn cmp_to_bool(op: BinOp, c: Ordering) -> bool {
     }
 }
 
+/// Maps a per-dictionary-entry decision table over codes: one comparison per
+/// dictionary entry instead of one per row.
+fn map_codes<'a>(codes: &[u32], table: &[bool]) -> Op<'a> {
+    let mut vals = Vec::with_capacity(codes.len());
+    let mut valid = Bitmap::new();
+    for &c in codes {
+        if c == NULL_CODE {
+            vals.push(false);
+            valid.push(false);
+        } else {
+            vals.push(table[c as usize]);
+            valid.push(true);
+        }
+    }
+    note_on_codes(codes.len());
+    Op::Own(ColumnVec::Bool { vals, valid })
+}
+
+/// Comparison fast paths that never materialize dictionary strings:
+/// dict-vs-string-scalar compares each dictionary entry once, and
+/// same-dictionary Eq/NotEq compares raw codes (distinct codes ⇔ distinct
+/// strings). Anything else declines and the generic string arm decides.
+fn dict_compare<'a>(l: &Op<'_>, op: BinOp, r: &Op<'_>) -> Option<Op<'a>> {
+    if let (Some(ColumnVec::DictStr { codes, dict }), Op::Scalar(Variant::Str(s))) =
+        (l.col(), r)
+    {
+        let table: Vec<bool> =
+            dict.iter().map(|d| cmp_to_bool(op, (**d).cmp(&**s))).collect();
+        return Some(map_codes(codes, &table));
+    }
+    if let (Op::Scalar(Variant::Str(s)), Some(ColumnVec::DictStr { codes, dict })) =
+        (l, r.col())
+    {
+        let table: Vec<bool> =
+            dict.iter().map(|d| cmp_to_bool(op, (**s).cmp(&**d))).collect();
+        return Some(map_codes(codes, &table));
+    }
+    if let (
+        Some(ColumnVec::DictStr { codes: lc, dict: ld }),
+        Some(ColumnVec::DictStr { codes: rc, dict: rd }),
+    ) = (l.col(), r.col())
+    {
+        if Arc::ptr_eq(ld, rd) && matches!(op, BinOp::Eq | BinOp::NotEq) {
+            let mut vals = Vec::with_capacity(lc.len());
+            let mut valid = Bitmap::new();
+            for (&a, &b) in lc.iter().zip(rc) {
+                if a == NULL_CODE || b == NULL_CODE {
+                    vals.push(false);
+                    valid.push(false);
+                } else {
+                    vals.push((a == b) == (op == BinOp::Eq));
+                    valid.push(true);
+                }
+            }
+            note_on_codes(lc.len());
+            return Some(Op::Own(ColumnVec::Bool { vals, valid }));
+        }
+    }
+    None
+}
+
 fn compare_kernel<'a>(l: &Op<'_>, op: BinOp, r: &Op<'_>, rows: usize) -> Option<Op<'a>> {
+    if let Some(res) = dict_compare(l, op, r) {
+        return Some(res);
+    }
     let (lc, rc) = (op_class(l)?, op_class(r)?);
     let mut vals = Vec::with_capacity(rows);
     let mut valid = Bitmap::new();
@@ -353,7 +543,17 @@ fn compare_kernel<'a>(l: &Op<'_>, op: BinOp, r: &Op<'_>, rows: usize) -> Option<
             }
         }
         (Class::Str, Class::Str) => {
-            let (a, b) = (str_side(l)?, str_side(r)?);
+            // Shapes the dict fast path declined (dict-vs-plain-column,
+            // cross-dictionary ordering) materialize the dict side(s).
+            let (ld, rd) = (materialize_dict(l), materialize_dict(r));
+            let a = match &ld {
+                Some(v) => StrSide::Col(v),
+                None => str_side(l)?,
+            };
+            let b = match &rd {
+                Some(v) => StrSide::Col(v),
+                None => str_side(r)?,
+            };
             for i in 0..rows {
                 match (a.at(i), b.at(i)) {
                     (Some(x), Some(y)) => {
@@ -474,7 +674,15 @@ fn str_side<'a>(op: &'a Op<'_>) -> Option<StrSide<'a>> {
 }
 
 fn concat_kernel<'a>(l: &Op<'_>, r: &Op<'_>, rows: usize) -> Option<Op<'a>> {
-    let (a, b) = (str_side(l)?, str_side(r)?);
+    let (ld, rd) = (materialize_dict(l), materialize_dict(r));
+    let a = match &ld {
+        Some(v) => StrSide::Col(v),
+        None => str_side(l)?,
+    };
+    let b = match &rd {
+        Some(v) => StrSide::Col(v),
+        None => str_side(r)?,
+    };
     let mut out: Vec<Option<Arc<str>>> = Vec::with_capacity(rows);
     for i in 0..rows {
         match (a.at(i), b.at(i)) {
@@ -720,6 +928,136 @@ mod tests {
             assert!(eval_vec(&e, &inp).is_some(), "{e:?}");
             assert_matches_serial(&e, &inp);
         }
+    }
+
+    /// Two dictionary columns sharing one dictionary, plus one with a
+    /// different dictionary holding the same strings: the fast paths must
+    /// match serial on all of them, including NULL codes.
+    fn dict_chunk() -> Chunk {
+        let dict: std::sync::Arc<Vec<std::sync::Arc<str>>> = std::sync::Arc::new(vec![
+            std::sync::Arc::from("ny"),
+            std::sync::Arc::from("la"),
+            std::sync::Arc::from("sf"),
+        ]);
+        let other: std::sync::Arc<Vec<std::sync::Arc<str>>> =
+            std::sync::Arc::new(vec![std::sync::Arc::from("la"), std::sync::Arc::from("ny")]);
+        let cols = vec![
+            ColumnVec::DictStr { codes: vec![0, 1, NULL_CODE, 2, 0, 1], dict: dict.clone() },
+            ColumnVec::DictStr { codes: vec![0, 0, 1, NULL_CODE, 2, 1], dict },
+            ColumnVec::DictStr { codes: vec![1, 0, NULL_CODE, 0, 1, 0], dict: other },
+        ];
+        Chunk { cols, rows: 6 }
+    }
+
+    #[test]
+    fn dict_scalar_compares_stay_on_codes_and_match_serial() {
+        let inp = dict_chunk();
+        for op in [BinOp::Eq, BinOp::NotEq, BinOp::Lt, BinOp::LtEq, BinOp::Gt, BinOp::GtEq] {
+            for e in [
+                bin(PExpr::Col(0), op, PExpr::Lit(Variant::str("la"))),
+                bin(PExpr::Lit(Variant::str("ny")), op, PExpr::Col(0)),
+            ] {
+                assert!(eval_vec(&e, &inp).is_some(), "{e:?}");
+                assert_matches_serial(&e, &inp);
+            }
+        }
+        // A scalar absent from the dictionary still compares correctly.
+        let e = bin(PExpr::Col(0), BinOp::Eq, PExpr::Lit(Variant::str("zz")));
+        assert_matches_serial(&e, &inp);
+    }
+
+    #[test]
+    fn dict_column_compares_match_serial() {
+        let inp = dict_chunk();
+        // Same dictionary: code-level Eq/NotEq; ordering materializes.
+        // Different dictionaries: everything materializes. All match serial.
+        for (l, r) in [(0, 1), (0, 2)] {
+            for op in [BinOp::Eq, BinOp::NotEq, BinOp::Lt, BinOp::GtEq] {
+                let e = bin(PExpr::Col(l), op, PExpr::Col(r));
+                assert!(eval_vec(&e, &inp).is_some(), "{e:?}");
+                assert_matches_serial(&e, &inp);
+            }
+        }
+    }
+
+    #[test]
+    fn dict_in_list_matches_serial_including_null_semantics() {
+        let inp = dict_chunk();
+        let lits = |vs: &[Variant]| vs.iter().cloned().map(PExpr::Lit).collect::<Vec<_>>();
+        for negated in [false, true] {
+            for list in [
+                lits(&[Variant::str("la"), Variant::str("zz")]),
+                // A NULL in the list makes non-matches NULL, not false.
+                lits(&[Variant::str("sf"), Variant::Null]),
+                lits(&[Variant::Null]),
+            ] {
+                let e = PExpr::InList {
+                    expr: Box::new(PExpr::Col(0)),
+                    list: list.clone(),
+                    negated,
+                };
+                assert!(eval_vec(&e, &inp).is_some(), "{e:?}");
+                assert_matches_serial(&e, &inp);
+            }
+        }
+        // A non-literal list item declines (the serial path may error).
+        let e = PExpr::InList {
+            expr: Box::new(PExpr::Col(0)),
+            list: vec![PExpr::Col(1)],
+            negated: false,
+        };
+        assert!(eval_vec(&e, &inp).is_none());
+    }
+
+    #[test]
+    fn dict_concat_materializes_and_matches_serial() {
+        let inp = dict_chunk();
+        for e in [
+            bin(PExpr::Col(0), BinOp::Concat, PExpr::Col(2)),
+            bin(PExpr::Col(0), BinOp::Concat, PExpr::Lit(Variant::str("!"))),
+        ] {
+            assert!(eval_vec(&e, &inp).is_some(), "{e:?}");
+            assert_matches_serial(&e, &inp);
+        }
+    }
+
+    #[test]
+    fn runs_columns_decode_at_the_kernel_boundary() {
+        let ints = ColumnVec::Runs {
+            ends: vec![2, 3, 6],
+            values: Box::new(ColumnVec::from_variants(vec![
+                Variant::Int(7),
+                Variant::Null,
+                Variant::Int(9),
+            ])),
+        };
+        let inp = Chunk { cols: vec![ints], rows: 6 };
+        for e in [
+            bin(PExpr::Col(0), BinOp::Gt, PExpr::Lit(Variant::Int(8))),
+            bin(PExpr::Col(0), BinOp::Add, PExpr::Lit(Variant::Int(1))),
+        ] {
+            assert!(eval_vec(&e, &inp).is_some(), "{e:?}");
+            assert_matches_serial(&e, &inp);
+        }
+    }
+
+    #[test]
+    fn eval_vec_counted_reports_rows_on_codes_and_materialized() {
+        let inp = dict_chunk();
+        let cell = OpMetricsCell::default();
+        // Dict-vs-scalar equality runs on codes.
+        let e = bin(PExpr::Col(0), BinOp::Eq, PExpr::Lit(Variant::str("la")));
+        assert!(eval_vec_counted(&e, &inp, Some(&cell)).is_some());
+        let m = cell.snapshot("Filter".into(), 1, Vec::new());
+        assert_eq!(m.rows_on_codes, 6);
+        assert_eq!(m.rows_materialized, 0);
+        // Cross-dictionary ordering materializes both sides.
+        let cell = OpMetricsCell::default();
+        let e = bin(PExpr::Col(0), BinOp::Lt, PExpr::Col(2));
+        assert!(eval_vec_counted(&e, &inp, Some(&cell)).is_some());
+        let m = cell.snapshot("Filter".into(), 1, Vec::new());
+        assert_eq!(m.rows_on_codes, 0);
+        assert_eq!(m.rows_materialized, 12);
     }
 
     #[test]

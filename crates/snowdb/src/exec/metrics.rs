@@ -28,6 +28,10 @@ pub struct OpMetricsCell {
     rows_vectorized: AtomicU64,
     /// Rows that fell back to the row-at-a-time Variant path.
     rows_fallback: AtomicU64,
+    /// Rows evaluated directly on dictionary codes (no string materialization).
+    rows_on_codes: AtomicU64,
+    /// Rows whose encoded columns were materialized before evaluation.
+    rows_materialized: AtomicU64,
 }
 
 impl OpMetricsCell {
@@ -78,6 +82,16 @@ impl OpMetricsCell {
         self.rows_fallback.fetch_add(rows, Ordering::Relaxed);
     }
 
+    /// Counts rows evaluated directly on dictionary codes.
+    pub fn add_on_codes(&self, rows: u64) {
+        self.rows_on_codes.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Counts rows whose encoded columns had to be materialized first.
+    pub fn add_materialized(&self, rows: u64) {
+        self.rows_materialized.fetch_add(rows, Ordering::Relaxed);
+    }
+
     /// Immutable snapshot (taken after execution completes).
     pub fn snapshot(
         &self,
@@ -95,6 +109,8 @@ impl OpMetricsCell {
             peak_mem_bytes: self.peak_mem_bytes.load(Ordering::Relaxed),
             rows_vectorized: self.rows_vectorized.load(Ordering::Relaxed),
             rows_fallback: self.rows_fallback.load(Ordering::Relaxed),
+            rows_on_codes: self.rows_on_codes.load(Ordering::Relaxed),
+            rows_materialized: self.rows_materialized.load(Ordering::Relaxed),
             parallelism,
             children,
         }
@@ -121,6 +137,12 @@ pub struct OpMetrics {
     /// Rows this operator processed on the row-at-a-time Variant path after a
     /// kernel declined (mixed types, fallible shapes, volatile expressions).
     pub rows_fallback: u64,
+    /// Rows this operator evaluated directly on dictionary codes without
+    /// materializing strings.
+    pub rows_on_codes: u64,
+    /// Rows whose encoded (dict/RLE) columns were materialized before
+    /// evaluation because no code-level kernel applied.
+    pub rows_materialized: u64,
     /// Worker count the operator ran with.
     pub parallelism: usize,
     pub children: Vec<OpMetrics>,
@@ -135,7 +157,7 @@ impl OpMetrics {
     /// The annotation `EXPLAIN ANALYZE` appends to a plan line.
     pub fn annotation(&self) -> String {
         format!(
-            "rows={} batches={} time={:.3?} peak={} mem={}{}{}",
+            "rows={} batches={} time={:.3?} peak={} mem={}{}{}{}",
             self.rows_out,
             self.batches,
             self.busy,
@@ -143,6 +165,11 @@ impl OpMetrics {
             self.peak_mem_bytes,
             if self.rows_vectorized + self.rows_fallback > 0 {
                 format!(" vec={}/{}", self.rows_vectorized, self.rows_fallback)
+            } else {
+                String::new()
+            },
+            if self.rows_on_codes + self.rows_materialized > 0 {
+                format!(" enc={}/{}", self.rows_on_codes, self.rows_materialized)
             } else {
                 String::new()
             },
@@ -166,6 +193,8 @@ mod tests {
         cell.record_batch(50, 60, Duration::from_micros(3));
         cell.add_vectorized(90);
         cell.add_fallback(10);
+        cell.add_on_codes(70);
+        cell.add_materialized(30);
         let m = cell.snapshot("Filter".into(), 4, Vec::new());
         assert_eq!(m.rows_in, 150);
         assert_eq!(m.rows_out, 100);
@@ -175,8 +204,11 @@ mod tests {
         assert_eq!(m.parallelism, 4);
         assert_eq!(m.rows_vectorized, 90);
         assert_eq!(m.rows_fallback, 10);
+        assert_eq!(m.rows_on_codes, 70);
+        assert_eq!(m.rows_materialized, 30);
         assert!(m.annotation().contains("workers=4"));
         assert!(m.annotation().contains("vec=90/10"));
+        assert!(m.annotation().contains("enc=70/30"));
     }
 
     #[test]
@@ -185,5 +217,6 @@ mod tests {
         cell.record_batch(10, 10, Duration::from_micros(1));
         let m = cell.snapshot("Scan".into(), 1, Vec::new());
         assert!(!m.annotation().contains("vec="));
+        assert!(!m.annotation().contains("enc="));
     }
 }

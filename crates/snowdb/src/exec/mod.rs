@@ -99,6 +99,11 @@ pub struct ExecCtx {
     /// reference executor ignores this — it is the never-vectorizing
     /// baseline the oracle compares against.
     pub vectorize: bool,
+    /// Whether batched scans keep dictionary/run-length encoded blocks
+    /// encoded (kernels then execute on codes where they can). The serial
+    /// reference executor ignores this too — it always decodes at the scan,
+    /// making it the baseline the encoded path must match bit for bit.
+    pub encode: bool,
 }
 
 impl Default for ExecCtx {
@@ -108,6 +113,7 @@ impl Default for ExecCtx {
             seq_counter: 0,
             gov: Arc::default(),
             vectorize: vectorize_from_env(),
+            encode: crate::storage::encode_from_env(),
         }
     }
 }
@@ -119,11 +125,11 @@ impl ExecCtx {
         ExecCtx { gov, ..ExecCtx::default() }
     }
 
-    /// A worker-thread context sharing `gov` and inheriting an explicit
-    /// vectorization choice (workers must not re-read the environment: the
-    /// per-query option may override it).
-    pub fn worker(gov: Arc<QueryGovernor>, vectorize: bool) -> ExecCtx {
-        ExecCtx { gov, vectorize, ..ExecCtx::default() }
+    /// A worker-thread context sharing `gov` and inheriting explicit
+    /// vectorization/encoding choices (workers must not re-read the
+    /// environment: the per-query options may override it).
+    pub fn worker(gov: Arc<QueryGovernor>, vectorize: bool, encode: bool) -> ExecCtx {
+        ExecCtx { gov, vectorize, encode, ..ExecCtx::default() }
     }
 }
 
@@ -160,8 +166,15 @@ pub fn execute(node: &Node, ctx: &mut ExecCtx) -> Result<Chunk> {
                         ctx.stats.record_read(&read);
                         let data = read.data;
                         // Shredded storage lands in the matching typed
-                        // representation — no per-value boxing.
-                        out.append(ColumnVec::from_column_data(&data, 0, data.len()));
+                        // representation — no per-value boxing. The serial
+                        // executor always decodes encoded blocks here: it is
+                        // the reference the encoded path is verified against.
+                        out.append(ColumnVec::from_column_data(
+                            &data,
+                            0,
+                            data.len(),
+                            false,
+                        ));
                     } else {
                         // Unreferenced columns are never read; fill with nulls
                         // to keep positional addressing intact.

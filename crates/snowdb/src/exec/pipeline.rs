@@ -47,6 +47,14 @@
 //! a batch whose expressions decline — runs on the row-at-a-time Variant
 //! path. Both outcomes are counted per operator (`rows_vectorized` /
 //! `rows_fallback`, rendered as `vec=` by `EXPLAIN ANALYZE`).
+//!
+//! When `ctx.encode` is on, scans hand encoded (dictionary / run-length)
+//! blocks into the pipeline unchanged and the kernels evaluate
+//! equality/`IN` filters and group keys directly on dictionary codes,
+//! materializing strings only at operator boundaries that need them. Rows
+//! evaluated on codes vs. materialized are counted per operator
+//! (`rows_on_codes` / `rows_materialized`, rendered as `enc=` by
+//! `EXPLAIN ANALYZE`).
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -60,7 +68,7 @@ use crate::variant::{Key, Variant};
 
 use super::agg::{column_eligible, Accumulator};
 use super::column::ColumnVec;
-use super::kernel::{eval_vec, mask_keep};
+use super::kernel::{eval_vec, eval_vec_counted, mask_keep};
 use super::metrics::OpMetricsCell;
 use super::{
     cmp_sort_values, eval, join_chunks, split_join_on, truth, Chunk, ExecCtx, RowView,
@@ -272,6 +280,7 @@ fn exec_scan(
     let arity = table.schema().len();
     let gov = ctx.gov.clone();
     let vectorize = ctx.vectorize;
+    let encode = ctx.encode;
     let op = scan.op_name();
     let results = try_parallel_indexed_governed(
         parts.len(),
@@ -280,7 +289,7 @@ fn exec_scan(
         |pi, msg| worker_panic_error(&op, pi, msg),
         |pi| {
             let part = &parts[pi];
-            let mut wctx = ExecCtx::worker(gov.clone(), vectorize);
+            let mut wctx = ExecCtx::worker(gov.clone(), vectorize, encode);
             wctx.stats.partitions_total = 1;
             // Zone-map pruning: skip the partition when any pushed predicate
             // proves no row can match. Pruned partitions contribute zero bytes.
@@ -328,7 +337,7 @@ fn exec_scan(
                 let mut cols: Vec<ColumnVec> = Vec::with_capacity(arity);
                 for src in data.iter().take(arity) {
                     if let Some(data) = src {
-                        cols.push(ColumnVec::from_column_data(data, lo, hi));
+                        cols.push(ColumnVec::from_column_data(data, lo, hi, encode));
                     } else {
                         // Unreferenced columns are never read; fill with nulls
                         // to keep positional addressing intact.
@@ -370,7 +379,7 @@ fn filter_batch(
     cell: Option<&OpMetricsCell>,
 ) -> Result<Chunk> {
     if ctx.vectorize {
-        if let Some(mask) = eval_vec(pred, inp) {
+        if let Some(mask) = eval_vec_counted(pred, inp, cell) {
             // A non-boolean mask value falls through to the row loop, which
             // raises the serial type error at the offending row.
             if let Some(keep) = mask_keep(&mask) {
@@ -411,7 +420,7 @@ fn project_batch(
 ) -> Result<Chunk> {
     if ctx.vectorize && !exprs.iter().any(PExpr::is_volatile) {
         let tried: Vec<Option<ColumnVec>> =
-            exprs.iter().map(|e| eval_vec(e, inp)).collect();
+            exprs.iter().map(|e| eval_vec_counted(e, inp, cell)).collect();
         if tried.iter().all(Option::is_some) {
             if let Some(cell) = cell {
                 cell.add_vectorized(inp.rows as u64);
@@ -485,6 +494,7 @@ fn exec_filter(p: &PhysNode<'_>, pred: &PExpr, ctx: &mut ExecCtx) -> Result<Vec<
     }
     let gov = ctx.gov.clone();
     let vectorize = ctx.vectorize;
+    let encode = ctx.encode;
     let batches = try_parallel_indexed_governed(
         input.len(),
         p.parallelism,
@@ -492,7 +502,7 @@ fn exec_filter(p: &PhysNode<'_>, pred: &PExpr, ctx: &mut ExecCtx) -> Result<Vec<
         |bi, msg| worker_panic_error("Filter", bi, msg),
         |bi| {
             let start = Instant::now();
-            let mut wctx = ExecCtx::worker(gov.clone(), vectorize);
+            let mut wctx = ExecCtx::worker(gov.clone(), vectorize, encode);
             let out = filter_batch(pred, &input[bi], &mut wctx, Some(&p.metrics))?;
             p.metrics.record_batch(input[bi].rows as u64, out.rows as u64, start.elapsed());
             charge_batch(p, &wctx, "Filter", &out)?;
@@ -515,6 +525,7 @@ fn exec_project(
     // serial executor's save/restore.
     let gov = ctx.gov.clone();
     let vectorize = ctx.vectorize;
+    let encode = ctx.encode;
     let batches = try_parallel_indexed_governed(
         input.len(),
         p.parallelism,
@@ -522,7 +533,7 @@ fn exec_project(
         |bi, msg| worker_panic_error("Project", bi, msg),
         |bi| {
             let start = Instant::now();
-            let mut wctx = ExecCtx::worker(gov.clone(), vectorize);
+            let mut wctx = ExecCtx::worker(gov.clone(), vectorize, encode);
             let out =
                 project_batch(exprs, &input[bi], &mut wctx, bases[bi] as i64, Some(&p.metrics))?;
             p.metrics.record_batch(input[bi].rows as u64, out.rows as u64, start.elapsed());
@@ -551,7 +562,7 @@ fn flatten_batch(
     // columns pass through typed via `push_from` and the `SEQ` column stays a
     // typed Int column.
     let vec_src = if ctx.vectorize && !expr.is_volatile() {
-        eval_vec(expr, inp)
+        eval_vec_counted(expr, inp, cell)
     } else {
         None
     };
@@ -630,6 +641,7 @@ fn exec_flatten(
     }
     let gov = ctx.gov.clone();
     let vectorize = ctx.vectorize;
+    let encode = ctx.encode;
     let batches = try_parallel_indexed_governed(
         input.len(),
         p.parallelism,
@@ -637,7 +649,7 @@ fn exec_flatten(
         |bi, msg| worker_panic_error("Flatten", bi, msg),
         |bi| {
             let start = Instant::now();
-            let mut wctx = ExecCtx::worker(gov.clone(), vectorize);
+            let mut wctx = ExecCtx::worker(gov.clone(), vectorize, encode);
             let out = flatten_batch(
                 expr,
                 outer,
@@ -845,6 +857,48 @@ impl AggState {
             acols.push(col);
         }
         let single = groups.len() == 1;
+        // Dictionary-coded single group key: resolve each distinct code to its
+        // group slot at most once per batch, so the per-row work is an array
+        // lookup instead of boxing the string into a `Key`. First-appearance
+        // order is preserved — rows still insert into `index1` in row order.
+        if single {
+            if let ColumnVec::DictStr { codes, dict } = &gcols[0] {
+                let mut memo: Vec<Option<usize>> = vec![None; dict.len() + 1];
+                for (r, &code) in codes.iter().enumerate().take(inp.rows) {
+                    let mi = if code == crate::storage::NULL_CODE {
+                        dict.len()
+                    } else {
+                        code as usize
+                    };
+                    let slot = match memo[mi] {
+                        Some(s) => s,
+                        None => {
+                            let key = gcols[0].key_at(r);
+                            let s = match self.index1.get(&key) {
+                                Some(&s) => s,
+                                None => {
+                                    let s = self.states.len();
+                                    self.index1.insert(key, s);
+                                    self.group_vals.push(vec![gcols[0].get(r)]);
+                                    self.states.push(
+                                        aggs.iter()
+                                            .map(|a| Accumulator::new(a.kind))
+                                            .collect(),
+                                    );
+                                    s
+                                }
+                            };
+                            memo[mi] = Some(s);
+                            s
+                        }
+                    };
+                    for (st, col) in self.states[slot].iter_mut().zip(&acols) {
+                        st.update(&col.get(r))?;
+                    }
+                }
+                return Ok(true);
+            }
+        }
         for r in 0..inp.rows {
             let slot = if single {
                 let key = gcols[0].key_at(r);
@@ -955,13 +1009,14 @@ fn exec_aggregate(
         // in batch order so group order and tie-breaks match serial.
         let gov = ctx.gov.clone();
         let vectorize = ctx.vectorize;
+        let encode = ctx.encode;
         let partials = try_parallel_indexed_governed(
             input.len(),
             p.parallelism,
             || gov.claim_checkpoint("Aggregate"),
             |bi, msg| worker_panic_error("Aggregate", bi, msg),
             |bi| {
-                let mut wctx = ExecCtx::worker(gov.clone(), vectorize);
+                let mut wctx = ExecCtx::worker(gov.clone(), vectorize, encode);
                 let mut st = AggState::default();
                 st.fold_batch(groups, aggs, &input[bi], &mut wctx, &p.metrics)?;
                 Ok(st)
@@ -1049,6 +1104,7 @@ fn exec_join(
     // through the typed kernels when possible; `key_at` then yields exactly
     // the group key `Key::of` would for the boxed value.
     let vectorize = ctx.vectorize;
+    let encode = ctx.encode;
     let hash: Option<HashMap<Vec<Key>, Vec<usize>>> = if equi.is_empty() {
         None
     } else {
@@ -1073,7 +1129,7 @@ fn exec_join(
                 }
             }
             None => {
-                let mut bctx = ExecCtx::worker(ctx.gov.clone(), vectorize);
+                let mut bctx = ExecCtx::worker(ctx.gov.clone(), vectorize, ctx.encode);
                 for rr in 0..r.rows {
                     if rr % BATCH_ROWS == 0 {
                         bctx.gov.checkpoint("Join")?;
@@ -1102,7 +1158,7 @@ fn exec_join(
 
     let gov = ctx.gov.clone();
     let probe = |lb: &Chunk| -> Result<Chunk> {
-        let mut wctx = ExecCtx::worker(gov.clone(), vectorize);
+        let mut wctx = ExecCtx::worker(gov.clone(), vectorize, encode);
         // Matches accumulate as (left, right) row indices; the output chunk
         // is a typed gather at the end, so column representations survive the
         // join untouched (`None` right rows become NULLs on the outer side).
@@ -1229,6 +1285,7 @@ fn exec_sort(p: &PhysNode<'_>, keys: &[SortKey], ctx: &mut ExecCtx) -> Result<Ve
 
     let gov = ctx.gov.clone();
     let vectorize = ctx.vectorize;
+    let encode = ctx.encode;
     let volatile = keys.iter().any(|k| k.expr.is_volatile());
     // Key evaluation parallelizes per batch; each result is key-major.
     let key_cols: Vec<Vec<Vec<Variant>>> = if volatile {
@@ -1245,7 +1302,7 @@ fn exec_sort(p: &PhysNode<'_>, keys: &[SortKey], ctx: &mut ExecCtx) -> Result<Ve
             || gov.claim_checkpoint("Sort"),
             |bi, msg| worker_panic_error("Sort", bi, msg),
             |bi| {
-                let mut wctx = ExecCtx::worker(gov.clone(), vectorize);
+                let mut wctx = ExecCtx::worker(gov.clone(), vectorize, encode);
                 eval_sort_keys(keys, &input[bi], &mut wctx, Some(&p.metrics))
             },
         )?

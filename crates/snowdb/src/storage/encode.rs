@@ -1,0 +1,248 @@
+//! Seal-time column encodings shared by storage and execution.
+//!
+//! Micro-partitions encode columns when they are sealed: low-cardinality
+//! string columns become dictionaries ([`ColumnData::DictStr`]), repetitive
+//! int/bool columns become run-length runs ([`ColumnData::Runs`]). The encoded
+//! representation is what the partition file writes (per-block encoding ids in
+//! the footer), what the buffer cache holds, and what the scan hands to the
+//! executor — [`ColumnVec`](crate::exec::column::ColumnVec) carries matching
+//! `DictStr`/`Runs` variants so kernels can evaluate filters and group keys
+//! directly on dictionary codes.
+//!
+//! ## Policy
+//!
+//! Encoding is *encode-if-smaller*: a column is encoded only when the encoded
+//! estimate undercuts the plain estimate, so pathological inputs (unique
+//! strings, non-repetitive ints) never pay for an encoding that cannot win.
+//! The decision is per column per partition, mirroring how Snowflake picks a
+//! compression scheme per micro-partition block.
+//!
+//! ## Control
+//!
+//! `SNOWDB_ENCODE=0` disables seal-time encoding process-wide (and flips the
+//! default execution-side behaviour, see
+//! [`QueryOptions::encode`](crate::engine::QueryOptions)); benches and tests
+//! can force either mode with [`set_ingest_encoding`] regardless of the
+//! environment.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+use super::ColumnData;
+
+/// Sentinel dictionary code marking a NULL row. Dictionaries are bounded by
+/// the partition row count, so the sentinel can never collide with a real
+/// code.
+pub const NULL_CODE: u32 = u32::MAX;
+
+/// Process-wide ingest-encoding override: 0 = follow the environment,
+/// 1 = forced off, 2 = forced on.
+static INGEST_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Forces seal-time encoding on or off (`None` returns to the
+/// `SNOWDB_ENCODE` environment default). Intended for benches and tests that
+/// must build both representations inside one process.
+pub fn set_ingest_encoding(on: Option<bool>) {
+    let v = match on {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    INGEST_OVERRIDE.store(v, Ordering::SeqCst);
+}
+
+/// The `SNOWDB_ENCODE` environment default: encoding is on unless the
+/// variable spells it off (same convention as `SNOWDB_VECTORIZE`).
+pub fn encode_from_env() -> bool {
+    !matches!(
+        std::env::var("SNOWDB_ENCODE").as_deref(),
+        Ok("0") | Ok("false") | Ok("FALSE") | Ok("off") | Ok("OFF")
+    )
+}
+
+/// Whether partitions sealed right now should attempt encoding.
+pub fn ingest_encoding_enabled() -> bool {
+    match INGEST_OVERRIDE.load(Ordering::SeqCst) {
+        1 => false,
+        2 => true,
+        _ => encode_from_env(),
+    }
+}
+
+/// Applies the encode-if-smaller policy to one sealed column.
+pub(crate) fn encode_column(col: ColumnData) -> ColumnData {
+    match col {
+        ColumnData::Str(vals) => match dict_encode(&vals) {
+            Some(enc) => enc,
+            None => ColumnData::Str(vals),
+        },
+        ColumnData::Int(vals) => match rle_encode_int(&vals) {
+            Some(enc) => enc,
+            None => ColumnData::Int(vals),
+        },
+        ColumnData::Bool(vals) => match rle_encode_bool(&vals) {
+            Some(enc) => enc,
+            None => ColumnData::Bool(vals),
+        },
+        other => other,
+    }
+}
+
+/// Dictionary-encodes a string column in first-appearance order, or `None`
+/// when the dictionary would not be smaller than the plain column.
+pub(crate) fn dict_encode(vals: &[Option<Arc<str>>]) -> Option<ColumnData> {
+    if vals.len() >= NULL_CODE as usize {
+        return None;
+    }
+    let mut index: HashMap<Arc<str>, u32> = HashMap::new();
+    let mut dict: Vec<Arc<str>> = Vec::new();
+    let mut codes: Vec<u32> = Vec::with_capacity(vals.len());
+    let mut plain_bytes = 0u64;
+    for v in vals {
+        match v {
+            None => {
+                plain_bytes += 1;
+                codes.push(NULL_CODE);
+            }
+            Some(s) => {
+                plain_bytes += s.len() as u64 + 2;
+                let code = match index.get(s) {
+                    Some(&c) => c,
+                    None => {
+                        let c = dict.len() as u32;
+                        index.insert(s.clone(), c);
+                        dict.push(s.clone());
+                        c
+                    }
+                };
+                codes.push(code);
+            }
+        }
+    }
+    let dict_bytes: u64 = dict.iter().map(|s| s.len() as u64 + 2).sum();
+    let encoded_bytes = codes.len() as u64 * 4 + dict_bytes;
+    (encoded_bytes < plain_bytes)
+        .then(|| ColumnData::DictStr { codes, dict: Arc::new(dict) })
+}
+
+/// Cumulative run ends over a slice of optional values (NULL is its own run
+/// value). Returns `None` when the column is too long for `u32` offsets.
+fn run_ends<T: PartialEq>(vals: &[Option<T>]) -> Option<(Vec<u32>, Vec<usize>)> {
+    if vals.len() >= u32::MAX as usize {
+        return None;
+    }
+    let mut ends: Vec<u32> = Vec::new();
+    let mut starts: Vec<usize> = Vec::new();
+    for (i, v) in vals.iter().enumerate() {
+        if i == 0 || vals[i - 1] != *v {
+            starts.push(i);
+            ends.push(0);
+        }
+        *ends.last_mut().expect("run exists for every row") = i as u32 + 1;
+    }
+    Some((ends, starts))
+}
+
+/// Run-length-encodes an int column, or `None` when runs would not be
+/// smaller (encoded estimate: 4 bytes of offset + 8 bytes of value per run).
+pub(crate) fn rle_encode_int(vals: &[Option<i64>]) -> Option<ColumnData> {
+    let (ends, starts) = run_ends(vals)?;
+    if ends.len() as u64 * 12 >= vals.len() as u64 * 8 {
+        return None;
+    }
+    let values: Vec<Option<i64>> = starts.iter().map(|&s| vals[s]).collect();
+    Some(ColumnData::Runs { ends, values: Box::new(ColumnData::Int(values)) })
+}
+
+/// Run-length-encodes a bool column, or `None` when runs would not be
+/// smaller (encoded estimate: 4 bytes of offset + 1 byte of value per run).
+pub(crate) fn rle_encode_bool(vals: &[Option<bool>]) -> Option<ColumnData> {
+    let (ends, starts) = run_ends(vals)?;
+    if ends.len() as u64 * 5 >= vals.len() as u64 {
+        return None;
+    }
+    let values: Vec<Option<bool>> = starts.iter().map(|&s| vals[s]).collect();
+    Some(ColumnData::Runs { ends, values: Box::new(ColumnData::Bool(values)) })
+}
+
+/// Index of the run covering row `i` (rows `ends[r-1]..ends[r]` belong to
+/// run `r`).
+pub(crate) fn run_index(ends: &[u32], i: usize) -> usize {
+    ends.partition_point(|&e| e as usize <= i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variant::Variant;
+
+    fn s(x: &str) -> Option<Arc<str>> {
+        Some(Arc::from(x))
+    }
+
+    #[test]
+    fn dict_encode_low_cardinality_roundtrips() {
+        let vals: Vec<Option<Arc<str>>> = (0..100)
+            .map(|i| if i % 7 == 0 { None } else { s(["red", "green", "blue"][i % 3]) })
+            .collect();
+        let enc = dict_encode(&vals).expect("low cardinality must encode");
+        let ColumnData::DictStr { codes, dict } = &enc else {
+            panic!("expected DictStr")
+        };
+        assert_eq!(codes.len(), 100);
+        assert!(dict.len() <= 3);
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(enc.get(i), v.clone().map_or(Variant::Null, Variant::Str));
+        }
+        // Encoded estimate must undercut the plain estimate (satellite: the
+        // governor charges what is actually held).
+        assert!(enc.estimated_size() < ColumnData::Str(vals).estimated_size());
+    }
+
+    #[test]
+    fn dict_encode_declines_high_cardinality() {
+        let vals: Vec<Option<Arc<str>>> =
+            (0..100).map(|i| s(&format!("unique-value-{i}"))).collect();
+        assert!(dict_encode(&vals).is_none());
+    }
+
+    #[test]
+    fn rle_encode_roundtrips_and_declines() {
+        let vals: Vec<Option<i64>> =
+            (0..100).map(|i| if i < 50 { Some(1) } else { None }).collect();
+        let enc = rle_encode_int(&vals).expect("two runs must encode");
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(enc.get(i), v.map_or(Variant::Null, Variant::Int));
+        }
+        assert!(enc.estimated_size() < ColumnData::Int(vals).estimated_size());
+
+        let unique: Vec<Option<i64>> = (0..100).map(|i| Some(i)).collect();
+        assert!(rle_encode_int(&unique).is_none());
+
+        let bools: Vec<Option<bool>> = (0..100).map(|i| Some(i < 30)).collect();
+        let enc = rle_encode_bool(&bools).expect("two runs must encode");
+        assert_eq!(enc.get(29), Variant::Bool(true));
+        assert_eq!(enc.get(30), Variant::Bool(false));
+    }
+
+    #[test]
+    fn run_index_finds_covering_run() {
+        let ends = vec![3u32, 5, 9];
+        assert_eq!(run_index(&ends, 0), 0);
+        assert_eq!(run_index(&ends, 2), 0);
+        assert_eq!(run_index(&ends, 3), 1);
+        assert_eq!(run_index(&ends, 4), 1);
+        assert_eq!(run_index(&ends, 8), 2);
+    }
+
+    #[test]
+    fn ingest_override_beats_environment() {
+        set_ingest_encoding(Some(false));
+        assert!(!ingest_encoding_enabled());
+        set_ingest_encoding(Some(true));
+        assert!(ingest_encoding_enabled());
+        set_ingest_encoding(None);
+        assert_eq!(ingest_encoding_enabled(), encode_from_env());
+    }
+}

@@ -10,10 +10,12 @@
 //! - every scan accounts the bytes of the columns it actually touches, which is
 //!   the quantity reported in the paper's §V-E.
 
+pub mod encode;
 pub mod ingest;
 pub mod morsel;
 mod table;
 
+pub use encode::{encode_from_env, set_ingest_encoding, NULL_CODE};
 pub use ingest::infer_schema;
 pub use table::{
     ColumnDef, MemSink, MicroPartition, PartitionSink, Table, TableBuilder,
@@ -82,6 +84,15 @@ pub enum ColumnData {
     Bool(Vec<Option<bool>>),
     Str(Vec<Option<std::sync::Arc<str>>>),
     Variant(Vec<Variant>),
+    /// Dictionary-encoded strings: `codes[i]` indexes `dict`, with
+    /// [`NULL_CODE`](encode::NULL_CODE) marking NULL rows. The dictionary is
+    /// `Arc`-shared so execution batches sliced from this column reference the
+    /// same dictionary without copying it.
+    DictStr { codes: Vec<u32>, dict: Arc<Vec<Arc<str>>> },
+    /// Run-length-encoded scalars: run `r` covers rows `ends[r-1]..ends[r]`
+    /// and holds row `r` of `values` (an `Int` or `Bool` column with one row
+    /// per run; a NULL run is a null value row).
+    Runs { ends: Vec<u32>, values: Box<ColumnData> },
 }
 
 impl ColumnData {
@@ -104,6 +115,8 @@ impl ColumnData {
             ColumnData::Bool(v) => v.len(),
             ColumnData::Str(v) => v.len(),
             ColumnData::Variant(v) => v.len(),
+            ColumnData::DictStr { codes, .. } => codes.len(),
+            ColumnData::Runs { ends, .. } => ends.last().map_or(0, |&e| e as usize),
         }
     }
 
@@ -146,10 +159,51 @@ impl ColumnData {
             (ColumnData::Str(col), Variant::Null) => col.push(None),
             (ColumnData::Str(col), Variant::Str(s)) => col.push(Some(s.clone())),
             (ColumnData::Variant(col), v) => col.push(v.clone()),
+            // Encoded columns are immutable in spirit (they are built at seal
+            // time); a stray push decodes back to the plain representation
+            // first so the adaptivity rules above apply unchanged.
+            (ColumnData::DictStr { .. } | ColumnData::Runs { .. }, v) => {
+                *self = self.decoded();
+                self.push(v);
+            }
             (_, v) => {
                 *self = ColumnData::Variant(self.to_variants());
                 self.push(v);
             }
+        }
+    }
+
+    /// The plain (unencoded) representation of the column; clones only when
+    /// the column is encoded.
+    pub fn decoded(&self) -> ColumnData {
+        match self {
+            ColumnData::DictStr { codes, dict } => ColumnData::Str(
+                codes
+                    .iter()
+                    .map(|&c| (c != encode::NULL_CODE).then(|| dict[c as usize].clone()))
+                    .collect(),
+            ),
+            ColumnData::Runs { ends, values } => {
+                let mut out = values.decoded();
+                out = match out {
+                    ColumnData::Int(v) => ColumnData::Int(expand_runs(ends, &v)),
+                    ColumnData::Float(v) => ColumnData::Float(expand_runs(ends, &v)),
+                    ColumnData::Bool(v) => ColumnData::Bool(expand_runs(ends, &v)),
+                    other => {
+                        let mut flat = Vec::with_capacity(self.len());
+                        let mut start = 0usize;
+                        for (r, &e) in ends.iter().enumerate() {
+                            for _ in start..e as usize {
+                                flat.push(other.get(r));
+                            }
+                            start = e as usize;
+                        }
+                        ColumnData::Variant(flat)
+                    }
+                };
+                out
+            }
+            other => other.clone(),
         }
     }
 
@@ -162,8 +216,9 @@ impl ColumnData {
             ColumnData::Int(_) => ColumnType::Int,
             ColumnData::Float(_) => ColumnType::Float,
             ColumnData::Bool(_) => ColumnType::Bool,
-            ColumnData::Str(_) => ColumnType::Str,
+            ColumnData::Str(_) | ColumnData::DictStr { .. } => ColumnType::Str,
             ColumnData::Variant(_) => ColumnType::Variant,
+            ColumnData::Runs { values, .. } => values.column_type(),
         }
     }
 
@@ -175,6 +230,17 @@ impl ColumnData {
             ColumnData::Bool(v) => v[i].map_or(Variant::Null, Variant::Bool),
             ColumnData::Str(v) => v[i].clone().map_or(Variant::Null, Variant::Str),
             ColumnData::Variant(v) => v[i].clone(),
+            ColumnData::DictStr { codes, dict } => {
+                if codes[i] == encode::NULL_CODE {
+                    Variant::Null
+                } else {
+                    Variant::Str(dict[codes[i] as usize].clone())
+                }
+            }
+            ColumnData::Runs { ends, values } => {
+                debug_assert!(i < self.len());
+                values.get(encode::run_index(ends, i))
+            }
         }
     }
 
@@ -183,8 +249,11 @@ impl ColumnData {
         (0..self.len()).map(|i| self.get(i)).collect()
     }
 
-    /// Estimated uncompressed byte size of the column, used for scan accounting
-    /// and micro-partition sizing.
+    /// Estimated byte size of the column *as held*, used for scan accounting,
+    /// micro-partition sizing, the buffer cache, and governor memory budgets.
+    /// Encoded columns charge their encoded size — codes plus the shared
+    /// dictionary, or run offsets plus run values — never the fully
+    /// materialized string estimate.
     pub fn estimated_size(&self) -> u64 {
         match self {
             ColumnData::Int(v) => v.len() as u64 * 8,
@@ -195,8 +264,28 @@ impl ColumnData {
                 .map(|s| s.as_ref().map_or(1, |s| s.len() as u64 + 2))
                 .sum(),
             ColumnData::Variant(v) => v.iter().map(Variant::estimated_size).sum(),
+            ColumnData::DictStr { codes, dict } => {
+                codes.len() as u64 * 4
+                    + dict.iter().map(|s| s.len() as u64 + 2).sum::<u64>()
+            }
+            ColumnData::Runs { ends, values } => {
+                ends.len() as u64 * 4 + values.estimated_size()
+            }
         }
     }
+}
+
+/// Expands per-run values back to one value per row.
+fn expand_runs<T: Clone>(ends: &[u32], values: &[Option<T>]) -> Vec<Option<T>> {
+    let mut out = Vec::with_capacity(ends.last().map_or(0, |&e| e as usize));
+    let mut start = 0usize;
+    for (r, &e) in ends.iter().enumerate() {
+        for _ in start..e as usize {
+            out.push(values[r].clone());
+        }
+        start = e as usize;
+    }
+    out
 }
 
 /// Per-column min/max statistics for one micro-partition ("zone map").

@@ -41,7 +41,20 @@ pub struct MicroPartition {
 
 impl MicroPartition {
     pub(crate) fn seal(columns: Vec<ColumnData>) -> MicroPartition {
-        MicroPartition::from_arc_columns(columns.into_iter().map(Arc::new).collect())
+        // Seal-time encoding: each column independently picks the smaller of
+        // its plain and encoded representations (dictionary for strings, runs
+        // for ints/bools). Everything downstream — zone maps, byte
+        // accounting, the partition file writer, the scan — sees the encoded
+        // column.
+        let encode = super::encode::ingest_encoding_enabled();
+        MicroPartition::from_arc_columns(
+            columns
+                .into_iter()
+                .map(|c| {
+                    Arc::new(if encode { super::encode::encode_column(c) } else { c })
+                })
+                .collect(),
+        )
     }
 
     /// Seals pre-shared columns (used by the store when rewriting a table's

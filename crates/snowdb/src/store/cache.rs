@@ -1,15 +1,17 @@
-//! Shared LRU buffer cache over decoded column blocks.
+//! Shared LRU buffer cache over in-memory column blocks.
 //!
 //! One cache per [`Store`](super::Store), shared by every query against the
 //! database — the analogue of a warehouse's local SSD cache in the paper's
-//! Snowflake deployment. Entries are whole decoded column blocks keyed by
-//! `(partition file id, column index)`; a hit returns the shared
-//! `Arc<ColumnData>` with **zero file I/O**, which is why a warm disk scan
-//! reports `bytes_scanned = 0`.
+//! Snowflake deployment. Entries are whole column blocks keyed by
+//! `(partition file id, column index)`, held in their in-memory
+//! representation — dictionary- and run-length-coded blocks stay *encoded*,
+//! so a compressed column occupies proportionally less cache. A hit returns
+//! the shared `Arc<ColumnData>` with **zero file I/O**, which is why a warm
+//! disk scan reports `bytes_scanned = 0`.
 //!
 //! Interaction with the query governor: the cache itself is capacity-bounded
-//! (bytes of decoded data, LRU eviction), and each *miss* additionally
-//! charges the decoded bytes against the running query's
+//! (in-memory bytes, LRU eviction), and each *miss* additionally
+//! charges those bytes against the running query's
 //! `STATEMENT_MEMORY_LIMIT` via
 //! [`QueryGovernor::charge_memory`](crate::govern::QueryGovernor::charge_memory)
 //! — the query that faults a block in pays for it, queries that merely reuse
@@ -22,7 +24,7 @@ use std::sync::{Arc, Mutex};
 
 use crate::storage::ColumnData;
 
-/// Default cache capacity: 64 MiB of decoded column data.
+/// Default cache capacity: 64 MiB of in-memory column data.
 pub const DEFAULT_CACHE_BYTES: u64 = 64 << 20;
 
 /// Key of one cached block: `(partition file id, column index)`.

@@ -29,9 +29,21 @@
 //! - `Variant`— per row a tagged tree (null / bool / int / float / str /
 //!   array / object), depth-guarded on decode.
 //!
+//! Version 2 adds a per-column *encoding id* to the footer and two encoded
+//! block layouts chosen at partition-build time (see
+//! [`crate::storage::encode`]):
+//! - `DictStr` — varint dictionary length, `varint len + bytes` per entry,
+//!   then per row `varint code + 1` (`0` marks NULL);
+//! - `RleInt`/`RleBool` — varint run count, varint length per run, then the
+//!   per-run values as a plain `Int`/`Bool` block of `runs` rows.
+//!
+//! Version 1 files (no encoding ids, all blocks plain) remain readable.
+//!
 //! Every decode path is cursor-based and returns a typed
-//! [`SnowError::Storage`] on truncation, bad magic, unsupported version, CRC
-//! mismatch, or malformed bytes — corrupt input never panics.
+//! [`SnowError::Storage`] on truncation, bad magic, unsupported version,
+//! unknown encoding id, CRC mismatch, or malformed bytes (including
+//! out-of-range dictionary codes and inconsistent run lengths) — corrupt
+//! input never panics.
 
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
@@ -43,8 +55,11 @@ use crate::variant::{Object, Variant};
 
 /// File magic, present both in the 8-byte header and the 4-byte trailer.
 pub const MAGIC: [u8; 4] = *b"SNPT";
-/// Current format version; readers reject anything else with a typed error.
-pub const FORMAT_VERSION: u16 = 1;
+/// Current format version (v2 = per-column encoding ids); readers also
+/// accept [`MIN_FORMAT_VERSION`] and reject anything else with a typed error.
+pub const FORMAT_VERSION: u16 = 2;
+/// Oldest version the reader still understands (v1 = all blocks plain).
+pub const MIN_FORMAT_VERSION: u16 = 1;
 /// Fixed byte length of the header (`magic + version + padding`).
 pub const HEADER_LEN: u64 = 8;
 /// Fixed byte length of the trailer (`footer crc + footer len + magic`).
@@ -53,11 +68,65 @@ pub const TRAILER_LEN: u64 = 12;
 /// stack use on adversarially deep (or corrupt) input.
 pub const MAX_VARIANT_DEPTH: usize = 512;
 
+/// On-disk block encoding of one column, recorded per column in the footer.
+/// The *logical* type is [`ColumnMeta::ty`]; the encoding says how the block
+/// bytes represent it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockEncoding {
+    /// The v1 layouts: one value per row.
+    Plain,
+    /// Dictionary-coded strings.
+    DictStr,
+    /// Run-length-coded ints.
+    RleInt,
+    /// Run-length-coded bools.
+    RleBool,
+}
+
+impl BlockEncoding {
+    fn tag(self) -> u8 {
+        match self {
+            BlockEncoding::Plain => 0,
+            BlockEncoding::DictStr => 1,
+            BlockEncoding::RleInt => 2,
+            BlockEncoding::RleBool => 3,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<BlockEncoding> {
+        match tag {
+            0 => Ok(BlockEncoding::Plain),
+            1 => Ok(BlockEncoding::DictStr),
+            2 => Ok(BlockEncoding::RleInt),
+            3 => Ok(BlockEncoding::RleBool),
+            t => Err(storage(format!("unknown column encoding id {t}"))),
+        }
+    }
+
+    /// The encoding a column's in-memory representation writes as.
+    fn of(col: &ColumnData) -> BlockEncoding {
+        match col {
+            ColumnData::DictStr { .. } => BlockEncoding::DictStr,
+            ColumnData::Runs { values, .. } => match values.column_type() {
+                ColumnType::Int => BlockEncoding::RleInt,
+                ColumnType::Bool => BlockEncoding::RleBool,
+                // Runs only ever wrap int/bool values; anything else writes
+                // decoded (see `encode_column`).
+                _ => BlockEncoding::Plain,
+            },
+            _ => BlockEncoding::Plain,
+        }
+    }
+}
+
 /// Footer entry for one column: identity, on-disk block range, and stats.
 #[derive(Clone, Debug)]
 pub struct ColumnMeta {
     pub name: String,
     pub ty: ColumnType,
+    /// How the block bytes are encoded (always [`BlockEncoding::Plain`] for
+    /// v1 files).
+    pub encoding: BlockEncoding,
     /// Absolute byte offset of the block from the start of the file.
     pub offset: u64,
     /// Encoded block length in bytes — the exact I/O cost of reading the
@@ -388,15 +457,44 @@ pub fn encode_column(col: &ColumnData, out: &mut Vec<u8>) {
                 encode_variant(val, out);
             }
         }
+        ColumnData::DictStr { codes, dict } => {
+            put_varint(out, dict.len() as u64);
+            for s in dict.iter() {
+                put_varint(out, s.len() as u64);
+                out.extend_from_slice(s.as_bytes());
+            }
+            // Per row: code + 1, with 0 marking NULL — codes are dense and
+            // small, so the varint usually costs one byte.
+            for &c in codes {
+                if c == crate::storage::NULL_CODE {
+                    put_varint(out, 0);
+                } else {
+                    put_varint(out, u64::from(c) + 1);
+                }
+            }
+        }
+        ColumnData::Runs { ends, values } => match values.column_type() {
+            ColumnType::Int | ColumnType::Bool => {
+                put_varint(out, ends.len() as u64);
+                let mut start = 0u32;
+                for &e in ends {
+                    put_varint(out, u64::from(e - start));
+                    start = e;
+                }
+                encode_column(values, out);
+            }
+            // Runs only ever wrap int/bool values; a foreign payload writes
+            // decoded so the block matches its Plain footer encoding.
+            _ => encode_column(&col.decoded(), out),
+        },
     }
 }
 
-/// Decodes a column block of `rows` rows; the block must be consumed exactly.
-pub fn decode_column(ty: ColumnType, rows: usize, bytes: &[u8]) -> Result<ColumnData> {
-    let mut cur = Cur::new(bytes);
-    let col = match ty {
+/// Decodes a plain (one value per row) block body from the cursor.
+fn decode_plain(ty: ColumnType, rows: usize, cur: &mut Cur<'_>) -> Result<ColumnData> {
+    Ok(match ty {
         ColumnType::Int => {
-            let valid = Bitmap::read(&mut cur, rows)?;
+            let valid = Bitmap::read(cur, rows)?;
             let mut v = Vec::with_capacity(rows);
             for i in 0..rows {
                 v.push(if valid.get(i) { Some(unzigzag(cur.varint()?)) } else { None });
@@ -404,7 +502,7 @@ pub fn decode_column(ty: ColumnType, rows: usize, bytes: &[u8]) -> Result<Column
             ColumnData::Int(v)
         }
         ColumnType::Float => {
-            let valid = Bitmap::read(&mut cur, rows)?;
+            let valid = Bitmap::read(cur, rows)?;
             let mut v = Vec::with_capacity(rows);
             for i in 0..rows {
                 v.push(if valid.get(i) { Some(f64::from_bits(cur.u64()?)) } else { None });
@@ -412,8 +510,8 @@ pub fn decode_column(ty: ColumnType, rows: usize, bytes: &[u8]) -> Result<Column
             ColumnData::Float(v)
         }
         ColumnType::Bool => {
-            let valid = Bitmap::read(&mut cur, rows)?;
-            let vals = Bitmap::read(&mut cur, rows)?;
+            let valid = Bitmap::read(cur, rows)?;
+            let vals = Bitmap::read(cur, rows)?;
             let mut v = Vec::with_capacity(rows);
             for i in 0..rows {
                 v.push(valid.get(i).then(|| vals.get(i)));
@@ -421,19 +519,108 @@ pub fn decode_column(ty: ColumnType, rows: usize, bytes: &[u8]) -> Result<Column
             ColumnData::Bool(v)
         }
         ColumnType::Str => {
-            let valid = Bitmap::read(&mut cur, rows)?;
+            let valid = Bitmap::read(cur, rows)?;
             let mut v = Vec::with_capacity(rows);
             for i in 0..rows {
-                v.push(if valid.get(i) { Some(decode_str(&mut cur)?) } else { None });
+                v.push(if valid.get(i) { Some(decode_str(cur)?) } else { None });
             }
             ColumnData::Str(v)
         }
         ColumnType::Variant => {
             let mut v = Vec::with_capacity(rows);
             for _ in 0..rows {
-                v.push(decode_variant(&mut cur, 0)?);
+                v.push(decode_variant(cur, 0)?);
             }
             ColumnData::Variant(v)
+        }
+    })
+}
+
+/// Decodes a column block of `rows` rows; the block must be consumed exactly.
+/// The decoded column *keeps* the block's encoding (`DictStr`/`Runs` stay
+/// encoded in memory) — decoding to the plain representation is an execution
+/// decision, not a storage one.
+pub fn decode_column(
+    ty: ColumnType,
+    encoding: BlockEncoding,
+    rows: usize,
+    bytes: &[u8],
+) -> Result<ColumnData> {
+    let mut cur = Cur::new(bytes);
+    let col = match encoding {
+        BlockEncoding::Plain => decode_plain(ty, rows, &mut cur)?,
+        BlockEncoding::DictStr => {
+            if ty != ColumnType::Str {
+                return Err(storage(format!(
+                    "dictionary encoding on non-string column type {}",
+                    ty.name()
+                )));
+            }
+            let dict_len = cur.varlen()?;
+            if dict_len >= crate::storage::NULL_CODE as usize {
+                return Err(storage(format!("dictionary length {dict_len} out of range")));
+            }
+            let mut dict = Vec::with_capacity(dict_len.min(4096));
+            for _ in 0..dict_len {
+                dict.push(decode_str(&mut cur)?);
+            }
+            let mut codes = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                let raw = cur.varint()?;
+                if raw == 0 {
+                    codes.push(crate::storage::NULL_CODE);
+                } else if (raw - 1) < dict_len as u64 {
+                    codes.push((raw - 1) as u32);
+                } else {
+                    return Err(storage(format!(
+                        "dictionary code {} out of range (dictionary has {dict_len} entries)",
+                        raw - 1
+                    )));
+                }
+            }
+            ColumnData::DictStr { codes, dict: Arc::new(dict) }
+        }
+        BlockEncoding::RleInt | BlockEncoding::RleBool => {
+            let vty = if encoding == BlockEncoding::RleInt {
+                ColumnType::Int
+            } else {
+                ColumnType::Bool
+            };
+            if ty != vty {
+                return Err(storage(format!(
+                    "run-length encoding of {} on column type {}",
+                    vty.name(),
+                    ty.name()
+                )));
+            }
+            let run_count = cur.varlen()?;
+            if run_count > rows {
+                return Err(storage(format!(
+                    "run count {run_count} exceeds row count {rows}"
+                )));
+            }
+            let mut ends = Vec::with_capacity(run_count);
+            let mut total = 0u64;
+            for _ in 0..run_count {
+                let len = cur.varint()?;
+                if len == 0 {
+                    return Err(storage("empty run in run-length block".to_string()));
+                }
+                total += len;
+                if total > rows as u64 {
+                    return Err(storage(format!(
+                        "run lengths total {total} exceeds row count {rows}"
+                    )));
+                }
+                ends.push(total as u32);
+            }
+            if total != rows as u64 {
+                return Err(storage(format!(
+                    "run lengths total {total} does not cover {rows} rows"
+                )));
+            }
+            let values = decode_plain(vty, run_count, &mut cur)?;
+            ColumnData::Runs { ends, values: Box::new(values) }
         }
     };
     cur.done()?;
@@ -465,7 +652,7 @@ fn ty_from_tag(tag: u8) -> Result<ColumnType> {
     }
 }
 
-fn encode_footer(meta: &PartitionMeta) -> Vec<u8> {
+fn encode_footer(meta: &PartitionMeta, version: u16) -> Vec<u8> {
     let mut out = Vec::new();
     put_varint(&mut out, meta.row_count as u64);
     put_varint(&mut out, meta.columns.len() as u64);
@@ -473,6 +660,11 @@ fn encode_footer(meta: &PartitionMeta) -> Vec<u8> {
         put_varint(&mut out, c.name.len() as u64);
         out.extend_from_slice(c.name.as_bytes());
         out.push(ty_tag(c.ty));
+        if version >= 2 {
+            out.push(c.encoding.tag());
+        } else {
+            debug_assert_eq!(c.encoding, BlockEncoding::Plain, "v1 footers are plain-only");
+        }
         put_varint(&mut out, c.offset);
         put_varint(&mut out, c.len);
         out.extend_from_slice(&c.crc.to_le_bytes());
@@ -489,7 +681,7 @@ fn encode_footer(meta: &PartitionMeta) -> Vec<u8> {
     out
 }
 
-fn decode_footer(bytes: &[u8]) -> Result<PartitionMeta> {
+fn decode_footer(bytes: &[u8], version: u16) -> Result<PartitionMeta> {
     let mut cur = Cur::new(bytes);
     let row_count = cur.varlen()?;
     let col_count = cur.varlen()?;
@@ -497,6 +689,12 @@ fn decode_footer(bytes: &[u8]) -> Result<PartitionMeta> {
     for _ in 0..col_count {
         let name = decode_str(&mut cur)?.to_string();
         let ty = ty_from_tag(cur.u8()?)?;
+        // v1 footers carry no encoding id: every block is plain.
+        let encoding = if version >= 2 {
+            BlockEncoding::from_tag(cur.u8()?)?
+        } else {
+            BlockEncoding::Plain
+        };
         let offset = cur.varint()?;
         let len = cur.varint()?;
         let crc = cur.u32()?;
@@ -510,7 +708,7 @@ fn decode_footer(bytes: &[u8]) -> Result<PartitionMeta> {
             }
             f => return Err(storage(format!("bad zone-map flag {f}"))),
         };
-        columns.push(ColumnMeta { name, ty, offset, len, crc, zone_map });
+        columns.push(ColumnMeta { name, ty, encoding, offset, len, crc, zone_map });
     }
     cur.done()?;
     Ok(PartitionMeta { row_count, columns })
@@ -546,6 +744,7 @@ pub fn write_partition(
         columns.push(ColumnMeta {
             name: def.name.clone(),
             ty: part.column(i).column_type(),
+            encoding: BlockEncoding::of(part.column(i)),
             offset,
             len,
             crc,
@@ -554,7 +753,7 @@ pub fn write_partition(
     }
     let meta = PartitionMeta { row_count: part.row_count(), columns };
 
-    let footer = encode_footer(&meta);
+    let footer = encode_footer(&meta, FORMAT_VERSION);
     buf.extend_from_slice(&footer);
     buf.extend_from_slice(&crc32(&footer).to_le_bytes());
     buf.extend_from_slice(&(footer.len() as u32).to_le_bytes());
@@ -585,9 +784,9 @@ pub fn read_footer(path: &Path) -> Result<PartitionMeta> {
         return Err(storage(format!("{}: bad magic (not a partition file)", path.display())));
     }
     let version = u16::from_le_bytes([header[4], header[5]]);
-    if version != FORMAT_VERSION {
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(storage(format!(
-            "{}: unsupported format version {version} (expected {FORMAT_VERSION})",
+            "{}: unsupported format version {version} (expected {MIN_FORMAT_VERSION}..={FORMAT_VERSION})",
             path.display()
         )));
     }
@@ -617,7 +816,7 @@ pub fn read_footer(path: &Path) -> Result<PartitionMeta> {
         return Err(storage(format!("{}: footer checksum mismatch", path.display())));
     }
 
-    let meta = decode_footer(&footer).map_err(|e| with_path(path, e))?;
+    let meta = decode_footer(&footer, version).map_err(|e| with_path(path, e))?;
     for c in &meta.columns {
         if c.offset < HEADER_LEN || c.offset + c.len > footer_end - footer_len {
             return Err(storage(format!(
@@ -648,7 +847,7 @@ pub fn read_column(path: &Path, meta: &ColumnMeta, rows: usize) -> Result<Column
             meta.name
         )));
     }
-    decode_column(meta.ty, rows, &block)
+    decode_column(meta.ty, meta.encoding, rows, &block)
         .map_err(|e| with_path(path, with_ctx(&format!("column '{}'", meta.name), e)))
 }
 
@@ -808,8 +1007,223 @@ mod tests {
             bytes.push(1); // one element
         }
         bytes.push(VTAG_NULL);
-        let err = decode_column(ColumnType::Variant, 1, &bytes).unwrap_err();
+        let err =
+            decode_column(ColumnType::Variant, BlockEncoding::Plain, 1, &bytes).unwrap_err();
         assert!(matches!(err, SnowError::Storage(ref m) if m.contains("depth")), "{err}");
+    }
+
+    /// Builds a low-cardinality / repetitive partition that triggers every
+    /// encoded block layout (dict strings, int runs, bool runs).
+    fn encoded_partition() -> (Vec<ColumnDef>, MicroPartition) {
+        let schema = vec![
+            ColumnDef::new("S", ColumnType::Str),
+            ColumnDef::new("I", ColumnType::Int),
+            ColumnDef::new("B", ColumnType::Bool),
+        ];
+        crate::storage::set_ingest_encoding(Some(true));
+        let mut b = TableBuilder::with_partition_rows("t", schema.clone(), 512);
+        for i in 0..300i64 {
+            b.push_row(&[
+                if i % 11 == 0 {
+                    Variant::Null
+                } else {
+                    Variant::str(["alpha", "beta", "gamma"][(i % 3) as usize])
+                },
+                Variant::Int(i / 50),
+                Variant::Bool(i < 200),
+            ])
+            .unwrap();
+        }
+        let t = b.finish().unwrap();
+        crate::storage::set_ingest_encoding(None);
+        let part = t.partitions()[0].as_mem().unwrap().clone();
+        (schema, part)
+    }
+
+    #[test]
+    fn encoded_partition_roundtrips_and_shrinks() {
+        let (schema, part) = encoded_partition();
+        let path = temp_path("encoded");
+        let meta = write_partition(&path, &schema, &part).unwrap();
+        assert_eq!(meta.columns[0].encoding, BlockEncoding::DictStr);
+        assert_eq!(meta.columns[1].encoding, BlockEncoding::RleInt);
+        assert_eq!(meta.columns[2].encoding, BlockEncoding::RleBool);
+
+        let footer = read_footer(&path).unwrap();
+        for (i, cm) in footer.columns.iter().enumerate() {
+            let col = read_column(&path, cm, footer.row_count).unwrap();
+            // Encoded blocks stay encoded in memory.
+            assert_eq!(
+                BlockEncoding::of(&col),
+                cm.encoding,
+                "column {i} lost its encoding on read"
+            );
+            for r in 0..footer.row_count {
+                assert_eq!(col.get(r), part.column(i).get(r), "col {i} row {r}");
+            }
+        }
+
+        // The same rows written without encoding must cost more block bytes.
+        crate::storage::set_ingest_encoding(Some(false));
+        let mut b = TableBuilder::with_partition_rows("t", schema.clone(), 512);
+        for r in 0..part.row_count() {
+            let row: Vec<Variant> = (0..schema.len()).map(|c| part.column(c).get(r)).collect();
+            b.push_row(&row).unwrap();
+        }
+        let plain_t = b.finish().unwrap();
+        crate::storage::set_ingest_encoding(None);
+        let plain_part = plain_t.partitions()[0].as_mem().unwrap().clone();
+        let plain_path = temp_path("plain");
+        let plain_meta = write_partition(&plain_path, &schema, &plain_part).unwrap();
+        assert!(
+            meta.total_block_bytes() < plain_meta.total_block_bytes(),
+            "encoded {} >= plain {}",
+            meta.total_block_bytes(),
+            plain_meta.total_block_bytes()
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&plain_path).ok();
+    }
+
+    #[test]
+    fn v1_files_remain_readable() {
+        // Write a version-1 file by hand: plain blocks, v1 footer (no
+        // encoding ids), version 1 in the header.
+        let (schema, part) = sample_partition();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 2]);
+        let mut columns = Vec::new();
+        for (i, def) in schema.iter().enumerate() {
+            let offset = buf.len() as u64;
+            let plain = part.column(i).decoded();
+            encode_column(&plain, &mut buf);
+            let len = buf.len() as u64 - offset;
+            columns.push(ColumnMeta {
+                name: def.name.clone(),
+                ty: plain.column_type(),
+                encoding: BlockEncoding::Plain,
+                offset,
+                len,
+                crc: crc32(&buf[offset as usize..]),
+                zone_map: part.zone_map(i).cloned(),
+            });
+        }
+        let meta = PartitionMeta { row_count: part.row_count(), columns };
+        let footer = encode_footer(&meta, 1);
+        buf.extend_from_slice(&footer);
+        buf.extend_from_slice(&crc32(&footer).to_le_bytes());
+        buf.extend_from_slice(&(footer.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&MAGIC);
+        let path = temp_path("v1");
+        std::fs::write(&path, &buf).unwrap();
+
+        let read = read_footer(&path).unwrap();
+        assert_eq!(read.row_count, part.row_count());
+        for (i, cm) in read.columns.iter().enumerate() {
+            assert_eq!(cm.encoding, BlockEncoding::Plain);
+            let col = read_column(&path, cm, read.row_count).unwrap();
+            for r in 0..read.row_count {
+                assert_eq!(col.get(r), part.column(i).get(r), "col {i} row {r}");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_dict_block_fails_with_typed_checksum_error() {
+        let (schema, part) = encoded_partition();
+        let path = temp_path("dictflip");
+        let meta = write_partition(&path, &schema, &part).unwrap();
+        assert_eq!(meta.columns[0].encoding, BlockEncoding::DictStr);
+        // Flip one byte inside the dictionary block.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[meta.columns[0].offset as usize + 2] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let footer = read_footer(&path).unwrap();
+        let err = read_column(&path, &footer.columns[0], footer.row_count).unwrap_err();
+        assert!(
+            matches!(err, SnowError::Storage(ref m) if m.contains("checksum")),
+            "{err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_encoded_blocks_fail_typed_not_panic() {
+        // Out-of-range dictionary code: dict of 1 entry, row code 2 (= raw 3).
+        let mut bytes = Vec::new();
+        put_varint(&mut bytes, 1); // dict len
+        put_varint(&mut bytes, 1); // entry len
+        bytes.push(b'x');
+        put_varint(&mut bytes, 3); // code 2 → out of range
+        let err =
+            decode_column(ColumnType::Str, BlockEncoding::DictStr, 1, &bytes).unwrap_err();
+        assert!(
+            matches!(err, SnowError::Storage(ref m) if m.contains("out of range")),
+            "{err}"
+        );
+
+        // Dictionary encoding on a non-string column is rejected.
+        let err =
+            decode_column(ColumnType::Int, BlockEncoding::DictStr, 1, &[0]).unwrap_err();
+        assert!(matches!(err, SnowError::Storage(_)), "{err}");
+
+        // Truncated dictionary block (dict promises more entries than exist).
+        let mut bytes = Vec::new();
+        put_varint(&mut bytes, 5); // dict len 5, but no entries follow
+        let err =
+            decode_column(ColumnType::Str, BlockEncoding::DictStr, 1, &bytes).unwrap_err();
+        assert!(matches!(err, SnowError::Storage(ref m) if m.contains("truncated")), "{err}");
+
+        // Run lengths that do not cover the row count.
+        let mut bytes = Vec::new();
+        put_varint(&mut bytes, 1); // one run
+        put_varint(&mut bytes, 3); // of 3 rows, but the block claims 5
+        let err =
+            decode_column(ColumnType::Int, BlockEncoding::RleInt, 5, &bytes).unwrap_err();
+        assert!(matches!(err, SnowError::Storage(ref m) if m.contains("cover")), "{err}");
+
+        // A zero-length run is malformed.
+        let mut bytes = Vec::new();
+        put_varint(&mut bytes, 2);
+        put_varint(&mut bytes, 0);
+        put_varint(&mut bytes, 2);
+        let err =
+            decode_column(ColumnType::Int, BlockEncoding::RleInt, 2, &bytes).unwrap_err();
+        assert!(matches!(err, SnowError::Storage(ref m) if m.contains("empty run")), "{err}");
+    }
+
+    #[test]
+    fn unknown_encoding_id_fails_typed() {
+        let (schema, part) = sample_partition();
+        let path = temp_path("unkenc");
+        write_partition(&path, &schema, &part).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Locate the footer via the trailer, patch the first column's
+        // encoding byte to an unknown id, and re-seal the footer CRC so only
+        // the encoding id is wrong.
+        let n = bytes.len();
+        let footer_len =
+            u32::from_le_bytes(bytes[n - 8..n - 4].try_into().unwrap()) as usize;
+        let footer_start = n - TRAILER_LEN as usize - footer_len;
+        let footer_end = footer_start + footer_len;
+        // Footer layout: varint row_count, varint col_count, then per column
+        // varint name-len + name + ty tag + encoding id. All counts here are
+        // single-byte varints.
+        let name_len = bytes[footer_start + 2] as usize;
+        let enc_pos = footer_start + 2 + 1 + name_len + 1;
+        bytes[enc_pos] = 0xEE;
+        let crc = crc32(&bytes[footer_start..footer_end]).to_le_bytes();
+        bytes[n - 12..n - 8].copy_from_slice(&crc);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_footer(&path).unwrap_err();
+        assert!(
+            matches!(err, SnowError::Storage(ref m) if m.contains("encoding id")),
+            "{err}"
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

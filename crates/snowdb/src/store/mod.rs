@@ -84,8 +84,11 @@ impl DiskPartition {
 
     /// Materializes column `i`: governor checkpoint (the `StoreRead` chaos
     /// site), then buffer cache, then — only on a miss — a CRC-checked read
-    /// of exactly the block's bytes. The miss charges the decoded size
-    /// against the query's memory budget; hits are free.
+    /// of exactly the block's bytes. The miss charges the in-memory size
+    /// against the query's memory budget — the *encoded* size for
+    /// dictionary/run-length blocks, which keep their encoding in memory —
+    /// so compressed columns also compress the cache and the budget.
+    /// Hits are free.
     pub fn read_column_governed(
         &self,
         i: usize,

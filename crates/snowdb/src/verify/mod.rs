@@ -43,33 +43,39 @@ pub struct SqlConfig {
     pub threads: usize,
     /// Run the typed vectorized kernels or force the row-at-a-time path.
     pub vectorize: bool,
+    /// Let encoded (dictionary / run-length) blocks flow into the executor,
+    /// or decode every block at the scan boundary.
+    pub encode: bool,
 }
 
 impl SqlConfig {
     /// Human-readable label used in reports.
     pub fn label(&self) -> String {
         format!(
-            "{}/threads={}/{}",
+            "{}/threads={}/{}/{}",
             if self.optimize { "optimized" } else { "raw" },
             self.threads,
-            if self.vectorize { "vec" } else { "row" }
+            if self.vectorize { "vec" } else { "row" },
+            if self.encode { "enc" } else { "dec" }
         )
     }
 }
 
 /// The default lattice: {optimized, raw} × {1, 2, `max_threads`} ×
-/// {vectorized, row-at-a-time} with duplicate thread counts collapsed. The
-/// optimized serial vectorized configuration comes first and acts as the
-/// baseline.
+/// {vectorized, row-at-a-time} × {encoded, decoded} with duplicate thread
+/// counts collapsed. The optimized serial vectorized encoded configuration
+/// comes first and acts as the baseline.
 pub fn default_lattice(max_threads: usize) -> Vec<SqlConfig> {
     let mut threads = vec![1usize, 2, max_threads.max(1)];
     threads.sort_unstable();
     threads.dedup();
-    let mut out = Vec::with_capacity(threads.len() * 4);
+    let mut out = Vec::with_capacity(threads.len() * 8);
     for optimize in [true, false] {
         for &t in &threads {
             for vectorize in [true, false] {
-                out.push(SqlConfig { optimize, threads: t, vectorize });
+                for encode in [true, false] {
+                    out.push(SqlConfig { optimize, threads: t, vectorize, encode });
+                }
             }
         }
     }
@@ -103,6 +109,7 @@ pub fn verify_sql(
             optimize: cfg.optimize,
             threads: Some(cfg.threads),
             vectorize: Some(cfg.vectorize),
+            encode: Some(cfg.encode),
         };
         match db.query_with(sql, &opts) {
             Ok(result) => {
@@ -254,8 +261,12 @@ pub fn verify_sql_chaos(
     threads: usize,
     epsilon: f64,
 ) -> Result<ChaosReport> {
-    let opts =
-        QueryOptions { optimize: true, threads: Some(threads), vectorize: None };
+    let opts = QueryOptions {
+        optimize: true,
+        threads: Some(threads),
+        vectorize: None,
+        encode: None,
+    };
     let baseline = match db.query_with(sql, &opts) {
         Ok(r) => Ok(canonical_rows(r.rows)),
         Err(e) => Err(e.to_string()),
@@ -414,12 +425,15 @@ mod tests {
     #[test]
     fn default_lattice_covers_both_optimizer_modes() {
         let l = default_lattice(4);
-        assert_eq!(l.len(), 12);
-        assert!(l.iter().any(|c| c.optimize && c.threads == 4 && c.vectorize));
-        assert!(l.iter().any(|c| !c.optimize && c.threads == 1 && !c.vectorize));
+        assert_eq!(l.len(), 24);
+        assert!(l.iter().any(|c| c.optimize && c.threads == 4 && c.vectorize && c.encode));
+        assert!(l.iter().any(|c| !c.optimize && c.threads == 1 && !c.vectorize && !c.encode));
         // Duplicate thread counts collapse.
-        assert_eq!(default_lattice(1).len(), 8);
-        assert_eq!(l[0], SqlConfig { optimize: true, threads: 1, vectorize: true });
+        assert_eq!(default_lattice(1).len(), 16);
+        assert_eq!(
+            l[0],
+            SqlConfig { optimize: true, threads: 1, vectorize: true, encode: true }
+        );
     }
 
     #[test]
