@@ -1,0 +1,56 @@
+//! SSB join-order benchmark: raw (unoptimized, cross-product) plans against
+//! cost-ordered hash-join plans.
+//!
+//! Two scales, because the raw axis only terminates on small data:
+//! - `tiny-raw` / `tiny-ordered`: the FK-closed tiny generator (12
+//!   lineorders) where the unoptimized successive-`for` cross product is
+//!   feasible — the direct raw-vs-ordered comparison;
+//! - `sf-ordered`: the re-based SF database (4096 lineorders) with the
+//!   cost-based reorderer on — raw is a ~10^13-row intermediate there, which
+//!   is exactly the infeasibility the reorderer removes.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snowdb::{Database, QueryOptions};
+
+fn tiny_db() -> Arc<Database> {
+    let db = Database::new();
+    ssb::load_ssb_tiny(&db, &ssb::SsbConfig { partition_rows: 8, ..Default::default() });
+    Arc::new(db)
+}
+
+/// Representative multi-join queries: one per SSB flight with 2/3/4 joins.
+const QUERY_IDS: &[&str] = &["q1.1", "q2.1", "q3.1", "q4.1"];
+
+fn bench_join_order(c: &mut Criterion) {
+    let tiny = tiny_db();
+    let sf = bench::experiments::ssb_db(4096);
+    let raw = QueryOptions { optimize: false, ..Default::default() };
+    let ordered = QueryOptions::default();
+
+    let mut group = c.benchmark_group("ssb-joins");
+    group.sample_size(10);
+    for id in QUERY_IDS {
+        let q = ssb::query(id);
+        group.bench_function(format!("{id}-tiny-raw"), |b| {
+            b.iter(|| {
+                std::hint::black_box(tiny.query_with(&q.sql, &raw).expect("runs").rows.len())
+            })
+        });
+        group.bench_function(format!("{id}-tiny-ordered"), |b| {
+            b.iter(|| {
+                std::hint::black_box(tiny.query_with(&q.sql, &ordered).expect("runs").rows.len())
+            })
+        });
+        group.bench_function(format!("{id}-sf-ordered"), |b| {
+            b.iter(|| {
+                std::hint::black_box(sf.query_with(&q.sql, &ordered).expect("runs").rows.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join_order);
+criterion_main!(benches);

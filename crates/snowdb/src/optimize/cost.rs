@@ -1,0 +1,492 @@
+//! Cardinality and cost estimation over bound plans.
+//!
+//! The estimator walks a [`Node`] tree bottom-up, carrying per-column
+//! statistics ([`ColumnStats`]) alongside the row estimate so predicate and
+//! join-key selectivities downstream of projections still see base-table
+//! statistics. Everything is metadata-driven: table statistics come from
+//! [`Table::stats`](crate::storage::Table::stats) (sealed partitions in
+//! memory, v3 footers on disk) and no column data is ever read to cost a
+//! plan.
+//!
+//! Formulas (classic System-R-style, with sketch/histogram refinements):
+//! - `col = lit` → `(1 - nf) / ndv` (KMV sketch);
+//! - range compares → histogram-bound fraction × `(1 - nf)`;
+//! - `IS [NOT] NULL` → the null fraction (exact, from counts);
+//! - `IN (k literals)` → `k × eq-selectivity`, capped at 1;
+//! - equi-join on `l = r` → `|L|·|R| / max(ndv(l), ndv(r))`, with ndv
+//!   defaulting to the relation's row count when a side lacks statistics
+//!   (the FK-like assumption that keeps star joins linear);
+//! - FLATTEN fan-out → `array_elems / rows` of the flattened column.
+//!
+//! The *cost* is a unitless work measure used to rank join orders: each
+//! operator charges its input cost plus the rows it processes, hash joins
+//! charge the build side double (building the table costs more than probing
+//! it, which is what orients big-probe/small-build), and a join without
+//! equi-keys charges the full `|L|·|R|` nested-loop work — exactly the term
+//! that makes cross products prohibitively expensive for the reorderer.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::plan::{Node, NodeKind, PExpr};
+use crate::sql::{BinOp, JoinKind};
+use crate::storage::ColumnStats;
+use crate::variant::Variant;
+
+/// Default selectivity for an equality predicate with no statistics.
+const DEFAULT_EQ_SEL: f64 = 0.1;
+/// Default selectivity for a range predicate with no statistics.
+const DEFAULT_RANGE_SEL: f64 = 0.3;
+/// Default selectivity for a predicate the estimator cannot decompose.
+const DEFAULT_UNKNOWN_SEL: f64 = 0.5;
+/// Default FLATTEN fan-out when the flattened column has no array statistics.
+const DEFAULT_FANOUT: f64 = 3.0;
+
+/// Estimate for one plan node: output cardinality, cumulative cost, and the
+/// per-output-column statistics that survived the operators below.
+#[derive(Clone, Debug)]
+pub struct Est {
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Estimated cumulative work (unitless; see module docs).
+    pub cost: f64,
+    /// Statistics per output column, `None` where the column is computed or
+    /// its base table carries no statistics.
+    pub cols: Vec<Option<Arc<ColumnStats>>>,
+}
+
+/// Walks a plan and records `(rows, cost)` per node, keyed by node address —
+/// the lookup EXPLAIN uses to annotate operator lines. The map is only valid
+/// for the lifetime of the borrowed plan.
+pub fn estimate_map(node: &Node) -> HashMap<usize, (f64, f64)> {
+    let mut map = HashMap::new();
+    estimate_into(node, &mut Some(&mut map));
+    map
+}
+
+/// Estimates a plan node (no per-node map).
+pub fn estimate(node: &Node) -> Est {
+    estimate_into(node, &mut None)
+}
+
+fn estimate_into(node: &Node, map: &mut Option<&mut HashMap<usize, (f64, f64)>>) -> Est {
+    let est = match &node.kind {
+        NodeKind::Values => Est { rows: 1.0, cost: 1.0, cols: Vec::new() },
+        NodeKind::Scan { table, .. } => {
+            // Pushed predicates are advisory copies of the Filter above; the
+            // Filter applies their selectivity, so the scan reports raw table
+            // cardinality to avoid double-counting.
+            let stats = table.stats();
+            Est {
+                rows: stats.rows as f64,
+                cost: stats.rows as f64,
+                cols: stats.columns.clone(),
+            }
+        }
+        NodeKind::Filter { input, pred } => {
+            let in_est = estimate_into(input, map);
+            let sel = pred_selectivity(pred, &in_est.cols);
+            Est {
+                rows: in_est.rows * sel,
+                cost: in_est.cost + in_est.rows,
+                cols: in_est.cols,
+            }
+        }
+        NodeKind::Project { input, exprs } => {
+            let in_est = estimate_into(input, map);
+            let cols = exprs
+                .iter()
+                .map(|e| match e {
+                    PExpr::Col(i) => in_est.cols.get(*i).cloned().flatten(),
+                    _ => None,
+                })
+                .collect();
+            Est { rows: in_est.rows, cost: in_est.cost + in_est.rows, cols }
+        }
+        NodeKind::Flatten { input, expr, outer } => {
+            let in_est = estimate_into(input, map);
+            let fanout = flatten_fanout(expr, &in_est.cols, *outer);
+            let rows = in_est.rows * fanout;
+            // Flatten appends VALUE/INDEX/KEY/SEQ/THIS columns with no
+            // base-table statistics.
+            let mut cols = in_est.cols;
+            cols.resize(node.arity(), None);
+            Est { rows, cost: in_est.cost + rows.max(in_est.rows), cols }
+        }
+        NodeKind::Join { left, right, kind, on } => {
+            let l = estimate_into(left, map);
+            let r = estimate_into(right, map);
+            join_estimate(&l, &r, *kind, on.as_ref(), left.arity())
+        }
+        NodeKind::Aggregate { input, groups, .. } => {
+            let in_est = estimate_into(input, map);
+            let rows = if groups.is_empty() {
+                1.0
+            } else {
+                let mut distinct = 1.0f64;
+                for g in groups {
+                    distinct *= match g {
+                        PExpr::Col(i) => in_est.cols.get(*i).and_then(Option::as_deref).map_or(
+                            in_est.rows.sqrt().max(1.0),
+                            ColumnStats::distinct,
+                        ),
+                        PExpr::Lit(_) => 1.0,
+                        _ => in_est.rows.sqrt().max(1.0),
+                    };
+                }
+                distinct.min(in_est.rows).max(if in_est.rows > 0.0 { 1.0 } else { 0.0 })
+            };
+            Est {
+                rows,
+                cost: in_est.cost + in_est.rows,
+                cols: vec![None; node.arity()],
+            }
+        }
+        NodeKind::Sort { input, .. } => {
+            let in_est = estimate_into(input, map);
+            let n = in_est.rows.max(1.0);
+            Est {
+                rows: in_est.rows,
+                cost: in_est.cost + n * n.log2().max(1.0),
+                cols: in_est.cols,
+            }
+        }
+        NodeKind::Limit { input, n } => {
+            let in_est = estimate_into(input, map);
+            Est {
+                rows: in_est.rows.min(*n as f64),
+                cost: in_est.cost,
+                cols: in_est.cols,
+            }
+        }
+        NodeKind::Distinct { input } => {
+            let in_est = estimate_into(input, map);
+            // No whole-row NDV statistic: assume moderate duplication.
+            Est {
+                rows: (in_est.rows / 2.0).max(in_est.rows.min(1.0)),
+                cost: in_est.cost + in_est.rows,
+                cols: in_est.cols,
+            }
+        }
+        NodeKind::UnionAll { left, right } => {
+            let l = estimate_into(left, map);
+            let r = estimate_into(right, map);
+            // Column stats survive only when both branches agree; merging
+            // them keeps NDV/null fractions usable above the union.
+            let cols = l
+                .cols
+                .iter()
+                .zip(r.cols.iter().chain(std::iter::repeat(&None)))
+                .map(|(a, b)| match (a, b) {
+                    (Some(a), Some(b)) => {
+                        let mut m = (**a).clone();
+                        m.merge(b);
+                        Some(Arc::new(m))
+                    }
+                    _ => None,
+                })
+                .collect();
+            Est { rows: l.rows + r.rows, cost: l.cost + r.cost, cols }
+        }
+    };
+    if let Some(m) = map {
+        m.insert(node as *const Node as usize, (est.rows, est.cost));
+    }
+    est
+}
+
+/// Cardinality and cost of one join, given its input estimates.
+fn join_estimate(
+    l: &Est,
+    r: &Est,
+    kind: JoinKind,
+    on: Option<&PExpr>,
+    la: usize,
+) -> Est {
+    let mut equi_sel = 1.0f64;
+    let mut residual_sel = 1.0f64;
+    let mut equi_keys = 0usize;
+    if let Some(on) = on {
+        let mut parts = Vec::new();
+        conjuncts_ref(on, &mut parts);
+        for p in parts {
+            if let Some((lc, rc)) = equi_pair(p, la) {
+                let lv = ndv_or_rows(&l.cols, lc, l.rows);
+                let rv = ndv_or_rows(&r.cols, rc - la, r.rows);
+                equi_sel /= lv.max(rv).max(1.0);
+                equi_keys += 1;
+            } else {
+                // Side-local or complex conjuncts filter the cross product.
+                let merged: Vec<Option<Arc<ColumnStats>>> =
+                    l.cols.iter().chain(r.cols.iter()).cloned().collect();
+                residual_sel *= pred_selectivity(p, &merged);
+            }
+        }
+    }
+    let cross = l.rows * r.rows;
+    let mut rows = cross * equi_sel * residual_sel;
+    if kind == JoinKind::LeftOuter {
+        // Every left row survives, NULL-extended if unmatched.
+        rows = rows.max(l.rows);
+    }
+    // Hash join when equi keys exist: build the right side (charged double —
+    // hashing + materializing costs more than probing), probe the left.
+    // Without keys the executor runs a nested loop over the full product —
+    // the term that makes cross products prohibitively expensive.
+    let work = if equi_keys > 0 {
+        l.rows + 2.0 * r.rows + rows
+    } else {
+        cross.max(l.rows + r.rows)
+    };
+    let cols = l.cols.iter().chain(r.cols.iter()).cloned().collect();
+    Est { rows, cost: l.cost + r.cost + work, cols }
+}
+
+/// `Col(l) = Col(r)` with the two sides on opposite sides of the join split.
+fn equi_pair(p: &PExpr, la: usize) -> Option<(usize, usize)> {
+    if let PExpr::Binary { left, op: BinOp::Eq, right } = p {
+        if let (PExpr::Col(a), PExpr::Col(b)) = (left.as_ref(), right.as_ref()) {
+            if *a < la && *b >= la {
+                return Some((*a, *b));
+            }
+            if *b < la && *a >= la {
+                return Some((*b, *a));
+            }
+        }
+    }
+    None
+}
+
+fn ndv_or_rows(cols: &[Option<Arc<ColumnStats>>], i: usize, rows: f64) -> f64 {
+    cols.get(i)
+        .and_then(Option::as_deref)
+        .map_or(rows.max(1.0), ColumnStats::distinct)
+}
+
+fn conjuncts_ref<'a>(e: &'a PExpr, out: &mut Vec<&'a PExpr>) {
+    if let PExpr::Binary { left, op: BinOp::And, right } = e {
+        conjuncts_ref(left, out);
+        conjuncts_ref(right, out);
+    } else {
+        out.push(e);
+    }
+}
+
+/// Estimated fraction of rows satisfying `pred`, given the input's per-column
+/// statistics.
+pub fn pred_selectivity(pred: &PExpr, cols: &[Option<Arc<ColumnStats>>]) -> f64 {
+    let mut parts = Vec::new();
+    conjuncts_ref(pred, &mut parts);
+    let mut sel = 1.0f64;
+    for p in parts {
+        sel *= conjunct_selectivity(p, cols);
+    }
+    sel.clamp(0.0, 1.0)
+}
+
+fn conjunct_selectivity(p: &PExpr, cols: &[Option<Arc<ColumnStats>>]) -> f64 {
+    match p {
+        PExpr::Lit(Variant::Bool(b)) => {
+            if *b {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        PExpr::Binary { left, op: BinOp::Or, right } => {
+            let a = conjunct_selectivity(left, cols);
+            let b = conjunct_selectivity(right, cols);
+            (a + b - a * b).clamp(0.0, 1.0)
+        }
+        PExpr::Not(inner) => 1.0 - conjunct_selectivity(inner, cols),
+        PExpr::IsNull { expr, negated } => match expr.as_ref() {
+            PExpr::Col(c) => {
+                let nf = cols
+                    .get(*c)
+                    .and_then(Option::as_deref)
+                    .map_or(DEFAULT_EQ_SEL, ColumnStats::null_fraction);
+                if *negated {
+                    1.0 - nf
+                } else {
+                    nf
+                }
+            }
+            _ => DEFAULT_UNKNOWN_SEL,
+        },
+        PExpr::InList { expr, list, negated } => match expr.as_ref() {
+            PExpr::Col(c) if list.iter().all(|e| matches!(e, PExpr::Lit(_))) => {
+                // `=` ignores its literal operand: (1 - nf) / ndv.
+                let eq = cols
+                    .get(*c)
+                    .and_then(Option::as_deref)
+                    .map_or(DEFAULT_EQ_SEL, |s| s.selectivity("=", &Variant::Null));
+                let sel = (eq * list.len() as f64).clamp(0.0, 1.0);
+                if *negated {
+                    1.0 - sel
+                } else {
+                    sel
+                }
+            }
+            _ => DEFAULT_UNKNOWN_SEL,
+        },
+        PExpr::Binary { left, op, right } => {
+            let (col, cmp, lit) = match (left.as_ref(), right.as_ref()) {
+                (PExpr::Col(c), PExpr::Lit(v)) => (*c, cmp_str(*op, false), v),
+                (PExpr::Lit(v), PExpr::Col(c)) => (*c, cmp_str(*op, true), v),
+                _ => return DEFAULT_UNKNOWN_SEL,
+            };
+            let Some(cmp) = cmp else { return DEFAULT_UNKNOWN_SEL };
+            match cols.get(col).and_then(Option::as_deref) {
+                Some(s) => s.selectivity(cmp, lit),
+                None => match cmp {
+                    "=" => DEFAULT_EQ_SEL,
+                    "<>" => 1.0 - DEFAULT_EQ_SEL,
+                    _ => DEFAULT_RANGE_SEL,
+                },
+            }
+        }
+        _ => DEFAULT_UNKNOWN_SEL,
+    }
+}
+
+fn cmp_str(op: BinOp, flip: bool) -> Option<&'static str> {
+    Some(match (op, flip) {
+        (BinOp::Eq, _) => "=",
+        (BinOp::NotEq, _) => "<>",
+        (BinOp::Lt, false) | (BinOp::Gt, true) => "<",
+        (BinOp::LtEq, false) | (BinOp::GtEq, true) => "<=",
+        (BinOp::Gt, false) | (BinOp::Lt, true) => ">",
+        (BinOp::GtEq, false) | (BinOp::LtEq, true) => ">=",
+        _ => return None,
+    })
+}
+
+/// Expected output rows per input row of a FLATTEN over `expr`.
+fn flatten_fanout(expr: &PExpr, cols: &[Option<Arc<ColumnStats>>], outer: bool) -> f64 {
+    let mut refs = Vec::new();
+    expr.collect_cols(&mut refs);
+    let fanout = refs
+        .first()
+        .and_then(|&c| cols.get(c).and_then(Option::as_deref))
+        .and_then(ColumnStats::avg_flatten_fanout)
+        .unwrap_or(DEFAULT_FANOUT);
+    if outer {
+        // OUTER FLATTEN emits at least one row per input row.
+        fanout.max(1.0)
+    } else {
+        fanout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Field;
+    use crate::storage::{ColumnDef, ColumnType, TableBuilder};
+
+    fn table(rows: i64, distinct: i64) -> Arc<crate::storage::Table> {
+        let schema = vec![
+            ColumnDef::new("K", ColumnType::Int),
+            ColumnDef::new("V", ColumnType::Int),
+        ];
+        let mut b = TableBuilder::new("t", schema);
+        for i in 0..rows {
+            b.push_row(&[Variant::Int(i % distinct), Variant::Int(i)]).unwrap();
+        }
+        Arc::new(b.finish().unwrap())
+    }
+
+    fn scan(t: &Arc<crate::storage::Table>) -> Node {
+        Node {
+            kind: NodeKind::Scan {
+                table: t.clone(),
+                pushed: Vec::new(),
+                materialize: vec![true; 2],
+            },
+            fields: vec![Field::bare("K"), Field::bare("V")],
+        }
+    }
+
+    #[test]
+    fn scan_estimates_table_rows() {
+        let t = table(500, 10);
+        let est = estimate(&scan(&t));
+        assert_eq!(est.rows, 500.0);
+        assert!(est.cols[0].is_some());
+    }
+
+    #[test]
+    fn filter_applies_stats_selectivity() {
+        let t = table(1000, 10);
+        let plan = Node {
+            kind: NodeKind::Filter {
+                input: Box::new(scan(&t)),
+                pred: PExpr::Binary {
+                    left: Box::new(PExpr::Col(0)),
+                    op: BinOp::Eq,
+                    right: Box::new(PExpr::Lit(Variant::Int(3))),
+                },
+            },
+            fields: vec![Field::bare("K"), Field::bare("V")],
+        };
+        let est = estimate(&plan);
+        // K has 10 distinct values → ~1/10 of 1000 rows.
+        assert!((est.rows - 100.0).abs() < 5.0, "est {}", est.rows);
+    }
+
+    #[test]
+    fn equi_join_beats_cross_join_cost() {
+        let big = table(2000, 400);
+        let small = table(50, 50);
+        let equi = Node {
+            kind: NodeKind::Join {
+                left: Box::new(scan(&big)),
+                right: Box::new(scan(&small)),
+                kind: JoinKind::Inner,
+                on: Some(PExpr::Binary {
+                    left: Box::new(PExpr::Col(0)),
+                    op: BinOp::Eq,
+                    right: Box::new(PExpr::Col(2)),
+                }),
+            },
+            fields: vec![
+                Field::bare("K"),
+                Field::bare("V"),
+                Field::bare("K2"),
+                Field::bare("V2"),
+            ],
+        };
+        let cross = Node {
+            kind: NodeKind::Join {
+                left: Box::new(scan(&big)),
+                right: Box::new(scan(&small)),
+                kind: JoinKind::Cross,
+                on: None,
+            },
+            fields: vec![
+                Field::bare("K"),
+                Field::bare("V"),
+                Field::bare("K2"),
+                Field::bare("V2"),
+            ],
+        };
+        let e = estimate(&equi);
+        let c = estimate(&cross);
+        assert!(e.cost < c.cost, "equi {} !< cross {}", e.cost, c.cost);
+        assert!(e.rows < c.rows);
+        assert_eq!(c.rows, 100_000.0);
+    }
+
+    #[test]
+    fn estimate_map_covers_every_node() {
+        let t = table(100, 10);
+        let plan = Node {
+            kind: NodeKind::Limit { input: Box::new(scan(&t)), n: 7 },
+            fields: vec![Field::bare("K"), Field::bare("V")],
+        };
+        let map = estimate_map(&plan);
+        assert_eq!(map.len(), 2);
+        let (rows, _) = map[&(&plan as *const Node as usize)];
+        assert_eq!(rows, 7.0);
+    }
+}

@@ -1,11 +1,17 @@
-//! Rule-based plan optimizer.
+//! Plan optimizer: rule-based passes plus a cost-based join reorderer.
 //!
-//! Three passes run on every query, in order:
+//! Passes run on every query, in order:
 //! 1. **constant folding** — pure literal sub-expressions are evaluated once;
 //! 2. **predicate pushdown** — filters move through projections, flattens,
-//!    unions, and join inputs, and comparison conjuncts against base-table
-//!    columns are copied into scans for zone-map partition pruning;
-//! 3. **projection pruning** — scans materialize only the table columns the
+//!    unions, and join inputs, and comparison / null-presence conjuncts
+//!    against base-table columns are copied into scans for zone-map
+//!    partition pruning;
+//! 3. **join reordering** ([`join_order`]) — Inner/Cross join clusters are
+//!    rebuilt in the order the cost model ([`cost`]) ranks cheapest, using
+//!    per-column statistics persisted in the catalog (NDV sketches,
+//!    histograms, null fractions), so raw SSB star joins and JSONiq
+//!    successive-`for` cross joins become selectivity-ordered hash joins;
+//! 4. **projection pruning** — scans materialize only the table columns the
 //!    query actually consumes, which both speeds execution and makes the
 //!    bytes-scanned metric reflect real column usage (paper §V-E).
 //!
@@ -13,16 +19,24 @@
 //! passes see the *whole* program — the end-to-end optimizer visibility the
 //! paper contrasts against UDF-based black boxes.
 
+pub mod cost;
+pub mod join_order;
+
 use crate::error::Result;
 use crate::exec::{eval, ExecCtx, RowView};
 use crate::plan::{FuncId, Node, NodeKind, PExpr, PStep, ScanPredicate};
 use crate::sql::{BinOp, JoinKind};
+use crate::variant::Variant;
 
 /// Runs all optimizer passes.
 pub fn optimize(mut node: Node) -> Result<Node> {
     fold_node(&mut node)?;
     node = merge_projects(node);
     node = pushdown(node);
+    // Reordering runs after pushdown: by then single-table conjuncts sit on
+    // their relations and cross-relation conjuncts have been folded into
+    // join ON conditions, which is the input shape the reorderer pools.
+    node = join_order::reorder_joins(node);
     // Pushing filters can expose further folding opportunities; one more round
     // keeps plans normalized without a full fixpoint loop.
     fold_node(&mut node)?;
@@ -562,10 +576,24 @@ fn shift_right(e: &PExpr, la: usize) -> PExpr {
     e.substitute(&subs)
 }
 
-/// Recognizes `col <cmp> literal` / `literal <cmp> col` conjuncts for pruning.
+/// Recognizes `col <cmp> literal` / `literal <cmp> col` conjuncts, plus
+/// `col IS [NOT] NULL`, for pruning.
 fn scan_predicate(p: &PExpr) -> Option<ScanPredicate> {
     let (l, op, r) = match p {
         PExpr::Binary { left, op, right } => (left.as_ref(), *op, right.as_ref()),
+        PExpr::IsNull { expr, negated } => {
+            // Null-presence predicates prune via ZoneMap::null_count: an
+            // all-null partition can't satisfy IS NOT NULL and a null-free
+            // one can't satisfy IS NULL.
+            if let PExpr::Col(c) = expr.as_ref() {
+                return Some(ScanPredicate {
+                    col: *c,
+                    cmp: if *negated { "IS NOT NULL" } else { "IS NULL" },
+                    lit: Variant::Null,
+                });
+            }
+            return None;
+        }
         _ => return None,
     };
     let cmp = |op: BinOp, flip: bool| -> Option<&'static str> {

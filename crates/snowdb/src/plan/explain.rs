@@ -2,24 +2,31 @@
 
 use std::fmt::Write;
 
+use std::collections::HashMap;
+
 use super::{AggExpr, AggKind, CastType, Node, NodeKind, PExpr, PStep};
 use crate::exec::metrics::OpMetrics;
+use crate::optimize::cost;
 use crate::sql::{BinOp, JoinKind, UnaryOp};
 
-/// Renders a bound plan as an indented operator tree.
+/// Renders a bound plan as an indented operator tree, each line annotated
+/// with the cost model's estimated output rows and cumulative cost.
 pub fn explain(node: &Node) -> String {
+    let ests = cost::estimate_map(node);
     let mut out = String::new();
-    walk(node, 0, None, &mut out);
+    walk(node, 0, None, &ests, &mut out);
     out
 }
 
 /// Renders a bound plan annotated with measured per-operator metrics: the
 /// `EXPLAIN ANALYZE` body. The metrics tree mirrors the plan shape (it is the
 /// snapshot of the physical plan lowered from `node`), so the two are walked
-/// in lockstep.
+/// in lockstep. Estimated rows print next to measured ones so estimation
+/// error is visible per operator.
 pub fn explain_analyze(node: &Node, metrics: &OpMetrics) -> String {
+    let ests = cost::estimate_map(node);
     let mut out = String::new();
-    walk(node, 0, Some(metrics), &mut out);
+    walk(node, 0, Some(metrics), &ests, &mut out);
     out
 }
 
@@ -29,15 +36,24 @@ fn indent(depth: usize, out: &mut String) {
     }
 }
 
-fn walk(node: &Node, depth: usize, metrics: Option<&OpMetrics>, out: &mut String) {
+fn walk(
+    node: &Node,
+    depth: usize,
+    metrics: Option<&OpMetrics>,
+    ests: &HashMap<usize, (f64, f64)>,
+    out: &mut String,
+) {
     indent(depth, out);
     out.push_str(&node_line(node));
+    if let Some(&(rows, c)) = ests.get(&(node as *const Node as usize)) {
+        let _ = write!(out, "  (est_rows={rows:.0} cost={c:.0})");
+    }
     if let Some(m) = metrics {
         let _ = write!(out, "  [{}]", m.annotation());
     }
     out.push('\n');
     for (i, child) in node.kind.inputs().into_iter().enumerate() {
-        walk(child, depth + 1, metrics.and_then(|m| m.children.get(i)), out);
+        walk(child, depth + 1, metrics.and_then(|m| m.children.get(i)), ests, out);
     }
 }
 
@@ -58,7 +74,13 @@ fn node_line(node: &Node) -> String {
             if !pushed.is_empty() {
                 let preds: Vec<String> = pushed
                     .iter()
-                    .map(|p| format!("#{} {} {:?}", p.col, p.cmp, p.lit))
+                    .map(|p| {
+                        if p.cmp.starts_with("IS") {
+                            format!("#{} {}", p.col, p.cmp)
+                        } else {
+                            format!("#{} {} {:?}", p.col, p.cmp, p.lit)
+                        }
+                    })
                     .collect();
                 let _ = write!(out, " prune=[{}]", preds.join(", "));
             }
@@ -240,5 +262,28 @@ mod tests {
         assert!(text.contains("Scan T"), "{text}");
         assert!(text.contains("prune="), "{text}");
         assert!(!text.contains(", B]"), "B must be pruned: {text}");
+    }
+
+    #[test]
+    fn explain_annotates_cost_estimates() {
+        let db = Database::new();
+        db.load_table(
+            "t",
+            vec![ColumnDef::new("A", ColumnType::Int)],
+            (0..100).map(|i| vec![Variant::Int(i)]),
+        )
+        .unwrap();
+        let plan = db.compile("SELECT a FROM t WHERE a IS NOT NULL").unwrap();
+        let text = super::explain(&plan);
+        // Every operator line carries the estimate annotation.
+        for line in text.lines() {
+            assert!(line.contains("est_rows="), "missing estimate: {line}");
+            assert!(line.contains("cost="), "missing cost: {line}");
+        }
+        // The scan line sees the true base cardinality from catalog stats.
+        assert!(text.contains("est_rows=100"), "{text}");
+        // Null-presence prune predicates render without a literal.
+        assert!(text.contains("IS NOT NULL]"), "{text}");
+        assert!(!text.contains("IS NOT NULL Null"), "{text}");
     }
 }

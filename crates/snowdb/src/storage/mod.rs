@@ -13,10 +13,12 @@
 pub mod encode;
 pub mod ingest;
 pub mod morsel;
+pub mod stats;
 mod table;
 
 pub use encode::{encode_from_env, set_ingest_encoding, NULL_CODE};
 pub use ingest::infer_schema;
+pub use stats::{ColumnStats, KmvSketch, TableStats};
 pub use table::{
     ColumnDef, MemSink, MicroPartition, PartitionSink, Table, TableBuilder,
     DEFAULT_PARTITION_ROWS,
@@ -302,9 +304,11 @@ pub struct ZoneMap {
 
 impl ZoneMap {
     /// Builds the zone map for a column, or `None` for variant columns and
-    /// all-null columns.
+    /// empty columns. An all-null scalar column *does* get a zone map — with
+    /// `Variant::Null` bounds — so `IS NULL` / `IS NOT NULL` pruning can see
+    /// its null count (a `None` here means "no metadata, never prune").
     pub fn build(col: &ColumnData) -> Option<ZoneMap> {
-        if matches!(col, ColumnData::Variant(_)) {
+        if matches!(col, ColumnData::Variant(_)) || col.is_empty() {
             return None;
         }
         let mut min: Option<Variant> = None;
@@ -327,15 +331,39 @@ impl ZoneMap {
                 _ => {}
             }
         }
-        Some(ZoneMap { min: min?, max: max?, null_count })
+        Some(ZoneMap {
+            min: min.unwrap_or(Variant::Null),
+            max: max.unwrap_or(Variant::Null),
+            null_count,
+        })
     }
 
     /// Can a value in `[min, max]` possibly satisfy `value <cmp> literal`?
     ///
-    /// `cmp` is one of `=`, `<`, `<=`, `>`, `>=`, `<>`; returns `true` when the
-    /// partition cannot be excluded.
+    /// `cmp` is one of `=`, `<`, `<=`, `>`, `>=`, `<>`, `IS NULL`,
+    /// `IS NOT NULL`; returns `true` when the partition cannot be excluded.
+    ///
+    /// Comparisons between the zone-map bounds and the literal go through
+    /// [`cmp_variants`], whose (Int, Float) arm is the exact `cmp_i64_f64`
+    /// path — never an `i64 as f64` cast — so an `Int` zone map compared
+    /// against a `Float` literal is decided correctly even for values
+    /// straddling 2^53 (see `zone_map_int_bounds_vs_float_literal_is_exact`).
     pub fn may_match(&self, cmp: &str, lit: &Variant) -> bool {
         use Ordering::*;
+        match cmp {
+            // Null-presence predicates read only the null count / bounds:
+            // a partition with no NULLs cannot satisfy IS NULL; an all-null
+            // partition (Null bounds) cannot satisfy IS NOT NULL.
+            "IS NULL" => return self.null_count > 0,
+            "IS NOT NULL" => return !self.min.is_null(),
+            _ => {}
+        }
+        // All-null partition: no value comparison can succeed. Without this
+        // guard, Null (which sorts above every value) would make `>` / `>=`
+        // wrongly keep the partition.
+        if self.min.is_null() {
+            return false;
+        }
         let min_c = cmp_variants(&self.min, lit);
         let max_c = cmp_variants(&self.max, lit);
         match cmp {
@@ -400,6 +428,16 @@ impl ScanSource {
         match self {
             ScanSource::Mem(p) => p.zone_map(i),
             ScanSource::Disk(p) => p.zone_map(i),
+        }
+    }
+
+    /// Optimizer statistics for column `i`, when available. Metadata-only:
+    /// disk partitions carry stats in their footer (format v3+); files
+    /// written by older versions report `None`.
+    pub fn column_stats(&self, i: usize) -> Option<&ColumnStats> {
+        match self {
+            ScanSource::Mem(p) => p.column_stats(i),
+            ScanSource::Disk(p) => p.column_stats(i),
         }
     }
 
@@ -633,5 +671,70 @@ mod tests {
         let mut c = ColumnData::empty(ColumnType::Variant);
         c.push(&Variant::Int(1));
         assert!(ZoneMap::build(&c).is_none());
+    }
+
+    #[test]
+    fn all_null_column_gets_null_bounded_zone_map() {
+        let mut c = ColumnData::empty(ColumnType::Int);
+        c.push(&Variant::Null);
+        c.push(&Variant::Null);
+        let zm = ZoneMap::build(&c).unwrap();
+        assert!(zm.min.is_null() && zm.max.is_null());
+        assert_eq!(zm.null_count, 2);
+        // No comparison can match an all-null partition...
+        for cmp in ["=", "<", "<=", ">", ">=", "<>"] {
+            assert!(!zm.may_match(cmp, &Variant::Int(0)), "{cmp} kept all-null");
+        }
+        // ...but IS NULL must keep it, and IS NOT NULL must prune it.
+        assert!(zm.may_match("IS NULL", &Variant::Null));
+        assert!(!zm.may_match("IS NOT NULL", &Variant::Null));
+        // Empty columns still have no zone map.
+        assert!(ZoneMap::build(&ColumnData::empty(ColumnType::Int)).is_none());
+    }
+
+    #[test]
+    fn null_presence_pruning_uses_null_count() {
+        let no_nulls = ZoneMap { min: Variant::Int(1), max: Variant::Int(9), null_count: 0 };
+        assert!(!no_nulls.may_match("IS NULL", &Variant::Null));
+        assert!(no_nulls.may_match("IS NOT NULL", &Variant::Null));
+        let some_nulls = ZoneMap { min: Variant::Int(1), max: Variant::Int(9), null_count: 3 };
+        assert!(some_nulls.may_match("IS NULL", &Variant::Null));
+        assert!(some_nulls.may_match("IS NOT NULL", &Variant::Null));
+    }
+
+    #[test]
+    fn zone_map_int_bounds_vs_float_literal_is_exact() {
+        // 2^53 is where f64 loses integer precision: 2^53 and 2^53 + 1 cast
+        // to the same double. The zone-map comparisons must distinguish them.
+        let p53 = 1i64 << 53;
+        let zm = ZoneMap {
+            min: Variant::Int(p53 + 1),
+            max: Variant::Int(p53 + 1),
+            null_count: 0,
+        };
+        // A lossy `min as f64` comparison would call these equal and keep /
+        // prune the partition wrongly.
+        assert!(!zm.may_match("=", &Variant::Float(p53 as f64)));
+        assert!(zm.may_match(">", &Variant::Float(p53 as f64)));
+        assert!(!zm.may_match("<=", &Variant::Float(p53 as f64)));
+        assert!(zm.may_match("<>", &Variant::Float(p53 as f64)));
+
+        let zm_lo = ZoneMap {
+            min: Variant::Int(-p53 - 1),
+            max: Variant::Int(-p53 - 1),
+            null_count: 0,
+        };
+        assert!(!zm_lo.may_match("=", &Variant::Float(-(p53 as f64))));
+        assert!(zm_lo.may_match("<", &Variant::Float(-(p53 as f64))));
+        assert!(!zm_lo.may_match(">=", &Variant::Float(-(p53 as f64))));
+
+        // Above 2^63 every i64 sorts below the float.
+        let zm_max = ZoneMap {
+            min: Variant::Int(i64::MAX),
+            max: Variant::Int(i64::MAX),
+            null_count: 0,
+        };
+        assert!(zm_max.may_match("<", &Variant::Float(9.223372036854776e18)));
+        assert!(!zm_max.may_match(">=", &Variant::Float(9.223372036854776e18)));
     }
 }

@@ -1,7 +1,8 @@
 //! Tables and micro-partitions.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+use super::stats::{ColumnStats, TableStats};
 use super::{ColumnData, ColumnType, ScanSource, ZoneMap};
 use crate::error::{Result, SnowError};
 use crate::variant::Variant;
@@ -35,6 +36,7 @@ impl ColumnDef {
 pub struct MicroPartition {
     columns: Vec<Arc<ColumnData>>,
     zone_maps: Vec<Option<ZoneMap>>,
+    stats: Vec<ColumnStats>,
     column_bytes: Vec<u64>,
     row_count: usize,
 }
@@ -63,8 +65,11 @@ impl MicroPartition {
         let row_count = columns.first().map_or(0, |c| c.len());
         debug_assert!(columns.iter().all(|c| c.len() == row_count));
         let zone_maps = columns.iter().map(|c| ZoneMap::build(c)).collect();
+        // Optimizer statistics (NDV sketch, null fraction, histogram, array
+        // fan-out) are computed once here, at seal time, like zone maps.
+        let stats = columns.iter().map(|c| ColumnStats::build(c)).collect();
         let column_bytes = columns.iter().map(|c| c.estimated_size()).collect();
-        MicroPartition { columns, zone_maps, column_bytes, row_count }
+        MicroPartition { columns, zone_maps, stats, column_bytes, row_count }
     }
 
     /// Number of rows in the partition.
@@ -85,6 +90,12 @@ impl MicroPartition {
     /// Zone map for column `i`, when available.
     pub fn zone_map(&self, i: usize) -> Option<&ZoneMap> {
         self.zone_maps[i].as_ref()
+    }
+
+    /// Optimizer statistics for column `i` (always present for sealed
+    /// in-memory partitions).
+    pub fn column_stats(&self, i: usize) -> Option<&ColumnStats> {
+        self.stats.get(i)
     }
 
     /// Estimated bytes of column `i`.
@@ -110,6 +121,7 @@ pub struct Table {
     schema: Vec<ColumnDef>,
     partitions: Vec<Arc<ScanSource>>,
     row_count: usize,
+    stats: OnceLock<Arc<TableStats>>,
 }
 
 impl Table {
@@ -121,7 +133,7 @@ impl Table {
         partitions: Vec<Arc<ScanSource>>,
     ) -> Table {
         let row_count = partitions.iter().map(|p| p.row_count()).sum();
-        Table { name, schema, partitions, row_count }
+        Table { name, schema, partitions, row_count, stats: OnceLock::new() }
     }
 
     /// Table name.
@@ -153,6 +165,16 @@ impl Table {
     /// memory partitions, exact on-disk block bytes for disk partitions).
     pub fn total_bytes(&self) -> u64 {
         self.partitions.iter().map(|p| p.total_bytes()).sum()
+    }
+
+    /// Aggregated optimizer statistics, computed lazily on first use and
+    /// cached for the life of this (immutable) snapshot. Metadata-only:
+    /// per-partition stats come from sealed partitions or disk footers, so
+    /// this never reads column data.
+    pub fn stats(&self) -> &Arc<TableStats> {
+        self.stats.get_or_init(|| {
+            Arc::new(TableStats::aggregate(self.schema.len(), &self.partitions))
+        })
     }
 }
 
@@ -266,6 +288,7 @@ impl TableBuilder {
             schema: self.schema,
             partitions: self.sealed,
             row_count: self.total_rows,
+            stats: OnceLock::new(),
         })
     }
 }
@@ -324,6 +347,23 @@ mod tests {
         assert_eq!(t.partitions().len(), 0);
         assert_eq!(t.row_count(), 0);
         assert_eq!(t.total_bytes(), 0);
+    }
+
+    #[test]
+    fn table_stats_aggregate_across_partitions() {
+        let mut b = TableBuilder::with_partition_rows("t", vec![int_col("a")], 4);
+        for i in 0..10 {
+            b.push_row(&[if i % 5 == 0 { Variant::Null } else { Variant::Int(i % 3) }])
+                .unwrap();
+        }
+        let t = b.finish().unwrap();
+        assert_eq!(t.partitions().len(), 3);
+        let stats = t.stats();
+        assert_eq!(stats.rows, 10);
+        let col = stats.columns[0].as_ref().expect("aggregated stats");
+        assert_eq!(col.rows, 10);
+        assert_eq!(col.nulls, 2);
+        assert_eq!(col.distinct(), 3.0); // values 0, 1, 2
     }
 
     /// A failing sink propagates through `push_row`/`finish` as a typed

@@ -37,6 +37,12 @@
 //! - `RleInt`/`RleBool` — varint run count, varint length per run, then the
 //!   per-run values as a plain `Int`/`Bool` block of `runs` rows.
 //!
+//! Version 3 adds per-column optimizer statistics to the footer — NDV (KMV)
+//! sketch hashes, null counts, equi-depth histogram bounds, and array
+//! fan-out counters — so cost-based planning over a reopened database is a
+//! metadata-only read, like zone-map pruning. Files written by versions 1
+//! and 2 remain readable and simply report no statistics.
+//!
 //! Version 1 files (no encoding ids, all blocks plain) remain readable.
 //!
 //! Every decode path is cursor-based and returns a typed
@@ -50,14 +56,16 @@ use std::path::Path;
 use std::sync::Arc;
 
 use crate::error::{Result, SnowError};
+use crate::storage::stats::{ColumnStats, KmvSketch};
 use crate::storage::{ColumnData, ColumnDef, ColumnType, MicroPartition, ZoneMap};
 use crate::variant::{Object, Variant};
 
 /// File magic, present both in the 8-byte header and the 4-byte trailer.
 pub const MAGIC: [u8; 4] = *b"SNPT";
-/// Current format version (v2 = per-column encoding ids); readers also
-/// accept [`MIN_FORMAT_VERSION`] and reject anything else with a typed error.
-pub const FORMAT_VERSION: u16 = 2;
+/// Current format version (v3 = per-column optimizer statistics; v2 =
+/// per-column encoding ids); readers accept every version from
+/// [`MIN_FORMAT_VERSION`] up and reject anything else with a typed error.
+pub const FORMAT_VERSION: u16 = 3;
 /// Oldest version the reader still understands (v1 = all blocks plain).
 pub const MIN_FORMAT_VERSION: u16 = 1;
 /// Fixed byte length of the header (`magic + version + padding`).
@@ -136,6 +144,8 @@ pub struct ColumnMeta {
     pub crc: u32,
     /// Zone map, when the column type supports one.
     pub zone_map: Option<ZoneMap>,
+    /// Optimizer statistics (format v3+); `None` when the file predates v3.
+    pub stats: Option<ColumnStats>,
 }
 
 /// Decoded footer of a partition file.
@@ -677,6 +687,26 @@ fn encode_footer(meta: &PartitionMeta, version: u16) -> Vec<u8> {
                 put_varint(&mut out, zm.null_count as u64);
             }
         }
+        if version >= 3 {
+            match &c.stats {
+                None => out.push(0),
+                Some(s) => {
+                    out.push(1);
+                    put_varint(&mut out, s.rows);
+                    put_varint(&mut out, s.nulls);
+                    put_varint(&mut out, s.ndv.hashes().len() as u64);
+                    for &h in s.ndv.hashes() {
+                        out.extend_from_slice(&h.to_le_bytes());
+                    }
+                    put_varint(&mut out, s.histogram.len() as u64);
+                    for b in &s.histogram {
+                        encode_variant(b, &mut out);
+                    }
+                    put_varint(&mut out, s.array_cells);
+                    put_varint(&mut out, s.array_elems);
+                }
+            }
+        }
     }
     out
 }
@@ -708,7 +738,52 @@ fn decode_footer(bytes: &[u8], version: u16) -> Result<PartitionMeta> {
             }
             f => return Err(storage(format!("bad zone-map flag {f}"))),
         };
-        columns.push(ColumnMeta { name, ty, encoding, offset, len, crc, zone_map });
+        // v1/v2 footers carry no statistics block.
+        let stats = if version >= 3 {
+            match cur.u8()? {
+                0 => None,
+                1 => {
+                    let rows = cur.varint()?;
+                    let nulls = cur.varint()?;
+                    let hash_count = cur.varlen()?;
+                    if hash_count > crate::storage::stats::KMV_K {
+                        return Err(storage(format!(
+                            "NDV sketch holds {hash_count} hashes (max {})",
+                            crate::storage::stats::KMV_K
+                        )));
+                    }
+                    let mut hashes = Vec::with_capacity(hash_count);
+                    for _ in 0..hash_count {
+                        hashes.push(cur.u64()?);
+                    }
+                    let bound_count = cur.varlen()?;
+                    if bound_count > crate::storage::stats::HISTOGRAM_BOUNDS {
+                        return Err(storage(format!(
+                            "histogram holds {bound_count} bounds (max {})",
+                            crate::storage::stats::HISTOGRAM_BOUNDS
+                        )));
+                    }
+                    let mut histogram = Vec::with_capacity(bound_count);
+                    for _ in 0..bound_count {
+                        histogram.push(decode_variant(&mut cur, 0)?);
+                    }
+                    let array_cells = cur.varint()?;
+                    let array_elems = cur.varint()?;
+                    Some(ColumnStats {
+                        rows,
+                        nulls,
+                        ndv: KmvSketch::from_hashes(hashes),
+                        histogram,
+                        array_cells,
+                        array_elems,
+                    })
+                }
+                f => return Err(storage(format!("bad column-stats flag {f}"))),
+            }
+        } else {
+            None
+        };
+        columns.push(ColumnMeta { name, ty, encoding, offset, len, crc, zone_map, stats });
     }
     cur.done()?;
     Ok(PartitionMeta { row_count, columns })
@@ -749,6 +824,7 @@ pub fn write_partition(
             len,
             crc,
             zone_map: part.zone_map(i).cloned(),
+            stats: part.column_stats(i).cloned(),
         });
     }
     let meta = PartitionMeta { row_count: part.row_count(), columns };
@@ -1108,6 +1184,7 @@ mod tests {
                 len,
                 crc: crc32(&buf[offset as usize..]),
                 zone_map: part.zone_map(i).cloned(),
+                stats: None,
             });
         }
         let meta = PartitionMeta { row_count: part.row_count(), columns };
@@ -1128,6 +1205,74 @@ mod tests {
                 assert_eq!(col.get(r), part.column(i).get(r), "col {i} row {r}");
             }
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_files_remain_readable_without_stats() {
+        // Write a version-2 file by hand: v2 footer (encoding ids, no stats
+        // block), version 2 in the header — the layout every pre-v3 database
+        // on disk has.
+        let (schema, part) = sample_partition();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&2u16.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 2]);
+        let mut columns = Vec::new();
+        for (i, def) in schema.iter().enumerate() {
+            let offset = buf.len() as u64;
+            encode_column(part.column(i), &mut buf);
+            let len = buf.len() as u64 - offset;
+            columns.push(ColumnMeta {
+                name: def.name.clone(),
+                ty: part.column(i).column_type(),
+                encoding: BlockEncoding::of(part.column(i)),
+                offset,
+                len,
+                crc: crc32(&buf[offset as usize..]),
+                zone_map: part.zone_map(i).cloned(),
+                stats: None,
+            });
+        }
+        let meta = PartitionMeta { row_count: part.row_count(), columns };
+        let footer = encode_footer(&meta, 2);
+        buf.extend_from_slice(&footer);
+        buf.extend_from_slice(&crc32(&footer).to_le_bytes());
+        buf.extend_from_slice(&(footer.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&MAGIC);
+        let path = temp_path("v2");
+        std::fs::write(&path, &buf).unwrap();
+
+        let read = read_footer(&path).unwrap();
+        assert_eq!(read.row_count, part.row_count());
+        for (i, cm) in read.columns.iter().enumerate() {
+            // Zone maps survive, stats are absent (the reader must not
+            // misparse the footer as v3).
+            assert_eq!(cm.zone_map.is_some(), part.zone_map(i).is_some());
+            assert!(cm.stats.is_none());
+            let col = read_column(&path, cm, read.row_count).unwrap();
+            for r in 0..read.row_count {
+                assert_eq!(col.get(r), part.column(i).get(r), "col {i} row {r}");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn column_stats_roundtrip_through_v3_footer() {
+        let (schema, part) = sample_partition();
+        let path = temp_path("stats");
+        write_partition(&path, &schema, &part).unwrap();
+        let footer = read_footer(&path).unwrap();
+        for (i, cm) in footer.columns.iter().enumerate() {
+            let expect = part.column_stats(i).expect("sealed partitions carry stats");
+            let got = cm.stats.as_ref().expect("v3 footer carries stats");
+            assert_eq!(got, expect, "col {i} stats diverge after roundtrip");
+        }
+        // The Variant column's array fan-out counters survive persistence.
+        let v = footer.columns[4].stats.as_ref().unwrap();
+        assert_eq!(v.rows, 13);
+        assert_eq!(v.array_cells, 0); // top-level values are objects
         std::fs::remove_file(&path).ok();
     }
 

@@ -67,6 +67,12 @@ impl DiskPartition {
         self.meta.columns[i].zone_map.as_ref()
     }
 
+    /// Optimizer statistics from the footer (format v3+; `None` for files
+    /// written by older versions). Metadata-only, like `zone_map`.
+    pub fn column_stats(&self, i: usize) -> Option<&crate::storage::ColumnStats> {
+        self.meta.columns[i].stats.as_ref()
+    }
+
     /// Exact encoded length of column `i`'s block — the I/O cost of reading
     /// it, and the savings of skipping it.
     pub fn column_bytes(&self, i: usize) -> u64 {

@@ -303,3 +303,192 @@ fn benign_input_predicate_still_moves_below_flatten() {
     assert_eq!(scans.len(), 1);
     assert_eq!(scans[0].1, 1, "comparison not pushed to the scan:\n{plan:?}");
 }
+
+// ---- cost-based join reordering --------------------------------------------
+//
+// The reorderer flattens Inner/Cross join clusters and rebuilds them
+// left-deep in the order the cost model ranks cheapest, using catalog
+// statistics (NDV sketches, histograms, null fractions) persisted at
+// partition seal. These tests pin its structural contract; result
+// equivalence is covered by the oracle in tests/planner.rs.
+
+use snowdb::QueryOptions;
+
+/// A small star: FACT (4000 rows) with FKs into DIMA (40) and DIMB (8).
+fn star_db() -> Database {
+    let db = Database::new();
+    db.load_table(
+        "fact",
+        vec![
+            ColumnDef::new("FA", ColumnType::Int),
+            ColumnDef::new("FB", ColumnType::Int),
+            ColumnDef::new("M", ColumnType::Int),
+        ],
+        (0..4000).map(|i| vec![Variant::Int(i % 40), Variant::Int(i % 8), Variant::Int(i)]),
+    )
+    .unwrap();
+    db.load_table(
+        "dima",
+        vec![ColumnDef::new("AK", ColumnType::Int), ColumnDef::new("AV", ColumnType::Int)],
+        (0..40).map(|i| vec![Variant::Int(i), Variant::Int(i * 10)]),
+    )
+    .unwrap();
+    db.load_table(
+        "dimb",
+        vec![ColumnDef::new("BK", ColumnType::Int), ColumnDef::new("BV", ColumnType::Int)],
+        (0..8).map(|i| vec![Variant::Int(i), Variant::Int(i * 100)]),
+    )
+    .unwrap();
+    db
+}
+
+fn scan_names(node: &Node, out: &mut Vec<String>) {
+    if let NodeKind::Scan { table, .. } = &node.kind {
+        out.push(table.name().to_string());
+    }
+    for child in node.kind.inputs() {
+        scan_names(child, out);
+    }
+}
+
+#[test]
+fn reorderer_recovers_star_join_from_cross_product() {
+    let db = star_db();
+    // Authored worst: dimensions first, fact last, all predicates in WHERE —
+    // the raw plan is DIMA × DIMB × FACT before any predicate applies.
+    let sql = "SELECT COUNT(*) FROM dima CROSS JOIN dimb CROSS JOIN fact \
+               WHERE fact.fa = dima.ak AND fact.fb = dimb.bk";
+    let plan = db.compile(sql).unwrap();
+    let mut joins = Vec::new();
+    find_joins(&plan, &mut joins);
+    assert_eq!(joins.len(), 2);
+    assert!(
+        joins.iter().all(|&(k, has_on)| k == JoinKind::Inner && has_on),
+        "cross products must become equi-joins: {joins:?}"
+    );
+    // The big fact table is the probe side (first scan, left-deep).
+    let mut scans = Vec::new();
+    scan_names(&plan, &mut scans);
+    assert_eq!(scans[0], "FACT", "fact table must lead the reordered plan: {scans:?}");
+    // And the reordered plan still counts correctly.
+    let r = db.query(sql).unwrap();
+    assert_eq!(r.rows[0][0], Variant::Int(4000));
+}
+
+#[test]
+fn reordered_plan_matches_unoptimized_results_and_column_order() {
+    let db = star_db();
+    // Projects columns from every relation in authored (pre-reorder) order:
+    // the restoring projection must map them back after the permutation.
+    let sql = "SELECT dima.av, fact.m, dimb.bv FROM dima CROSS JOIN dimb CROSS JOIN fact \
+               WHERE fact.fa = dima.ak AND fact.fb = dimb.bk AND dima.av < 50 \
+               ORDER BY fact.m";
+    let optimized = db.query(sql).unwrap();
+    let raw = db
+        .query_with(sql, &QueryOptions { optimize: false, ..Default::default() })
+        .unwrap();
+    assert_eq!(optimized.rows, raw.rows);
+    assert!(!optimized.rows.is_empty());
+}
+
+#[test]
+fn volatile_join_condition_blocks_reordering() {
+    let db = star_db();
+    // SEQ8() in a join condition is volatile: moving the join changes which
+    // row pairs it numbers. The cluster must keep its authored shape.
+    let sql = "SELECT COUNT(*) FROM dima CROSS JOIN dimb CROSS JOIN fact \
+               WHERE fact.fa = dima.ak AND fact.fb = dimb.bk AND SEQ8() >= 0";
+    let plan = db.compile(sql).unwrap();
+    let mut scans = Vec::new();
+    scan_names(&plan, &mut scans);
+    assert_eq!(
+        scans,
+        vec!["DIMA".to_string(), "DIMB".to_string(), "FACT".to_string()],
+        "volatile conjunct must freeze the authored join order"
+    );
+}
+
+#[test]
+fn erroring_join_condition_blocks_reordering() {
+    let db = star_db();
+    // A *multi-relation* erroring conjunct stays in the join ON (single-
+    // relation ones travel with their relation, which is sound): division
+    // can trip on row pairs the authored plan never forms, so the cluster
+    // must keep its authored shape.
+    let sql = "SELECT COUNT(*) FROM dima CROSS JOIN dimb CROSS JOIN fact \
+               WHERE fact.fa = dima.ak AND fact.fb = dimb.bk \
+               AND 100 / (dima.av + fact.m) >= 0";
+    let plan = db.compile(sql).unwrap();
+    let mut scans = Vec::new();
+    scan_names(&plan, &mut scans);
+    assert_eq!(
+        scans,
+        vec!["DIMA".to_string(), "DIMB".to_string(), "FACT".to_string()],
+        "erroring multi-relation conjunct must freeze the authored join order"
+    );
+}
+
+#[test]
+fn pushed_single_relation_error_predicate_travels_with_its_relation() {
+    let db = star_db();
+    // A single-relation erroring predicate is placed on its relation by
+    // pushdown before the reorderer runs; the cluster is then safe to
+    // reorder and results must match unoptimized execution exactly
+    // (dima.av = 0 exists, so 100/av errors iff the row is ever evaluated —
+    // both plans evaluate it against all DIMA rows).
+    let sql = "SELECT COUNT(*) FROM dima CROSS JOIN dimb CROSS JOIN fact \
+               WHERE fact.fa = dima.ak AND fact.fb = dimb.bk AND 100 / dima.av > 0";
+    let optimized = db.query(sql);
+    let raw = db.query_with(sql, &QueryOptions { optimize: false, ..Default::default() });
+    match (optimized, raw) {
+        (Ok(a), Ok(b)) => assert_eq!(a.rows, b.rows),
+        (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+        (a, b) => panic!(
+            "optimized and raw plans disagree on erroring: {:?} vs {:?}",
+            a.map(|r| r.rows),
+            b.map(|r| r.rows)
+        ),
+    }
+}
+
+#[test]
+fn two_way_joins_keep_authored_build_side() {
+    let db = star_db();
+    // Below MIN_RELATIONS the reorderer leaves the tree alone: two-way joins
+    // already hash-join and the authored build/probe orientation stands.
+    let plan = db
+        .compile("SELECT COUNT(*) FROM dima JOIN fact ON fact.fa = dima.ak")
+        .unwrap();
+    let mut scans = Vec::new();
+    scan_names(&plan, &mut scans);
+    assert_eq!(scans, vec!["DIMA".to_string(), "FACT".to_string()]);
+}
+
+#[test]
+fn null_presence_predicates_prune_partitions() {
+    // Satellite: IS NULL / IS NOT NULL reach the scan and prune using
+    // ZoneMap::null_count. One partition is entirely NULL, three have none.
+    let db = Database::new();
+    db.load_table_with_partition_rows(
+        "t",
+        vec![ColumnDef::new("ID", ColumnType::Int), ColumnDef::new("X", ColumnType::Int)],
+        (0..32).map(|i| {
+            let x = if (8..16).contains(&i) { Variant::Null } else { Variant::Int(i) };
+            vec![Variant::Int(i), x]
+        }),
+        8,
+    )
+    .unwrap();
+    let r = db.query("SELECT COUNT(*) FROM t WHERE x IS NULL").unwrap();
+    assert_eq!(r.rows[0][0], Variant::Int(8));
+    assert_eq!(
+        r.profile.scan.partitions_scanned, 1,
+        "only the all-null partition may survive IS NULL pruning"
+    );
+    let r = db.query("SELECT ID FROM t WHERE x IS NOT NULL").unwrap();
+    assert_eq!(r.rows.len(), 24);
+    assert_eq!(
+        r.profile.scan.partitions_scanned, 3,
+        "the all-null partition must be pruned for IS NOT NULL"
+    );
+}

@@ -5,5 +5,5 @@
 pub mod generator;
 pub mod queries;
 
-pub use generator::{load_ssb, SsbConfig, LINEORDERS_SF1};
+pub use generator::{load_ssb, load_ssb_tiny, SsbConfig, LINEORDERS_SF1};
 pub use queries::{queries, query, SsbQuery};
