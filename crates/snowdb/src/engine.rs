@@ -1,24 +1,35 @@
-//! The engine facade: catalog plus the compile/execute query pipeline.
+//! The engine facade: a multi-version catalog plus the compile/execute query
+//! pipeline.
+//!
+//! Every statement pins one immutable [`CatalogSnapshot`] and runs against it
+//! end to end — concurrent commits never change what an in-flight query sees.
+//! Writers prepare partitions off to the side and commit through an optimistic
+//! compare-and-swap on the catalog version ([`Database::commit_writes`]); a
+//! lost race surfaces as [`SnowError::WriteConflict`] and the auto-commit DML
+//! paths retry on a fresh snapshot under a seeded, bounded backoff.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrd};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 
+use crate::catalog::{CatalogSnapshot, SharedCatalog, TableEntry, TableWrite, WriteSet};
 use crate::error::{Result, SnowError};
 use crate::exec::metrics::OpMetrics;
 use crate::exec::{pipeline, ExecCtx};
+use crate::govern::retry::{self, RetryPolicy};
 use crate::govern::{
     GovernorSummary, QueryFailure, QueryGovernor, QueryHandle, SessionParams,
 };
 use crate::optimize::optimize;
 use crate::plan::physical::{lower, PhysNode};
-use crate::plan::{bind_query, Catalog, Node};
+use crate::plan::{bind_query, Field, Node, PExpr};
+use crate::sql::ast::Expr;
 use crate::sql::{parse_query, parse_statement, Statement};
 use crate::storage::{
     ColumnDef, MemSink, MicroPartition, PartitionSink, ScanSource, ScanStats, Table, TableBuilder,
+    DEFAULT_PARTITION_ROWS,
 };
 use crate::store::Store;
 use crate::variant::Variant;
@@ -70,35 +81,38 @@ impl QueryResult {
     }
 }
 
-/// An embedded Snowflake-like database: a catalog of immutable table snapshots
-/// plus the query pipeline.
+/// An embedded Snowflake-like database: a multi-version catalog of immutable
+/// table snapshots plus the query pipeline.
 ///
-/// Cloning handles is cheap; the catalog is behind a lock, table data is not.
+/// The catalog is MVCC: readers pin an `Arc`'d [`CatalogSnapshot`] and never
+/// block writers; writers commit optimistically and serialize only on the
+/// commit point itself. Cloning handles is cheap; table data is never behind
+/// a lock.
 #[derive(Default)]
 pub struct Database {
-    tables: RwLock<HashMap<String, Arc<Table>>>,
+    /// The current catalog version plus the commit serialization point.
+    catalog: SharedCatalog,
     /// Explicit worker-thread override; `None` falls back to the
     /// `SNOWDB_THREADS` environment variable, then to the machine's
     /// available parallelism.
     threads: RwLock<Option<usize>>,
-    /// Schema generation: bumped on every catalog mutation (load, register,
-    /// drop, insert-rebuild). Compiled artifacts derived from the catalog —
-    /// e.g. cached query translations — key on this stamp so a re-ingested or
-    /// altered table can never serve results bound to the old schema.
-    generation: AtomicU64,
     /// Session parameters (`SET STATEMENT_TIMEOUT_IN_SECONDS = ...`); a fresh
-    /// [`QueryGovernor`] is armed from them for every statement.
+    /// [`QueryGovernor`] is armed from them for every statement run directly
+    /// on the database. [`crate::session::Session`]s carry their own.
     params: RwLock<SessionParams>,
     /// Attached persistent store ([`Database::open`] / [`Database::persist_to`]);
     /// `None` for a purely in-memory database. When attached, every catalog
-    /// mutation commits a new manifest version and newly loaded tables stream
-    /// their partitions to disk.
+    /// commit also commits a new manifest version and newly loaded tables
+    /// stream their partitions to disk.
     store: RwLock<Option<Arc<Store>>>,
+    /// Monotonic counter feeding per-commit retry-jitter seeds, so contending
+    /// writers on one database desynchronize deterministically.
+    commit_seq: AtomicU64,
 }
 
 /// Sink adapter charging every sealed partition against a query governor
 /// before handing it to the real destination — this is what bounds (and
-/// faults, under chaos schedules) streaming ingest.
+/// faults, under chaos schedules) streaming ingest and DML rewrites.
 struct GovernedSink {
     inner: Box<dyn PartitionSink>,
     gov: Arc<QueryGovernor>,
@@ -136,14 +150,6 @@ pub struct QueryOptions {
 impl Default for QueryOptions {
     fn default() -> QueryOptions {
         QueryOptions { optimize: true, threads: None, vectorize: None, encode: None }
-    }
-}
-
-struct CatalogView<'a>(&'a Database);
-
-impl Catalog for CatalogView<'_> {
-    fn table(&self, name: &str) -> Option<Arc<Table>> {
-        self.0.tables.read().get(&name.to_ascii_uppercase()).cloned()
     }
 }
 
@@ -186,6 +192,10 @@ impl Database {
     /// persistent store is attached — and every sealed partition is charged
     /// against a governor armed from the session parameters. Peak memory is
     /// one open partition regardless of table size.
+    ///
+    /// A load *replaces* any same-named table (last writer wins); it commits
+    /// against the catalog version current at commit time and therefore never
+    /// trips a write conflict.
     pub fn load_table_stream<I>(
         &self,
         name: &str,
@@ -199,9 +209,8 @@ impl Database {
         let upper = name.to_ascii_uppercase();
         let gov = Arc::new(QueryGovernor::from_params(&self.session_params()));
         let store = self.store();
-        let disk = store.as_ref().map(|s| s.sink(schema.clone()));
-        let inner: Box<dyn PartitionSink> = match &disk {
-            Some(d) => Box::new(d.clone()),
+        let inner: Box<dyn PartitionSink> = match &store {
+            Some(s) => Box::new(s.sink(schema.clone())),
             None => Box::new(MemSink),
         };
         let sink = GovernedSink { inner, gov };
@@ -211,60 +220,86 @@ impl Database {
             b.push_row(&row?)?;
         }
         let table = Arc::new(b.finish()?);
-        if let (Some(s), Some(d)) = (&store, &disk) {
-            // Publish atomically; on failure the fresh files stay invisible
-            // debris and the previous table version remains live.
-            s.commit_table(&upper, schema, d.refs())?;
-        }
-        self.tables.write().insert(upper, table);
-        self.generation.fetch_add(1, AtomicOrd::Relaxed);
+        // Publish atomically; on failure the fresh partition files stay
+        // invisible debris (swept on the next write-open) and the previous
+        // table version remains live.
+        self.commit_latest(WriteSet::single(&upper, TableWrite::Put {
+            table,
+            expect_absent: false,
+        }))?;
         Ok(())
     }
 
-    /// Opens (or initializes) a persistent database directory. Every
-    /// committed table is reconstructed lazily — footers are read, column
-    /// data is not — and subsequent catalog mutations commit new manifest
-    /// versions to the same directory.
+    /// Opens (or initializes) a persistent database directory with the write
+    /// lock. Every committed table is reconstructed lazily — footers are
+    /// read, column data is not — and subsequent catalog commits write new
+    /// manifest versions to the same directory. A directory already
+    /// write-locked by a *different live process* is refused with a typed
+    /// [`SnowError::Storage`]; use [`Database::open_read_only`] to read past
+    /// the lock.
     pub fn open(dir: impl AsRef<std::path::Path>) -> Result<Database> {
-        let (store, tables) = Store::open(dir)?;
-        let db = Database::new();
-        {
-            let mut map = db.tables.write();
-            for t in tables {
-                map.insert(t.name().to_ascii_uppercase(), Arc::new(t));
-            }
+        Database::open_mode(dir, false)
+    }
+
+    /// Opens a persistent database directory without taking the write lock:
+    /// always succeeds alongside a live writer process, but every catalog
+    /// mutation on the returned database is refused with a typed error.
+    pub fn open_read_only(dir: impl AsRef<std::path::Path>) -> Result<Database> {
+        Database::open_mode(dir, true)
+    }
+
+    fn open_mode(dir: impl AsRef<std::path::Path>, read_only: bool) -> Result<Database> {
+        let (store, tables) = if read_only {
+            Store::open_read_only(dir)?
+        } else {
+            Store::open(dir)?
+        };
+        let version = store.version();
+        let mut map = std::collections::BTreeMap::new();
+        for t in tables {
+            let name = t.name().to_ascii_uppercase();
+            map.insert(name, TableEntry { table: Arc::new(t), committed_at: version });
         }
+        let db = Database {
+            catalog: SharedCatalog::new(CatalogSnapshot::new(version, map)),
+            ..Database::default()
+        };
         *db.store.write() = Some(store);
         Ok(db)
     }
 
     /// Persists the current catalog into a fresh database directory and
     /// attaches it: every partition is written as an immutable partition
-    /// file, each table is committed to the manifest, and the in-memory
-    /// snapshots are swapped for their disk-backed (lazily read) versions.
-    /// Refuses a directory that already holds a database.
+    /// file, all tables are committed in **one** manifest version, and the
+    /// in-memory snapshots are swapped for their disk-backed (lazily read)
+    /// versions. Refuses a directory that already holds a database.
     pub fn persist_to(&self, dir: impl AsRef<std::path::Path>) -> Result<()> {
         let store = Store::create(dir)?;
-        let snapshot: Vec<Arc<Table>> = self.tables.read().values().cloned().collect();
-        let mut rebuilt = Vec::with_capacity(snapshot.len());
-        for t in snapshot {
+        // Hold the commit lock across the whole persist so no commit can
+        // slip between the catalog snapshot and the attach.
+        let _guard = self.catalog.lock_commits();
+        let current = self.catalog.snapshot();
+        let mut writes = Vec::new();
+        for (name, entry) in current.entries() {
+            let t = &entry.table;
             let mut sources = Vec::with_capacity(t.partitions().len());
-            let mut refs = Vec::with_capacity(t.partitions().len());
             for part in t.partitions() {
-                let (src, pref) = store.write_partition(&part.to_mem()?, t.schema())?;
+                let (src, _pref) = store.write_partition(&part.to_mem()?, t.schema())?;
                 sources.push(src);
-                refs.push(pref);
             }
-            store.commit_table(t.name(), t.schema().to_vec(), refs)?;
-            rebuilt.push(Table::from_parts(t.name().to_string(), t.schema().to_vec(), sources));
+            let table =
+                Arc::new(Table::from_parts(t.name().to_string(), t.schema().to_vec(), sources));
+            writes.push((name.clone(), TableWrite::Put { table, expect_absent: false }));
         }
-        let mut map = self.tables.write();
-        for t in rebuilt {
-            map.insert(t.name().to_ascii_uppercase(), Arc::new(t));
+        if writes.is_empty() {
+            *self.store.write() = Some(store);
+            return Ok(());
         }
-        drop(map);
+        let set = WriteSet { writes };
+        store.commit_writes(&set)?;
+        let next = current.apply(current.version(), &set)?;
         *self.store.write() = Some(store);
-        self.generation.fetch_add(1, AtomicOrd::Relaxed);
+        self.catalog.publish(Arc::new(next));
         Ok(())
     }
 
@@ -273,11 +308,89 @@ impl Database {
         self.store.read().clone()
     }
 
-    /// Registers a pre-built table snapshot.
-    pub fn register(&self, table: Table) {
-        let name = table.name().to_ascii_uppercase();
-        self.tables.write().insert(name, Arc::new(table));
-        self.generation.fetch_add(1, AtomicOrd::Relaxed);
+    /// Pins the current catalog version. Everything resolved through the
+    /// returned snapshot is immutable: concurrent commits publish *new*
+    /// versions and never mutate a pinned one.
+    pub fn snapshot(&self) -> Arc<CatalogSnapshot> {
+        self.catalog.snapshot()
+    }
+
+    /// Commits a write set against `base_version` (the version the writer
+    /// read its inputs from): the optimistic compare-and-swap. Under the
+    /// commit lock the set is validated against the *current* version
+    /// ([`CatalogSnapshot::apply`]); on success it is made durable first
+    /// (when a store is attached) and then published. A validation failure
+    /// surfaces as [`SnowError::WriteConflict`] with nothing changed.
+    pub(crate) fn commit_writes(
+        &self,
+        base_version: u64,
+        set: WriteSet,
+    ) -> Result<Arc<CatalogSnapshot>> {
+        let _guard = self.catalog.lock_commits();
+        let current = self.catalog.snapshot();
+        self.commit_locked(&current, base_version, set)
+    }
+
+    /// Commits a write set against whatever version is current at the commit
+    /// point — replace/last-writer-wins semantics (bulk load, register,
+    /// drop). Never trips a write conflict for plain `Put`s and `Drop`s.
+    fn commit_latest(&self, set: WriteSet) -> Result<Arc<CatalogSnapshot>> {
+        let _guard = self.catalog.lock_commits();
+        let current = self.catalog.snapshot();
+        let base = current.version();
+        self.commit_locked(&current, base, set)
+    }
+
+    fn commit_locked(
+        &self,
+        current: &Arc<CatalogSnapshot>,
+        base_version: u64,
+        set: WriteSet,
+    ) -> Result<Arc<CatalogSnapshot>> {
+        let next = current.apply(base_version, &set)?;
+        if let Some(s) = self.store() {
+            // Durability first: the manifest CAS is the real commit point.
+            // If it fails, nothing was published and prepared partition
+            // files remain invisible debris.
+            s.commit_writes(&set)?;
+        }
+        let next = Arc::new(next);
+        self.catalog.publish(next.clone());
+        Ok(next)
+    }
+
+    /// A fresh deterministic-jitter seed for one auto-commit retry loop.
+    fn next_commit_seed(&self) -> u64 {
+        crate::govern::chaos::splitmix64(
+            self.commit_seq.fetch_add(1, AtomicOrd::Relaxed).wrapping_add(0x5EED),
+        )
+    }
+
+    /// Registers a pre-built table snapshot, replacing any same-named table.
+    /// When a persistent store is attached the partitions are written to
+    /// disk first so the commit is durable.
+    pub fn register(&self, table: Table) -> Result<()> {
+        let upper = table.name().to_ascii_uppercase();
+        let table = match self.store() {
+            Some(s) => {
+                let mut sources = Vec::with_capacity(table.partitions().len());
+                for part in table.partitions() {
+                    let (src, _pref) = s.write_partition(&part.to_mem()?, table.schema())?;
+                    sources.push(src);
+                }
+                Arc::new(Table::from_parts(
+                    table.name().to_string(),
+                    table.schema().to_vec(),
+                    sources,
+                ))
+            }
+            None => Arc::new(table),
+        };
+        self.commit_latest(WriteSet::single(&upper, TableWrite::Put {
+            table,
+            expect_absent: false,
+        }))?;
+        Ok(())
     }
 
     /// Removes a table; returns whether it existed. Infallible legacy shim
@@ -289,39 +402,34 @@ impl Database {
 
     /// Removes a table, committing the drop to the persistent catalog when a
     /// store is attached. The in-memory catalog only changes after the commit
-    /// succeeds, so a failed commit leaves both views consistent.
+    /// succeeds, so a failed commit leaves both views consistent. Drops are
+    /// idempotent and never conflict.
     pub fn drop_table_checked(&self, name: &str) -> Result<bool> {
         let upper = name.to_ascii_uppercase();
-        if !self.tables.read().contains_key(&upper) {
+        let base = self.snapshot();
+        if base.table(&upper).is_none() {
             return Ok(false);
         }
-        if let Some(s) = self.store() {
-            s.commit_drop(&upper)?;
-        }
-        let existed = self.tables.write().remove(&upper).is_some();
-        if existed {
-            self.generation.fetch_add(1, AtomicOrd::Relaxed);
-        }
-        Ok(existed)
+        self.commit_writes(base.version(), WriteSet::single(&upper, TableWrite::Drop))?;
+        Ok(true)
     }
 
-    /// Current schema generation; changes whenever the catalog does. Anything
-    /// compiled against the catalog (cached translations, prepared plans)
-    /// should treat a different stamp as a different database.
+    /// Current schema generation — the catalog version; changes whenever the
+    /// catalog does. Anything compiled against the catalog (cached
+    /// translations, prepared plans) should treat a different stamp as a
+    /// different database.
     pub fn schema_generation(&self) -> u64 {
-        self.generation.load(AtomicOrd::Relaxed)
+        self.catalog.snapshot().version()
     }
 
-    /// Fetches a table snapshot.
+    /// Fetches a table snapshot from the current catalog version.
     pub fn table(&self, name: &str) -> Option<Arc<Table>> {
-        CatalogView(self).table(name)
+        self.catalog.snapshot().table(name)
     }
 
-    /// Names of all tables.
+    /// Names of all tables in the current catalog version.
     pub fn table_names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.tables.read().keys().cloned().collect();
-        v.sort();
-        v
+        self.catalog.snapshot().table_names()
     }
 
     /// Compiles a SQL query to an optimized plan (parse + bind + optimize).
@@ -333,8 +441,19 @@ impl Database {
     /// plan executes on the same pipeline, which is what lets the verification
     /// oracle compare optimized against unoptimized results.
     pub fn compile_with(&self, sql: &str, optimize_plan: bool) -> Result<Node> {
+        self.compile_on(&self.snapshot(), sql, optimize_plan)
+    }
+
+    /// Compiles against an explicit pinned snapshot (sessions compile inside
+    /// their transaction's effective catalog).
+    pub(crate) fn compile_on(
+        &self,
+        cat: &CatalogSnapshot,
+        sql: &str,
+        optimize_plan: bool,
+    ) -> Result<Node> {
         let ast = parse_query(sql)?;
-        let bound = bind_query(&ast, &CatalogView(self))?;
+        let bound = bind_query(&ast, cat)?;
         if optimize_plan {
             optimize(bound)
         } else {
@@ -393,8 +512,21 @@ impl Database {
         opts: &QueryOptions,
         gov: Arc<QueryGovernor>,
     ) -> std::result::Result<QueryResult, QueryFailure> {
+        self.query_on(&self.snapshot(), sql, opts, gov)
+    }
+
+    /// [`Database::query_governed`] against an explicit pinned snapshot — the
+    /// statement sees exactly one catalog version from bind to last batch.
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn query_on(
+        &self,
+        cat: &CatalogSnapshot,
+        sql: &str,
+        opts: &QueryOptions,
+        gov: Arc<QueryGovernor>,
+    ) -> std::result::Result<QueryResult, QueryFailure> {
         let t0 = Instant::now();
-        let plan = match self.compile_with(sql, opts.optimize) {
+        let plan = match self.compile_on(cat, sql, opts.optimize) {
             Ok(p) => p,
             Err(error) => {
                 return Err(QueryFailure {
@@ -576,9 +708,11 @@ impl Database {
 
     /// Executes any statement: queries return rows, DDL/DML return a message.
     ///
-    /// `INSERT` rebuilds the table snapshot (tables are immutable); it is meant
-    /// for interactive use, not bulk loading — use [`Database::load_table`]
-    /// for that.
+    /// DML (`INSERT`/`UPDATE`/`DELETE`) auto-commits: it plans against a
+    /// pinned snapshot, prepares partitions off to the side, and commits
+    /// optimistically, retrying lost races on a fresh snapshot under a
+    /// seeded bounded backoff. Explicit transactions need a
+    /// [`crate::session::Session`].
     pub fn execute(&self, sql: &str) -> Result<StatementResult> {
         match parse_statement(sql)? {
             Statement::Query(_) => Ok(StatementResult::Rows(self.query(sql)?)),
@@ -592,64 +726,44 @@ impl Database {
                 Ok(StatementResult::Message(report.render()))
             }
             Statement::Explain(q) => {
-                let bound = crate::plan::bind_query(&q, &CatalogView(self))?;
+                let snap = self.snapshot();
+                let bound = crate::plan::bind_query(&q, &*snap)?;
                 let plan = crate::optimize::optimize(bound)?;
                 Ok(StatementResult::Message(crate::plan::explain(&plan)))
             }
             Statement::ExplainAnalyze(q) => {
-                let bound = crate::plan::bind_query(&q, &CatalogView(self))?;
+                let snap = self.snapshot();
+                let bound = crate::plan::bind_query(&q, &*snap)?;
                 let plan = crate::optimize::optimize(bound)?;
                 Ok(StatementResult::Message(self.explain_analyze_plan(&plan)?))
             }
             Statement::CreateTable { name, columns } => {
-                if self.table(&name).is_some() {
-                    return Err(SnowError::Catalog(format!("table '{name}' already exists")));
-                }
-                let schema = columns
+                let upper = name.to_ascii_uppercase();
+                let schema: Vec<ColumnDef> = columns
                     .into_iter()
                     .map(|(n, ty)| crate::storage::ColumnDef::new(n, ty))
                     .collect();
-                self.load_table(&name, schema, std::iter::empty())?;
-                Ok(StatementResult::Message(format!("created table {name}")))
-            }
-            Statement::Insert { table, rows } => {
-                let t = self.table(&table).ok_or_else(|| {
-                    SnowError::Catalog(format!("table '{table}' does not exist"))
-                })?;
-                // Evaluate each VALUES tuple as literal expressions.
-                let mut ctx = ExecCtx::default();
-                let chunk = crate::exec::Chunk { cols: Vec::new(), rows: 1 };
-                let parts = [(&chunk, 0usize)];
-                let view = crate::exec::RowView::new(&parts);
-                let mut new_rows: Vec<Vec<Variant>> = Vec::with_capacity(rows.len());
-                for tuple in rows {
-                    if tuple.len() != t.schema().len() {
+                let policy = RetryPolicy::commit_default(self.next_commit_seed());
+                retry::run(&policy, |_| {
+                    let base = self.snapshot();
+                    if base.table(&upper).is_some() {
                         return Err(SnowError::Catalog(format!(
-                            "INSERT arity {} does not match table arity {}",
-                            tuple.len(),
-                            t.schema().len()
+                            "table '{name}' already exists"
                         )));
                     }
-                    let mut row = Vec::with_capacity(tuple.len());
-                    for e in tuple {
-                        let bound = crate::plan::binder::bind_expr(&e, &[], None)?;
-                        row.push(crate::exec::eval(&bound, view, &mut ctx)?);
-                    }
-                    new_rows.push(row);
-                }
-                let inserted = new_rows.len();
-                // Rebuild: existing rows + new rows. Disk-backed partitions
-                // are materialized through the buffer cache.
-                let mut all: Vec<Vec<Variant>> = Vec::with_capacity(t.row_count() + inserted);
-                for part in t.partitions() {
-                    let mem = part.to_mem()?;
-                    for r in 0..mem.row_count() {
-                        all.push((0..t.schema().len()).map(|c| mem.column(c).get(r)).collect());
-                    }
-                }
-                all.extend(new_rows);
-                self.load_table(&table, t.schema().to_vec(), all)?;
-                Ok(StatementResult::Message(format!("inserted {inserted} row(s)")))
+                    let table =
+                        Arc::new(Table::from_parts(upper.clone(), schema.clone(), Vec::new()));
+                    self.commit_writes(
+                        base.version(),
+                        WriteSet::single(&upper, TableWrite::Put { table, expect_absent: true }),
+                    )
+                })?;
+                Ok(StatementResult::Message(format!("created table {name}")))
+            }
+            stmt @ (Statement::Insert { .. }
+            | Statement::Update { .. }
+            | Statement::Delete { .. }) => {
+                self.autocommit_dml(&stmt, &self.session_params())
             }
             Statement::DropTable { name, if_exists } => {
                 let existed = self.drop_table_checked(&name)?;
@@ -670,7 +784,312 @@ impl Database {
                 let canonical = self.unset_session_param(&name)?;
                 Ok(StatementResult::Message(format!("{canonical} cleared")))
             }
+            Statement::Begin | Statement::Commit | Statement::Rollback => {
+                Err(SnowError::Catalog(
+                    "explicit transactions require a session: open a snowdb::Session \
+                     and run BEGIN/COMMIT/ROLLBACK there"
+                        .into(),
+                ))
+            }
         }
+    }
+
+    /// Auto-commits one DML statement: plan against a pinned snapshot,
+    /// prepare partitions, commit via CAS, retry lost races on a fresh
+    /// snapshot under a seeded bounded backoff.
+    pub(crate) fn autocommit_dml(
+        &self,
+        stmt: &Statement,
+        params: &SessionParams,
+    ) -> Result<StatementResult> {
+        let policy = RetryPolicy::commit_default(self.next_commit_seed());
+        retry::run(&policy, |_| {
+            let base = self.snapshot();
+            let (name, write, msg) = self.plan_dml(&base, stmt, params)?;
+            if let Some(w) = write {
+                self.commit_writes(base.version(), WriteSet::single(&name, w))?;
+            }
+            Ok(StatementResult::Message(msg))
+        })
+    }
+
+    /// Plans one DML statement against a pinned snapshot, returning the
+    /// table name, the prepared write (or `None` when the statement touched
+    /// no partition), and the result message. Pure with respect to the
+    /// catalog: nothing is committed. Sessions call this against their
+    /// transaction's effective catalog.
+    pub(crate) fn plan_dml(
+        &self,
+        cat: &CatalogSnapshot,
+        stmt: &Statement,
+        params: &SessionParams,
+    ) -> Result<(String, Option<TableWrite>, String)> {
+        match stmt {
+            Statement::Insert { table, rows } => self.plan_insert(cat, table, rows, params),
+            Statement::Update { table, sets, predicate } => {
+                self.plan_update(cat, table, sets, predicate.as_ref(), params)
+            }
+            Statement::Delete { table, predicate } => {
+                self.plan_delete(cat, table, predicate.as_ref(), params)
+            }
+            other => Err(SnowError::internal(
+                "engine",
+                format!("plan_dml called with non-DML statement {other:?}"),
+            )),
+        }
+    }
+
+    /// `INSERT`: evaluates the `VALUES` tuples and seals them into fresh
+    /// partitions (streamed straight to partition files when a store is
+    /// attached). The append merges with concurrent appends at commit time;
+    /// existing partitions are never rewritten.
+    fn plan_insert(
+        &self,
+        cat: &CatalogSnapshot,
+        table: &str,
+        rows: &[Vec<Expr>],
+        params: &SessionParams,
+    ) -> Result<(String, Option<TableWrite>, String)> {
+        let upper = table.to_ascii_uppercase();
+        let t = cat
+            .table(&upper)
+            .ok_or_else(|| SnowError::Catalog(format!("table '{table}' does not exist")))?;
+        // Evaluate each VALUES tuple as literal expressions.
+        let mut ctx = ExecCtx::default();
+        let chunk = crate::exec::Chunk { cols: Vec::new(), rows: 1 };
+        let parts = [(&chunk, 0usize)];
+        let view = crate::exec::RowView::new(&parts);
+        let mut new_rows: Vec<Vec<Variant>> = Vec::with_capacity(rows.len());
+        for tuple in rows {
+            if tuple.len() != t.schema().len() {
+                return Err(SnowError::Catalog(format!(
+                    "INSERT arity {} does not match table arity {}",
+                    tuple.len(),
+                    t.schema().len()
+                )));
+            }
+            let mut row = Vec::with_capacity(tuple.len());
+            for e in tuple {
+                let bound = crate::plan::binder::bind_expr(e, &[], None)?;
+                row.push(crate::exec::eval(&bound, view, &mut ctx)?);
+            }
+            new_rows.push(row);
+        }
+        let inserted = new_rows.len();
+        let schema = t.schema().to_vec();
+        let gov = Arc::new(QueryGovernor::from_params(params));
+        let parts = self.build_partitions(&upper, &schema, &new_rows, DEFAULT_PARTITION_ROWS, &gov)?;
+        let write = (!parts.is_empty()).then_some(TableWrite::Append { parts, schema });
+        Ok((upper, write, format!("inserted {inserted} row(s)")))
+    }
+
+    /// `DELETE`: copy-on-write partition rewrite. Partitions with no matching
+    /// row keep their `Arc` (zero copy, and — because conflict detection is
+    /// by partition identity — zero conflict surface); partitions losing all
+    /// rows are removed outright; mixed partitions are rebuilt from their
+    /// surviving rows. Rows are deleted iff the predicate is `TRUE`
+    /// (`FALSE`-or-`NULL` rows survive — SQL three-valued logic).
+    fn plan_delete(
+        &self,
+        cat: &CatalogSnapshot,
+        table: &str,
+        predicate: Option<&Expr>,
+        params: &SessionParams,
+    ) -> Result<(String, Option<TableWrite>, String)> {
+        let upper = table.to_ascii_uppercase();
+        let t = cat
+            .table(&upper)
+            .ok_or_else(|| SnowError::Catalog(format!("table '{table}' does not exist")))?;
+        let schema = t.schema().to_vec();
+        let bound = self.bind_dml_predicate(&t, predicate)?;
+        let gov = Arc::new(QueryGovernor::from_params(params));
+        let mut removed = Vec::new();
+        let mut added = Vec::new();
+        let mut deleted = 0usize;
+        for part in t.partitions() {
+            let rows = part.row_count();
+            if rows == 0 {
+                continue;
+            }
+            let (mask, cols) = self.match_rows(part, &schema, bound.as_ref(), &gov)?;
+            let hits = mask.iter().filter(|&&m| m).count();
+            if hits == 0 {
+                continue;
+            }
+            deleted += hits;
+            removed.push(part.clone());
+            if hits == rows {
+                continue;
+            }
+            let mut survivors: Vec<Vec<Variant>> = Vec::with_capacity(rows - hits);
+            for (r, &dead) in mask.iter().enumerate() {
+                if !dead {
+                    survivors.push(cols.iter().map(|c| c.get(r)).collect());
+                }
+            }
+            added.extend(self.build_partitions(&upper, &schema, &survivors, rows, &gov)?);
+        }
+        let write = (!removed.is_empty()).then_some(TableWrite::Rewrite { removed, added });
+        Ok((upper, write, format!("deleted {deleted} row(s)")))
+    }
+
+    /// `UPDATE`: copy-on-write partition rewrite. Untouched partitions keep
+    /// their `Arc`; a partition with at least one matching row is rebuilt
+    /// with the `SET` expressions applied to matching rows (evaluated
+    /// against the *old* row, so `SET a = a + 1` is well-defined).
+    fn plan_update(
+        &self,
+        cat: &CatalogSnapshot,
+        table: &str,
+        sets: &[(String, Expr)],
+        predicate: Option<&Expr>,
+        params: &SessionParams,
+    ) -> Result<(String, Option<TableWrite>, String)> {
+        let upper = table.to_ascii_uppercase();
+        let t = cat
+            .table(&upper)
+            .ok_or_else(|| SnowError::Catalog(format!("table '{table}' does not exist")))?;
+        let schema = t.schema().to_vec();
+        let fields = self.dml_fields(&t);
+        let mut set_cols: Vec<(usize, PExpr)> = Vec::with_capacity(sets.len());
+        for (col, e) in sets {
+            let idx = t.column_index(col).ok_or_else(|| {
+                SnowError::Plan(format!("unknown column '{col}' in UPDATE SET"))
+            })?;
+            set_cols.push((idx, crate::plan::binder::bind_expr(e, &fields, None)?));
+        }
+        let bound = self.bind_dml_predicate(&t, predicate)?;
+        let gov = Arc::new(QueryGovernor::from_params(params));
+        let mut removed = Vec::new();
+        let mut added = Vec::new();
+        let mut updated = 0usize;
+        for part in t.partitions() {
+            let rows = part.row_count();
+            if rows == 0 {
+                continue;
+            }
+            let (mask, cols) = self.match_rows(part, &schema, bound.as_ref(), &gov)?;
+            let hits = mask.iter().filter(|&&m| m).count();
+            if hits == 0 {
+                continue;
+            }
+            updated += hits;
+            removed.push(part.clone());
+            // Re-materialize the whole partition, substituting the SET
+            // expressions on matching rows.
+            let chunk = self.partition_chunk(&cols, rows);
+            let mut ctx = ExecCtx::default();
+            let mut rebuilt: Vec<Vec<Variant>> = Vec::with_capacity(rows);
+            for (r, &hit) in mask.iter().enumerate() {
+                let mut row: Vec<Variant> = cols.iter().map(|c| c.get(r)).collect();
+                if hit {
+                    let parts = [(&chunk, r)];
+                    let view = crate::exec::RowView::new(&parts);
+                    for (idx, e) in &set_cols {
+                        row[*idx] = crate::exec::eval(e, view, &mut ctx)?;
+                    }
+                }
+                rebuilt.push(row);
+            }
+            added.extend(self.build_partitions(&upper, &schema, &rebuilt, rows, &gov)?);
+        }
+        let write = (!removed.is_empty()).then_some(TableWrite::Rewrite { removed, added });
+        Ok((upper, write, format!("updated {updated} row(s)")))
+    }
+
+    /// Bind fields for DML predicates/SET expressions: every column,
+    /// qualified by the table name.
+    fn dml_fields(&self, t: &Table) -> Vec<Field> {
+        t.schema()
+            .iter()
+            .map(|c| Field::new(Some(t.name()), c.name.clone()))
+            .collect()
+    }
+
+    fn bind_dml_predicate(&self, t: &Table, predicate: Option<&Expr>) -> Result<Option<PExpr>> {
+        let fields = self.dml_fields(t);
+        predicate
+            .map(|p| crate::plan::binder::bind_expr(p, &fields, None))
+            .transpose()
+    }
+
+    /// Reads every column of a partition (governed) and evaluates the
+    /// predicate per row: `mask[r]` is true iff the predicate is `TRUE` on
+    /// row `r` (no predicate matches every row).
+    fn match_rows(
+        &self,
+        part: &Arc<ScanSource>,
+        schema: &[ColumnDef],
+        pred: Option<&PExpr>,
+        gov: &QueryGovernor,
+    ) -> Result<(Vec<bool>, Vec<Arc<crate::storage::ColumnData>>)> {
+        let rows = part.row_count();
+        let mut cols = Vec::with_capacity(schema.len());
+        for i in 0..schema.len() {
+            cols.push(part.read_column_governed(i, gov, "Rewrite")?.data);
+        }
+        let mask = match pred {
+            None => vec![true; rows],
+            Some(p) => {
+                let chunk = self.partition_chunk(&cols, rows);
+                let mut ctx = ExecCtx::default();
+                let mut mask = Vec::with_capacity(rows);
+                for r in 0..rows {
+                    let parts = [(&chunk, r)];
+                    let view = crate::exec::RowView::new(&parts);
+                    let v = crate::exec::eval(p, view, &mut ctx)?;
+                    mask.push(crate::exec::truth(&v)? == Some(true));
+                }
+                mask
+            }
+        };
+        Ok((mask, cols))
+    }
+
+    fn partition_chunk(
+        &self,
+        cols: &[Arc<crate::storage::ColumnData>],
+        rows: usize,
+    ) -> crate::exec::Chunk {
+        crate::exec::Chunk {
+            cols: cols
+                .iter()
+                .map(|c| crate::exec::ColumnVec::from_column_data(c, 0, rows, false))
+                .collect(),
+            rows,
+        }
+    }
+
+    /// Seals rows into fresh partitions through the standard builder path
+    /// (type validation, stats, zone maps), streaming to partition files
+    /// when a store is attached and charging the governor for every sealed
+    /// partition.
+    fn build_partitions(
+        &self,
+        name: &str,
+        schema: &[ColumnDef],
+        rows: &[Vec<Variant>],
+        partition_rows: usize,
+        gov: &Arc<QueryGovernor>,
+    ) -> Result<Vec<Arc<ScanSource>>> {
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        let inner: Box<dyn PartitionSink> = match self.store() {
+            Some(s) => Box::new(s.sink(schema.to_vec())),
+            None => Box::new(MemSink),
+        };
+        let sink = GovernedSink { inner, gov: gov.clone() };
+        let mut b = TableBuilder::with_sink(
+            name.to_string(),
+            schema.to_vec(),
+            partition_rows.max(1),
+            Box::new(sink),
+        );
+        for row in rows {
+            b.push_row(row)?;
+        }
+        Ok(b.finish()?.partitions().to_vec())
     }
 
     /// Runs a query and requires a single scalar result.
@@ -787,5 +1206,80 @@ mod tests {
         let db = Database::new();
         let r = db.query("SELECT 1 + 2 AS x, 'hi' AS y").unwrap();
         assert_eq!(r.rows, vec![vec![Variant::Int(3), Variant::str("hi")]]);
+    }
+
+    #[test]
+    fn snapshot_pins_a_catalog_version() {
+        let db = db_with_nums();
+        let snap = db.snapshot();
+        let before = snap.table("nums").unwrap().row_count();
+        db.execute("INSERT INTO nums VALUES (100, 1.0)").unwrap();
+        // The pinned snapshot still sees the old version; a fresh one sees
+        // the new row.
+        assert_eq!(snap.table("nums").unwrap().row_count(), before);
+        assert_eq!(db.table("nums").unwrap().row_count(), before + 1);
+        assert!(db.snapshot().version() > snap.version());
+    }
+
+    #[test]
+    fn update_and_delete_rewrite_only_touched_partitions() {
+        let db = Database::new();
+        db.load_table_with_partition_rows(
+            "t",
+            vec![ColumnDef::new("X", ColumnType::Int)],
+            (0..100).map(|i| vec![Variant::Int(i)]),
+            10,
+        )
+        .unwrap();
+        let before: Vec<_> = db.table("t").unwrap().partitions().to_vec();
+        // Touches only the partition holding 95..100.
+        match db.execute("DELETE FROM t WHERE x >= 95").unwrap() {
+            StatementResult::Message(m) => assert_eq!(m, "deleted 5 row(s)"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let after = db.table("t").unwrap();
+        assert_eq!(after.row_count(), 95);
+        let kept = after
+            .partitions()
+            .iter()
+            .filter(|p| before.iter().any(|q| Arc::ptr_eq(p, q)))
+            .count();
+        assert_eq!(kept, 9, "untouched partitions must be shared, not copied");
+
+        match db.execute("UPDATE t SET x = x + 1000 WHERE x < 5").unwrap() {
+            StatementResult::Message(m) => assert_eq!(m, "updated 5 row(s)"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let sum = db.query_scalar("SELECT sum(x) FROM t WHERE x >= 1000").unwrap();
+        assert_eq!(sum, Variant::Int(1000 + 1001 + 1002 + 1003 + 1004));
+        assert_eq!(db.table("t").unwrap().row_count(), 95);
+    }
+
+    #[test]
+    fn delete_with_null_predicate_keeps_null_rows() {
+        let db = Database::new();
+        db.load_table(
+            "t",
+            vec![ColumnDef::new("X", ColumnType::Int)],
+            vec![vec![Variant::Int(1)], vec![Variant::Null], vec![Variant::Int(3)]],
+        )
+        .unwrap();
+        // x > 2 is NULL on the NULL row: the row must survive.
+        match db.execute("DELETE FROM t WHERE x > 2").unwrap() {
+            StatementResult::Message(m) => assert_eq!(m, "deleted 1 row(s)"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(db.table("t").unwrap().row_count(), 2);
+    }
+
+    #[test]
+    fn transactions_on_the_bare_database_point_at_sessions() {
+        let db = db_with_nums();
+        for sql in ["BEGIN", "COMMIT", "ROLLBACK"] {
+            match db.execute(sql) {
+                Err(SnowError::Catalog(m)) => assert!(m.contains("Session"), "{m}"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
     }
 }

@@ -37,6 +37,12 @@ pub enum SnowError {
     /// isolated by the morsel layer instead of aborting the process. See
     /// [`InternalTrip`].
     Internal(Box<InternalTrip>),
+    /// An optimistic commit lost the compare-and-swap race: another session
+    /// committed a conflicting change to the same table (or the same
+    /// partitions) after this writer pinned its base snapshot, and the
+    /// bounded retries were exhausted. See [`WriteConflictTrip`]. Retrying
+    /// the whole statement on a fresh snapshot may well succeed.
+    WriteConflict(Box<WriteConflictTrip>),
 }
 
 /// Payload of [`SnowError::DeadlineExceeded`]: `op` is the operator that
@@ -69,11 +75,42 @@ pub struct InternalTrip {
     pub detail: String,
 }
 
+/// Payload of [`SnowError::WriteConflict`]: `table` is the first table whose
+/// conflict detection failed, `base_version` the catalog version the writer
+/// pinned, `current_version` the committed version it raced against,
+/// `attempts` how many optimistic attempts were made before surfacing, and
+/// `detail` what specifically conflicted (concurrent drop, rewritten
+/// partitions, schema change, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteConflictTrip {
+    pub table: String,
+    pub base_version: u64,
+    pub current_version: u64,
+    pub attempts: u32,
+    pub detail: String,
+}
+
 impl SnowError {
     /// Convenience constructor used by the panic-isolation layer.
     pub fn internal(op: impl Into<String>, detail: impl Into<String>) -> SnowError {
         SnowError::Internal(Box::new(InternalTrip {
             op: op.into(),
+            detail: detail.into(),
+        }))
+    }
+
+    /// Convenience constructor used by the optimistic-commit layer.
+    pub fn write_conflict(
+        table: impl Into<String>,
+        base_version: u64,
+        current_version: u64,
+        detail: impl Into<String>,
+    ) -> SnowError {
+        SnowError::WriteConflict(Box::new(WriteConflictTrip {
+            table: table.into(),
+            base_version,
+            current_version,
+            attempts: 1,
             detail: detail.into(),
         }))
     }
@@ -118,6 +155,11 @@ impl fmt::Display for SnowError {
             SnowError::Internal(t) => {
                 write!(f, "internal error in {}: {}", t.op, t.detail)
             }
+            SnowError::WriteConflict(t) => write!(
+                f,
+                "write conflict on table '{}': {} (base version {}, committed version {}, {} attempt(s))",
+                t.table, t.detail, t.base_version, t.current_version, t.attempts
+            ),
         }
     }
 }

@@ -36,6 +36,7 @@
 //! the budget exists to catch is exactly a cumulative blow-up.
 
 pub mod chaos;
+pub mod retry;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;

@@ -23,23 +23,34 @@
 //!   the paper's core argument for avoiding UDFs and interpretation overhead;
 //! - an [`engine::Database`] entry point that reports a per-query
 //!   [`engine::QueryProfile`] with separate compilation and execution phases plus
-//!   bytes scanned — the three quantities measured in the paper's §V.
+//!   bytes scanned — the three quantities measured in the paper's §V;
+//! - an MVCC [`catalog`]: every statement pins an immutable
+//!   [`catalog::CatalogSnapshot`], writers commit through an optimistic
+//!   compare-and-swap (losers surface as typed [`SnowError::WriteConflict`]s),
+//!   and [`session::Session`]s layer explicit `BEGIN`/`COMMIT`/`ROLLBACK`
+//!   transactions with snapshot isolation on top.
 
+pub mod catalog;
 pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod govern;
 pub mod optimize;
 pub mod plan;
+pub mod session;
 pub mod sql;
 pub mod storage;
 pub mod store;
 pub mod variant;
 pub mod verify;
 
-pub use engine::{Database, QueryOptions, QueryProfile, QueryResult};
+pub use catalog::CatalogSnapshot;
+pub use engine::{Database, QueryOptions, QueryProfile, QueryResult, StatementResult};
+pub use session::Session;
 pub use exec::metrics::OpMetrics;
-pub use error::{DeadlineTrip, InternalTrip, ResourceTrip, Result, SnowError};
+pub use error::{
+    DeadlineTrip, InternalTrip, ResourceTrip, Result, SnowError, WriteConflictTrip,
+};
 pub use govern::{
     GovernorSummary, QueryFailure, QueryGovernor, QueryHandle, SessionParams,
 };

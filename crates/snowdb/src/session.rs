@@ -1,0 +1,369 @@
+//! Sessions: per-connection state over a shared [`Database`].
+//!
+//! A [`Session`] owns its session parameters and an optional explicit
+//! transaction. `BEGIN` pins the current catalog version; every statement
+//! inside the transaction reads from (and stacks its own writes onto) that
+//! pinned version — snapshot isolation with read-your-own-writes. Nothing is
+//! visible to other sessions until `COMMIT`, which validates the whole write
+//! set against the then-current catalog in one optimistic compare-and-swap:
+//! it either installs one new version atomically or fails with a typed
+//! [`SnowError::WriteConflict`] and aborts the transaction (the session must
+//! re-run its logic on a fresh snapshot — replaying blindly would forfeit
+//! exactly the isolation the transaction promised).
+//!
+//! Statements outside a transaction auto-commit with the same retry policy
+//! as [`Database::execute`], but under this session's parameters.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::catalog::{CatalogSnapshot, TableWrite, WriteSet};
+use crate::engine::{Database, QueryOptions, QueryResult, StatementResult};
+use crate::error::{Result, SnowError};
+use crate::govern::{QueryGovernor, SessionParams};
+use crate::sql::{parse_statement, Statement};
+
+/// An in-flight explicit transaction.
+struct Txn {
+    /// The catalog version pinned at `BEGIN` — the CAS base for `COMMIT` and
+    /// the baseline for the commit-time diff.
+    base: Arc<CatalogSnapshot>,
+    /// `base` plus this transaction's own writes (read-your-own-writes).
+    effective: Arc<CatalogSnapshot>,
+    /// Upper-cased names of tables this transaction wrote.
+    touched: BTreeSet<String>,
+}
+
+/// One logical connection: session parameters plus at most one explicit
+/// transaction. Cheap to create; any number of sessions may share one
+/// [`Database`].
+pub struct Session {
+    db: Arc<Database>,
+    params: RwLock<SessionParams>,
+    txn: Mutex<Option<Txn>>,
+}
+
+impl Session {
+    /// Opens a session on a shared database, inheriting the database-level
+    /// session parameters as its starting point.
+    pub fn new(db: Arc<Database>) -> Session {
+        let params = db.session_params();
+        Session { db, params: RwLock::new(params), txn: Mutex::new(None) }
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Whether an explicit transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.lock().is_some()
+    }
+
+    /// This session's current parameters.
+    pub fn params(&self) -> SessionParams {
+        *self.params.read()
+    }
+
+    /// The catalog snapshot statements currently read from: the
+    /// transaction's effective catalog inside a transaction, the database's
+    /// latest version otherwise.
+    pub fn read_snapshot(&self) -> Arc<CatalogSnapshot> {
+        match self.txn.lock().as_ref() {
+            Some(t) => t.effective.clone(),
+            None => self.db.snapshot(),
+        }
+    }
+
+    /// Runs a query against this session's read snapshot under this
+    /// session's parameters.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        let gov = Arc::new(QueryGovernor::from_params(&self.params()));
+        let snap = self.read_snapshot();
+        self.db
+            .query_on(&snap, sql, &QueryOptions::default(), gov)
+            .map_err(SnowError::from)
+    }
+
+    /// Executes any statement in this session. Queries and DML inside a
+    /// transaction see the transaction's own writes; DDL and `VERIFY` are
+    /// rejected inside a transaction (the catalog diff they'd need is not
+    /// worth their rarity — Snowflake auto-commits DDL for the same reason).
+    pub fn execute(&self, sql: &str) -> Result<StatementResult> {
+        match parse_statement(sql)? {
+            Statement::Begin => self.begin(),
+            Statement::Commit => self.commit(),
+            Statement::Rollback => self.rollback(),
+            Statement::Query(_) => Ok(StatementResult::Rows(self.query(sql)?)),
+            Statement::Set { name, value } => {
+                let canonical = self.params.write().set(&name, value)?;
+                Ok(StatementResult::Message(if value == 0 {
+                    format!("{canonical} cleared")
+                } else {
+                    format!("{canonical} set to {value}")
+                }))
+            }
+            Statement::Unset { name } => {
+                let canonical = self.params.write().unset(&name)?;
+                Ok(StatementResult::Message(format!("{canonical} cleared")))
+            }
+            stmt @ (Statement::Insert { .. }
+            | Statement::Update { .. }
+            | Statement::Delete { .. }) => {
+                let mut txn = self.txn.lock();
+                match txn.as_mut() {
+                    Some(t) => Session::apply_in_txn(&self.db, t, &stmt, &self.params()),
+                    None => {
+                        drop(txn);
+                        self.db.autocommit_dml(&stmt, &self.params())
+                    }
+                }
+            }
+            other => {
+                if self.in_transaction() {
+                    return Err(SnowError::Catalog(format!(
+                        "statement is not supported inside a transaction \
+                         (COMMIT or ROLLBACK first): {other:?}"
+                    )));
+                }
+                self.db.execute(sql)
+            }
+        }
+    }
+
+    /// Applies one DML statement to the transaction's effective catalog —
+    /// prepared exactly like an auto-commit write, but stacked onto the
+    /// private overlay instead of being committed.
+    fn apply_in_txn(
+        db: &Database,
+        txn: &mut Txn,
+        stmt: &Statement,
+        params: &SessionParams,
+    ) -> Result<StatementResult> {
+        let (name, write, msg) = db.plan_dml(&txn.effective, stmt, params)?;
+        if let Some(w) = write {
+            // Applying against the overlay's own version can only conflict if
+            // the statement itself raced — it cannot here, the overlay is
+            // session-private.
+            let next = txn
+                .effective
+                .apply(txn.effective.version(), &WriteSet::single(&name, w))?;
+            txn.effective = Arc::new(next);
+            txn.touched.insert(name);
+        }
+        Ok(StatementResult::Message(msg))
+    }
+
+    fn begin(&self) -> Result<StatementResult> {
+        let mut txn = self.txn.lock();
+        if txn.is_some() {
+            return Err(SnowError::Catalog("a transaction is already in progress".into()));
+        }
+        let base = self.db.snapshot();
+        let version = base.version();
+        *txn = Some(Txn { effective: base.clone(), base, touched: BTreeSet::new() });
+        Ok(StatementResult::Message(format!(
+            "transaction started (snapshot version {version})"
+        )))
+    }
+
+    fn rollback(&self) -> Result<StatementResult> {
+        let mut txn = self.txn.lock();
+        if txn.take().is_none() {
+            return Err(SnowError::Catalog("no transaction in progress".into()));
+        }
+        Ok(StatementResult::Message("rolled back".into()))
+    }
+
+    /// Commits the open transaction: diffs the effective catalog against the
+    /// pinned base per touched table (partition `Arc` identity tells appends
+    /// from rewrites) and submits the whole write set as one CAS against the
+    /// base version. No retry — on conflict the transaction is aborted and
+    /// the typed error surfaces to the caller.
+    fn commit(&self) -> Result<StatementResult> {
+        let mut guard = self.txn.lock();
+        // Taking the transaction up front means *any* outcome — success or
+        // conflict — ends it; a failed COMMIT must not leave a half-dead
+        // transaction accepting more statements.
+        let Some(txn) = guard.take() else {
+            return Err(SnowError::Catalog("no transaction in progress".into()));
+        };
+        drop(guard);
+        let mut writes = Vec::new();
+        for name in &txn.touched {
+            let before = txn.base.table(name);
+            let after = txn.effective.table(name);
+            match (before, after) {
+                (None, Some(t)) => {
+                    writes.push((name.clone(), TableWrite::Put { table: t, expect_absent: true }));
+                }
+                (Some(b), Some(a)) => {
+                    let removed: Vec<_> = b
+                        .partitions()
+                        .iter()
+                        .filter(|p| !a.partitions().iter().any(|q| Arc::ptr_eq(p, q)))
+                        .cloned()
+                        .collect();
+                    let added: Vec<_> = a
+                        .partitions()
+                        .iter()
+                        .filter(|p| !b.partitions().iter().any(|q| Arc::ptr_eq(p, q)))
+                        .cloned()
+                        .collect();
+                    if removed.is_empty() && added.is_empty() {
+                        continue;
+                    }
+                    if removed.is_empty() {
+                        // Pure appends merge with concurrent appends instead
+                        // of conflicting on partition identity.
+                        writes.push((
+                            name.clone(),
+                            TableWrite::Append { parts: added, schema: a.schema().to_vec() },
+                        ));
+                    } else {
+                        writes.push((name.clone(), TableWrite::Rewrite { removed, added }));
+                    }
+                }
+                (Some(_), None) => writes.push((name.clone(), TableWrite::Drop)),
+                (None, None) => {}
+            }
+        }
+        if writes.is_empty() {
+            return Ok(StatementResult::Message("committed (no changes)".into()));
+        }
+        let next = self.db.commit_writes(txn.base.version(), WriteSet { writes })?;
+        Ok(StatementResult::Message(format!("committed version {}", next.version())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::{ColumnDef, ColumnType};
+    use crate::variant::Variant;
+
+    fn shared_db() -> Arc<Database> {
+        let db = Arc::new(Database::new());
+        db.load_table(
+            "t",
+            vec![ColumnDef::new("X", ColumnType::Int)],
+            (0..10).map(|i| vec![Variant::Int(i)]),
+        )
+        .unwrap();
+        db
+    }
+
+    fn count(s: &Session) -> i64 {
+        match s.query("SELECT count(*) FROM t").unwrap().scalar().unwrap() {
+            Variant::Int(n) => *n,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn transaction_isolates_until_commit_and_reads_own_writes() {
+        let db = shared_db();
+        let alice = Session::new(db.clone());
+        let bob = Session::new(db.clone());
+        alice.execute("BEGIN").unwrap();
+        alice.execute("INSERT INTO t VALUES (100)").unwrap();
+        alice.execute("DELETE FROM t WHERE x < 5").unwrap();
+        // Alice reads her own writes; Bob still sees the committed version.
+        assert_eq!(count(&alice), 6);
+        assert_eq!(count(&bob), 10);
+        alice.execute("COMMIT").unwrap();
+        assert_eq!(count(&alice), 6);
+        assert_eq!(count(&bob), 6);
+    }
+
+    #[test]
+    fn rollback_discards_everything() {
+        let db = shared_db();
+        let s = Session::new(db.clone());
+        s.execute("BEGIN").unwrap();
+        s.execute("UPDATE t SET x = x + 1000").unwrap();
+        assert!(s.in_transaction());
+        s.execute("ROLLBACK").unwrap();
+        assert!(!s.in_transaction());
+        assert_eq!(
+            db.query_scalar("SELECT max(x) FROM t").unwrap(),
+            Variant::Int(9),
+            "rolled-back update must leave the table untouched"
+        );
+    }
+
+    #[test]
+    fn conflicting_commit_fails_typed_and_aborts() {
+        let db = shared_db();
+        let a = Session::new(db.clone());
+        let b = Session::new(db.clone());
+        a.execute("BEGIN").unwrap();
+        b.execute("BEGIN").unwrap();
+        // Both rewrite the same partition; first committer wins.
+        a.execute("UPDATE t SET x = x + 100 WHERE x = 3").unwrap();
+        b.execute("UPDATE t SET x = x + 200 WHERE x = 3").unwrap();
+        a.execute("COMMIT").unwrap();
+        match b.execute("COMMIT") {
+            Err(SnowError::WriteConflict(trip)) => {
+                assert_eq!(trip.table, "T");
+                assert_eq!(trip.attempts, 1, "transaction COMMIT must not retry");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!b.in_transaction(), "failed COMMIT must end the transaction");
+        assert_eq!(db.query_scalar("SELECT max(x) FROM t").unwrap(), Variant::Int(103));
+    }
+
+    #[test]
+    fn concurrent_appends_both_commit() {
+        let db = shared_db();
+        let a = Session::new(db.clone());
+        let b = Session::new(db.clone());
+        a.execute("BEGIN").unwrap();
+        b.execute("BEGIN").unwrap();
+        a.execute("INSERT INTO t VALUES (100)").unwrap();
+        b.execute("INSERT INTO t VALUES (200)").unwrap();
+        a.execute("COMMIT").unwrap();
+        b.execute("COMMIT").unwrap();
+        assert_eq!(db.table("t").unwrap().row_count(), 12, "appends merge, not conflict");
+    }
+
+    #[test]
+    fn ddl_inside_a_transaction_is_rejected() {
+        let db = shared_db();
+        let s = Session::new(db);
+        s.execute("BEGIN").unwrap();
+        for sql in ["CREATE TABLE u (a INT)", "DROP TABLE t"] {
+            match s.execute(sql) {
+                Err(SnowError::Catalog(m)) => assert!(m.contains("transaction"), "{m}"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        s.execute("ROLLBACK").unwrap();
+    }
+
+    #[test]
+    fn session_params_are_per_session() {
+        let db = shared_db();
+        let a = Session::new(db.clone());
+        let b = Session::new(db.clone());
+        a.execute("SET STATEMENT_TIMEOUT_IN_SECONDS = 30").unwrap();
+        assert_eq!(a.params().statement_timeout_secs, Some(30));
+        assert_eq!(b.params().statement_timeout_secs, None);
+        assert_eq!(db.session_params().statement_timeout_secs, None);
+    }
+
+    #[test]
+    fn txn_verbs_require_matching_state() {
+        let db = shared_db();
+        let s = Session::new(db);
+        assert!(s.execute("COMMIT").is_err());
+        assert!(s.execute("ROLLBACK").is_err());
+        s.execute("BEGIN").unwrap();
+        assert!(s.execute("BEGIN").is_err());
+        s.execute("ROLLBACK").unwrap();
+    }
+}

@@ -1,8 +1,9 @@
 //! Statement-level SQL: queries plus the small DDL/DML surface the REPL and
-//! examples use (`CREATE TABLE`, `INSERT INTO ... VALUES`, `DROP TABLE`,
-//! `EXPLAIN`).
+//! examples use (`CREATE TABLE`, `INSERT INTO ... VALUES`, `UPDATE`,
+//! `DELETE`, `DROP TABLE`, `EXPLAIN`, and the transaction verbs
+//! `BEGIN`/`COMMIT`/`ROLLBACK`).
 
-use super::ast::{Expr, Query};
+use super::ast::{BinOp, Expr, Query};
 use super::lexer::{tokenize, Token};
 use super::parser::parse_query;
 use crate::error::{Result, SnowError};
@@ -22,7 +23,19 @@ pub enum Statement {
     Verify(String),
     CreateTable { name: String, columns: Vec<(String, ColumnType)> },
     Insert { table: String, rows: Vec<Vec<Expr>> },
+    /// `UPDATE t SET col = expr [, ...] [WHERE pred]`: copy-on-write
+    /// partition rewrite; SET expressions see the *old* row.
+    Update { table: String, sets: Vec<(String, Expr)>, predicate: Option<Expr> },
+    /// `DELETE FROM t [WHERE pred]`: rows are deleted iff the predicate is
+    /// `TRUE` (`FALSE`-or-`NULL` rows survive).
+    Delete { table: String, predicate: Option<Expr> },
     DropTable { name: String, if_exists: bool },
+    /// `BEGIN [TRANSACTION|WORK]` / `START TRANSACTION`.
+    Begin,
+    /// `COMMIT [TRANSACTION|WORK]`.
+    Commit,
+    /// `ROLLBACK [TRANSACTION|WORK]`.
+    Rollback,
     /// `SET <parameter> = <value>`: session parameter assignment (Snowflake
     /// convention: `0` clears the limit).
     Set { name: String, value: u64 },
@@ -53,11 +66,36 @@ pub fn parse_statement(sql: &str) -> Result<Statement> {
         }
         Some(t) if t.is_kw("CREATE") => parse_create(&toks),
         Some(t) if t.is_kw("INSERT") => parse_insert(sql, &toks),
+        Some(t) if t.is_kw("UPDATE") => parse_update(sql, &toks),
+        Some(t) if t.is_kw("DELETE") => parse_delete(sql, &toks),
         Some(t) if t.is_kw("DROP") => parse_drop(&toks),
         Some(t) if t.is_kw("SET") => parse_set(&toks),
         Some(t) if t.is_kw("UNSET") => parse_unset(&toks),
+        Some(t) if t.is_kw("BEGIN") => parse_txn_verb(&toks, 1, Statement::Begin),
+        Some(t) if t.is_kw("START") => {
+            if !toks.get(1).is_some_and(|t| t.is_kw("TRANSACTION")) {
+                return Err(SnowError::Parse("expected START TRANSACTION".into()));
+            }
+            parse_txn_verb(&toks, 2, Statement::Begin)
+        }
+        Some(t) if t.is_kw("COMMIT") => parse_txn_verb(&toks, 1, Statement::Commit),
+        Some(t) if t.is_kw("ROLLBACK") => parse_txn_verb(&toks, 1, Statement::Rollback),
         _ => Ok(Statement::Query(parse_query(sql)?)),
     }
+}
+
+/// Finishes a transaction verb: an optional `TRANSACTION`/`WORK` noise word,
+/// then end of statement.
+fn parse_txn_verb(toks: &[Token], mut i: usize, stmt: Statement) -> Result<Statement> {
+    if i == 1 && toks.get(i).is_some_and(|t| t.is_kw("TRANSACTION") || t.is_kw("WORK")) {
+        i += 1;
+    }
+    if !matches!(toks.get(i), Some(Token::Eof) | None) {
+        return Err(SnowError::Parse(format!(
+            "unexpected trailing tokens after {stmt:?}"
+        )));
+    }
+    Ok(stmt)
 }
 
 fn parse_set(toks: &[Token]) -> Result<Statement> {
@@ -153,7 +191,7 @@ fn parse_insert(sql: &str, toks: &[Token]) -> Result<Statement> {
         return Err(SnowError::Parse("expected VALUES".into()));
     }
     // Reuse the expression parser by rewriting each tuple into a SELECT list.
-    let values_pos = find_values_keyword(sql).ok_or_else(|| {
+    let values_pos = find_keyword(sql, "VALUES").ok_or_else(|| {
         SnowError::Parse("expected VALUES keyword in INSERT statement".into())
     })?;
     let tail = &sql[values_pos + "VALUES".len()..];
@@ -183,13 +221,14 @@ fn parse_insert(sql: &str, toks: &[Token]) -> Result<Statement> {
     Ok(Statement::Insert { table, rows })
 }
 
-/// Locates the byte offset of the `VALUES` *keyword* in an INSERT statement:
-/// case-insensitive, on a word boundary, and outside string literals and quoted
-/// identifiers. A naive substring search mis-splits statements like
+/// Locates the byte offset of keyword `kw` in a statement: case-insensitive,
+/// on a word boundary, and outside string literals and quoted identifiers.
+/// A naive substring search mis-splits statements like
 /// `INSERT INTO values_log VALUES (1)` at the table name, and the old
 /// `.expect` on its result turned that planner-adjacent edge into a process
-/// abort instead of a parse error.
-fn find_values_keyword(sql: &str) -> Option<usize> {
+/// abort instead of a parse error. `UPDATE`/`DELETE` use the same scan to
+/// split at `SET`/`WHERE`.
+fn find_keyword(sql: &str, kw: &str) -> Option<usize> {
     let bytes = sql.as_bytes();
     let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
     let mut i = 0;
@@ -208,7 +247,7 @@ fn find_values_keyword(sql: &str) -> Option<usize> {
                 while i < bytes.len() && is_word(bytes[i]) {
                     i += 1;
                 }
-                if sql[start..i].eq_ignore_ascii_case("VALUES") {
+                if sql[start..i].eq_ignore_ascii_case(kw) {
                     return Some(start);
                 }
             }
@@ -216,6 +255,105 @@ fn find_values_keyword(sql: &str) -> Option<usize> {
         }
     }
     None
+}
+
+/// Parses a comma-separated expression list by rewriting it into a `SELECT`
+/// projection (the same trick `INSERT ... VALUES` uses), so `UPDATE`/`DELETE`
+/// expressions get the full expression grammar for free.
+fn parse_expr_list(text: &str) -> Result<Vec<Expr>> {
+    if text.trim().is_empty() {
+        return Err(SnowError::Parse("expected an expression".into()));
+    }
+    let q = parse_query(&format!("SELECT {text}"))?;
+    match q.body {
+        super::ast::SetExpr::Select(sel) => sel
+            .items
+            .into_iter()
+            .map(|it| match it {
+                super::ast::SelectItem::Expr { expr, .. } => Ok(expr),
+                other => Err(SnowError::Parse(format!("invalid expression {other:?}"))),
+            })
+            .collect(),
+        _ => Err(SnowError::Parse("invalid expression list".into())),
+    }
+}
+
+fn parse_single_expr(text: &str) -> Result<Expr> {
+    let mut items = parse_expr_list(text)?;
+    if items.len() != 1 {
+        return Err(SnowError::Parse(format!(
+            "expected a single expression, found {}",
+            items.len()
+        )));
+    }
+    Ok(items.remove(0))
+}
+
+fn parse_delete(sql: &str, toks: &[Token]) -> Result<Statement> {
+    // DELETE FROM name [WHERE predicate]
+    if !toks.get(1).is_some_and(|t| t.is_kw("FROM")) {
+        return Err(SnowError::Parse("expected DELETE FROM".into()));
+    }
+    let table = ident_at(toks, 2)?;
+    let predicate = match toks.get(3) {
+        Some(Token::Eof) | None => None,
+        Some(t) if t.is_kw("WHERE") => {
+            let pos = find_keyword(sql, "WHERE")
+                .ok_or_else(|| SnowError::Parse("expected WHERE".into()))?;
+            Some(parse_single_expr(&sql[pos + "WHERE".len()..])?)
+        }
+        other => {
+            return Err(SnowError::Parse(format!(
+                "unexpected token after DELETE FROM {table}: {other:?}"
+            )))
+        }
+    };
+    Ok(Statement::Delete { table, predicate })
+}
+
+fn parse_update(sql: &str, toks: &[Token]) -> Result<Statement> {
+    // UPDATE name SET col = expr [, ...] [WHERE predicate]
+    let table = ident_at(toks, 1)?;
+    if !toks.get(2).is_some_and(|t| t.is_kw("SET")) {
+        return Err(SnowError::Parse("expected SET after UPDATE table name".into()));
+    }
+    let set_pos = find_keyword(sql, "SET")
+        .ok_or_else(|| SnowError::Parse("expected SET in UPDATE".into()))?;
+    let where_pos = find_keyword(sql, "WHERE");
+    let assignments = match where_pos {
+        Some(w) => &sql[set_pos + "SET".len()..w],
+        None => &sql[set_pos + "SET".len()..],
+    };
+    let mut sets = Vec::new();
+    for item in parse_expr_list(assignments)? {
+        // Each assignment parses as an equality expression whose left side
+        // must be a plain (optionally qualified) column reference.
+        match item {
+            Expr::Binary { left, op: BinOp::Eq, right } => match *left {
+                Expr::Ident(parts) if !parts.is_empty() => {
+                    let col = parts.last().expect("non-empty ident path").clone();
+                    sets.push((col, *right));
+                }
+                other => {
+                    return Err(SnowError::Parse(format!(
+                        "SET target must be a column name, found {other:?}"
+                    )))
+                }
+            },
+            other => {
+                return Err(SnowError::Parse(format!(
+                    "expected 'column = expression' in SET, found {other:?}"
+                )))
+            }
+        }
+    }
+    if sets.is_empty() {
+        return Err(SnowError::Parse("UPDATE requires at least one assignment".into()));
+    }
+    let predicate = where_pos
+        .map(|w| parse_single_expr(&sql[w + "WHERE".len()..]))
+        .transpose()?;
+    Ok(Statement::Update { table, sets, predicate })
 }
 
 /// Splits `(a, b), (c, d)` into top-level tuples, respecting nesting and
@@ -382,6 +520,70 @@ mod tests {
             "INSERT INTO t VALUES",
             "DROP t",
         ] {
+            assert!(parse_statement(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parses_delete() {
+        match parse_statement("DELETE FROM t").unwrap() {
+            Statement::Delete { table, predicate } => {
+                assert_eq!(table, "T");
+                assert!(predicate.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_statement("DELETE FROM t WHERE a > 3 AND b = 'where'").unwrap() {
+            Statement::Delete { table, predicate } => {
+                assert_eq!(table, "T");
+                assert!(predicate.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+        for bad in ["DELETE t", "DELETE FROM t WHERE", "DELETE FROM t GARBAGE"] {
+            assert!(parse_statement(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parses_update() {
+        match parse_statement("UPDATE t SET a = a + 1, b = 'set' WHERE a < 5").unwrap() {
+            Statement::Update { table, sets, predicate } => {
+                assert_eq!(table, "T");
+                assert_eq!(sets.len(), 2);
+                assert_eq!(sets[0].0, "A");
+                assert_eq!(sets[1].0, "B");
+                assert!(predicate.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_statement("UPDATE t SET x = 0").unwrap() {
+            Statement::Update { sets, predicate, .. } => {
+                assert_eq!(sets.len(), 1);
+                assert!(predicate.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        for bad in ["UPDATE t", "UPDATE t SET", "UPDATE t SET a + 1", "UPDATE t SET 1 = 2"] {
+            assert!(parse_statement(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parses_transaction_verbs() {
+        for (sql, want) in [
+            ("BEGIN", Statement::Begin),
+            ("begin transaction", Statement::Begin),
+            ("BEGIN WORK", Statement::Begin),
+            ("START TRANSACTION", Statement::Begin),
+            ("COMMIT", Statement::Commit),
+            ("commit work", Statement::Commit),
+            ("ROLLBACK", Statement::Rollback),
+            ("ROLLBACK TRANSACTION", Statement::Rollback),
+        ] {
+            assert_eq!(parse_statement(sql).unwrap(), want, "{sql}");
+        }
+        for bad in ["BEGIN 1", "START", "COMMIT now please", "ROLLBACK TO x"] {
             assert!(parse_statement(bad).is_err(), "should reject {bad:?}");
         }
     }

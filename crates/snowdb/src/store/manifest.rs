@@ -20,8 +20,10 @@
 //! A crash before step 3 leaves the old `MANIFEST` untouched (plus ignorable
 //! debris); a crash after step 3 leaves the new version fully committed.
 //! [`ChaosSite::ManifestCommit`] faults are injected immediately before the
-//! temp write and between steps 2 and 3 — both simulate a crash whose
-//! recovery must reopen the *previous* version.
+//! temp write, between steps 2 and 3 (both simulate a crash whose recovery
+//! must reopen the *previous* version), and after step 4 — a crash *after*
+//! the atomic commit point, where recovery must instead conclude the commit
+//! happened (the store resolves this by re-reading the on-disk manifest).
 //!
 //! The manifest is serialized as JSON via the crate's own
 //! [`Variant`](crate::variant::Variant) parser/printer, so the store adds no
@@ -261,6 +263,12 @@ pub fn commit_manifest(
         // filesystems that reject directory handles.
         let _ = d.sync_all();
     }
+
+    // Crash *after* the commit point: the new version is durable on disk but
+    // the caller has not yet observed success. Recovery (or the store's
+    // resync-on-error path) must conclude the commit happened — the CAS
+    // ambiguity every distributed commit protocol has to resolve.
+    chaos_point(chaos, "ManifestCommit/publish")?;
     Ok(())
 }
 

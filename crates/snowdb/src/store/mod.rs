@@ -63,6 +63,12 @@ impl DiskPartition {
         self.meta.row_count
     }
 
+    /// The partition's file name inside `parts/` — the manifest-side identity
+    /// used when a copy-on-write rewrite removes this partition.
+    pub fn file_name(&self) -> String {
+        format!("p{}.part", self.file_id)
+    }
+
     pub fn zone_map(&self, i: usize) -> Option<&ZoneMap> {
         self.meta.columns[i].zone_map.as_ref()
     }
@@ -137,6 +143,8 @@ pub struct Store {
     /// I/O, serializing commits.
     state: Mutex<Manifest>,
     chaos: Mutex<Option<Arc<ChaosSchedule>>>,
+    /// Read-only stores skip the advisory lock and refuse every commit.
+    read_only: bool,
 }
 
 impl std::fmt::Debug for Store {
@@ -149,17 +157,35 @@ impl std::fmt::Debug for Store {
 }
 
 impl Store {
-    /// Opens (or initializes) the database directory and reconstructs every
-    /// committed table. Crash debris — a leftover `MANIFEST.tmp`, partition
-    /// files not referenced by the committed manifest — is swept.
+    /// Opens (or initializes) the database directory for writing and
+    /// reconstructs every committed table. Takes the directory's advisory
+    /// `LOCK` (a second writer process gets a typed `Storage` error). Crash
+    /// debris — a leftover `MANIFEST.tmp`, partition files not referenced by
+    /// the committed manifest — is swept.
     pub fn open(dir: impl AsRef<Path>) -> Result<(Arc<Store>, Vec<Table>)> {
+        Store::open_mode(dir, false)
+    }
+
+    /// Opens the directory read-only: no advisory lock (so it works alongside
+    /// a live writer process), no debris sweep (debris may be that writer's
+    /// in-flight commit), and every commit is refused.
+    pub fn open_read_only(dir: impl AsRef<Path>) -> Result<(Arc<Store>, Vec<Table>)> {
+        Store::open_mode(dir, true)
+    }
+
+    fn open_mode(dir: impl AsRef<Path>, read_only: bool) -> Result<(Arc<Store>, Vec<Table>)> {
         let dir = dir.as_ref().to_path_buf();
         let parts_dir = dir.join("parts");
         std::fs::create_dir_all(&parts_dir)
             .map_err(|e| storage(format!("{}: create: {e}", parts_dir.display())))?;
 
+        if !read_only {
+            acquire_lock(&dir)?;
+        }
         let committed = manifest::read_manifest(&dir)?.unwrap_or_default();
-        sweep_debris(&dir, &parts_dir, &committed);
+        if !read_only {
+            sweep_debris(&dir, &parts_dir, &committed);
+        }
 
         let cache = Arc::new(BufferCache::new(DEFAULT_CACHE_BYTES));
         let store = Arc::new(Store {
@@ -168,6 +194,7 @@ impl Store {
             cache,
             state: Mutex::new(committed.clone()),
             chaos: Mutex::new(None),
+            read_only,
         });
 
         let mut tables = Vec::new();
@@ -284,15 +311,111 @@ impl Store {
     }
 
     fn commit_with(&self, mutate: impl FnOnce(&mut Manifest)) -> Result<u64> {
+        if self.read_only {
+            return Err(storage(format!(
+                "{}: database is read-only (opened without the write lock)",
+                self.dir.display()
+            )));
+        }
         let mut state = self.state.lock().expect("store state lock");
         let mut next = state.clone();
         next.version += 1;
         mutate(&mut next);
         let chaos = self.chaos.lock().expect("store chaos lock").clone();
-        manifest::commit_manifest(&self.dir, &next, chaos.as_deref())?;
+        if let Err(e) = manifest::commit_manifest(&self.dir, &next, chaos.as_deref()) {
+            // CAS ambiguity: the failure may have struck *after* the atomic
+            // rename (a crash-after-commit fault, or an fsync error on the
+            // directory). Re-read the on-disk manifest to resolve it — if the
+            // new version is durable the commit happened and in-memory state
+            // must say so, otherwise the previous version stays live.
+            match manifest::read_manifest(&self.dir) {
+                Ok(Some(on_disk)) if on_disk.version == next.version => {
+                    let version = next.version;
+                    *state = next;
+                    return Ok(version);
+                }
+                _ => return Err(e),
+            }
+        }
         let version = next.version;
         *state = next;
         Ok(version)
+    }
+
+    /// Applies one catalog [`WriteSet`](crate::catalog::WriteSet) as a single
+    /// manifest commit. Every partition named by the set must already be a
+    /// written partition *file* (files are invisible until this commit).
+    /// Files removed by rewrites or drops are *not* unlinked: a pinned reader
+    /// snapshot may still read them lazily — they become debris swept on the
+    /// next (write-mode) open, the storage model's generation GC.
+    pub(crate) fn commit_writes(&self, set: &crate::catalog::WriteSet) -> Result<u64> {
+        use crate::catalog::TableWrite;
+        // Translate sources to manifest references up front so a non-disk
+        // partition is a typed error, not a silently empty manifest entry.
+        let as_refs = |parts: &[Arc<crate::storage::ScanSource>]| -> Result<Vec<PartRef>> {
+            parts
+                .iter()
+                .map(|p| match p.as_ref() {
+                    crate::storage::ScanSource::Disk(d) => {
+                        Ok(PartRef { file: d.file_name(), rows: d.row_count() })
+                    }
+                    crate::storage::ScanSource::Mem(_) => Err(storage(
+                        "cannot commit an in-memory partition to the manifest \
+                         (persist it first)",
+                    )),
+                })
+                .collect()
+        };
+        let mut edits: Vec<(String, ManifestEdit)> = Vec::with_capacity(set.writes.len());
+        for (name, write) in &set.writes {
+            let edit = match write {
+                TableWrite::Put { table, .. } => ManifestEdit::Put {
+                    schema: table.schema().to_vec(),
+                    partitions: as_refs(table.partitions())?,
+                },
+                TableWrite::Append { parts, .. } => ManifestEdit::Append(as_refs(parts)?),
+                TableWrite::Rewrite { removed, added } => ManifestEdit::Rewrite {
+                    removed: removed
+                        .iter()
+                        .filter_map(|p| match p.as_ref() {
+                            crate::storage::ScanSource::Disk(d) => Some(d.file_name()),
+                            crate::storage::ScanSource::Mem(_) => None,
+                        })
+                        .collect(),
+                    added: as_refs(added)?,
+                },
+                TableWrite::Drop => ManifestEdit::Drop,
+            };
+            edits.push((name.clone(), edit));
+        }
+        self.commit_with(|m| {
+            for (name, edit) in edits {
+                match edit {
+                    ManifestEdit::Put { schema, partitions } => {
+                        m.tables.insert(name, TableManifest { schema, partitions });
+                    }
+                    ManifestEdit::Append(refs) => {
+                        if let Some(tm) = m.tables.get_mut(&name) {
+                            tm.partitions.extend(refs);
+                        }
+                    }
+                    ManifestEdit::Rewrite { removed, added } => {
+                        if let Some(tm) = m.tables.get_mut(&name) {
+                            tm.partitions.retain(|p| !removed.contains(&p.file));
+                            tm.partitions.extend(added);
+                        }
+                    }
+                    ManifestEdit::Drop => {
+                        m.tables.remove(&name);
+                    }
+                }
+            }
+        })
+    }
+
+    /// Whether this store was opened read-only.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
     }
 
     /// The committed catalog version.
@@ -352,9 +475,90 @@ impl crate::storage::PartitionSink for DiskSink {
     }
 }
 
+/// Pre-translated manifest mutation for one table of a write set.
+enum ManifestEdit {
+    Put { schema: Vec<ColumnDef>, partitions: Vec<PartRef> },
+    Append(Vec<PartRef>),
+    Rewrite { removed: Vec<String>, added: Vec<PartRef> },
+    Drop,
+}
+
 /// `pN.part` → `N`.
 fn parse_file_id(file: &str) -> Option<u64> {
     file.strip_prefix('p')?.strip_suffix(".part")?.parse().ok()
+}
+
+/// Name of the advisory lock file inside the database directory.
+pub const LOCK_FILE: &str = "LOCK";
+
+/// Takes the directory's advisory write lock: a `LOCK` file holding the
+/// owner's PID, created with `O_EXCL` so exactly one process wins a race.
+///
+/// - The owning process may re-open the directory freely (the engine keeps no
+///   global registry of open stores, and tests legitimately reopen).
+/// - A lock left by a *dead* process (checked via `/proc/<pid>`) is stale and
+///   is broken — crash recovery must not require manual lock removal.
+/// - A lock held by a live foreign process is a typed
+///   `SnowError::Storage("database is locked ...")`.
+///
+/// The lock is advisory and is intentionally never released on drop: the
+/// stale-PID check makes releases unnecessary, and an explicit release would
+/// break same-process reopen while older handles are still alive.
+fn acquire_lock(dir: &Path) -> Result<()> {
+    use std::io::Write as _;
+    let path = dir.join(LOCK_FILE);
+    let my_pid = std::process::id();
+    loop {
+        match std::fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+            Ok(mut f) => {
+                f.write_all(format!("{my_pid}\n").as_bytes())
+                    .map_err(|e| storage(format!("{}: write: {e}", path.display())))?;
+                let _ = f.sync_all();
+                return Ok(());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                let holder = std::fs::read_to_string(&path)
+                    .ok()
+                    .and_then(|s| s.trim().parse::<u32>().ok());
+                match holder {
+                    Some(pid) if pid == my_pid => return Ok(()),
+                    Some(pid) if !pid_is_alive(pid) => {
+                        // Stale lock from a dead process: break it and race
+                        // for the fresh one (another opener may win — loop).
+                        let _ = std::fs::remove_file(&path);
+                    }
+                    Some(pid) => {
+                        return Err(storage(format!(
+                            "database is locked by process {pid} ({})",
+                            dir.display()
+                        )));
+                    }
+                    // Unreadable/empty lock: a writer is mid-creation or
+                    // crashed between create and write. Without a PID there
+                    // is no owner to defer to; treat as stale.
+                    None => {
+                        let _ = std::fs::remove_file(&path);
+                    }
+                }
+            }
+            Err(e) => return Err(storage(format!("{}: create lock: {e}", path.display()))),
+        }
+    }
+}
+
+/// Best-effort liveness probe for a PID. On Linux `/proc/<pid>` is exact
+/// enough for an advisory lock; elsewhere assume alive (never break a lock
+/// we cannot verify is stale).
+fn pid_is_alive(pid: u32) -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        Path::new(&format!("/proc/{pid}")).exists()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = pid;
+        true
+    }
 }
 
 /// Removes commit debris: a leftover `MANIFEST.tmp` and partition files not

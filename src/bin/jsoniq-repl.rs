@@ -94,9 +94,13 @@ fn main() {
     }
     let db = match &db_dir {
         Some(dir) => {
-            let db = Arc::new(
-                Database::open(dir).unwrap_or_else(|e| panic!("cannot open db {dir}: {e}")),
-            );
+            let db = match Database::open(dir) {
+                Ok(db) => Arc::new(db),
+                Err(e) => {
+                    eprintln!("cannot open db {dir}: {e}");
+                    std::process::exit(1);
+                }
+            };
             println!("opened database '{dir}' (tables: {:?})", db.table_names());
             db
         }
