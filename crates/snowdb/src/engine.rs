@@ -802,10 +802,25 @@ impl Database {
         stmt: &Statement,
         params: &SessionParams,
     ) -> Result<StatementResult> {
+        let gov = Arc::new(QueryGovernor::from_params(params));
+        self.autocommit_dml_governed(stmt, &gov)
+    }
+
+    /// [`Database::autocommit_dml`] under an explicit governor, so a caller
+    /// holding the governor (the network service layer, a `QueryHandle`) can
+    /// cancel the rewrite mid-flight. One governor spans every retry attempt:
+    /// the statement deadline covers the whole statement, and a cancellation
+    /// requested during backoff aborts the next attempt at its first
+    /// checkpoint.
+    pub(crate) fn autocommit_dml_governed(
+        &self,
+        stmt: &Statement,
+        gov: &Arc<QueryGovernor>,
+    ) -> Result<StatementResult> {
         let policy = RetryPolicy::commit_default(self.next_commit_seed());
         retry::run(&policy, |_| {
             let base = self.snapshot();
-            let (name, write, msg) = self.plan_dml(&base, stmt, params)?;
+            let (name, write, msg) = self.plan_dml(&base, stmt, gov)?;
             if let Some(w) = write {
                 self.commit_writes(base.version(), WriteSet::single(&name, w))?;
             }
@@ -822,15 +837,15 @@ impl Database {
         &self,
         cat: &CatalogSnapshot,
         stmt: &Statement,
-        params: &SessionParams,
+        gov: &Arc<QueryGovernor>,
     ) -> Result<(String, Option<TableWrite>, String)> {
         match stmt {
-            Statement::Insert { table, rows } => self.plan_insert(cat, table, rows, params),
+            Statement::Insert { table, rows } => self.plan_insert(cat, table, rows, gov),
             Statement::Update { table, sets, predicate } => {
-                self.plan_update(cat, table, sets, predicate.as_ref(), params)
+                self.plan_update(cat, table, sets, predicate.as_ref(), gov)
             }
             Statement::Delete { table, predicate } => {
-                self.plan_delete(cat, table, predicate.as_ref(), params)
+                self.plan_delete(cat, table, predicate.as_ref(), gov)
             }
             other => Err(SnowError::internal(
                 "engine",
@@ -848,7 +863,7 @@ impl Database {
         cat: &CatalogSnapshot,
         table: &str,
         rows: &[Vec<Expr>],
-        params: &SessionParams,
+        gov: &Arc<QueryGovernor>,
     ) -> Result<(String, Option<TableWrite>, String)> {
         let upper = table.to_ascii_uppercase();
         let t = cat
@@ -877,8 +892,7 @@ impl Database {
         }
         let inserted = new_rows.len();
         let schema = t.schema().to_vec();
-        let gov = Arc::new(QueryGovernor::from_params(params));
-        let parts = self.build_partitions(&upper, &schema, &new_rows, DEFAULT_PARTITION_ROWS, &gov)?;
+        let parts = self.build_partitions(&upper, &schema, &new_rows, DEFAULT_PARTITION_ROWS, gov)?;
         let write = (!parts.is_empty()).then_some(TableWrite::Append { parts, schema });
         Ok((upper, write, format!("inserted {inserted} row(s)")))
     }
@@ -894,7 +908,7 @@ impl Database {
         cat: &CatalogSnapshot,
         table: &str,
         predicate: Option<&Expr>,
-        params: &SessionParams,
+        gov: &Arc<QueryGovernor>,
     ) -> Result<(String, Option<TableWrite>, String)> {
         let upper = table.to_ascii_uppercase();
         let t = cat
@@ -902,16 +916,16 @@ impl Database {
             .ok_or_else(|| SnowError::Catalog(format!("table '{table}' does not exist")))?;
         let schema = t.schema().to_vec();
         let bound = self.bind_dml_predicate(&t, predicate)?;
-        let gov = Arc::new(QueryGovernor::from_params(params));
         let mut removed = Vec::new();
         let mut added = Vec::new();
         let mut deleted = 0usize;
         for part in t.partitions() {
+            gov.checkpoint("Rewrite")?;
             let rows = part.row_count();
             if rows == 0 {
                 continue;
             }
-            let (mask, cols) = self.match_rows(part, &schema, bound.as_ref(), &gov)?;
+            let (mask, cols) = self.match_rows(part, &schema, bound.as_ref(), gov)?;
             let hits = mask.iter().filter(|&&m| m).count();
             if hits == 0 {
                 continue;
@@ -927,7 +941,7 @@ impl Database {
                     survivors.push(cols.iter().map(|c| c.get(r)).collect());
                 }
             }
-            added.extend(self.build_partitions(&upper, &schema, &survivors, rows, &gov)?);
+            added.extend(self.build_partitions(&upper, &schema, &survivors, rows, gov)?);
         }
         let write = (!removed.is_empty()).then_some(TableWrite::Rewrite { removed, added });
         Ok((upper, write, format!("deleted {deleted} row(s)")))
@@ -943,7 +957,7 @@ impl Database {
         table: &str,
         sets: &[(String, Expr)],
         predicate: Option<&Expr>,
-        params: &SessionParams,
+        gov: &Arc<QueryGovernor>,
     ) -> Result<(String, Option<TableWrite>, String)> {
         let upper = table.to_ascii_uppercase();
         let t = cat
@@ -959,16 +973,16 @@ impl Database {
             set_cols.push((idx, crate::plan::binder::bind_expr(e, &fields, None)?));
         }
         let bound = self.bind_dml_predicate(&t, predicate)?;
-        let gov = Arc::new(QueryGovernor::from_params(params));
         let mut removed = Vec::new();
         let mut added = Vec::new();
         let mut updated = 0usize;
         for part in t.partitions() {
+            gov.checkpoint("Rewrite")?;
             let rows = part.row_count();
             if rows == 0 {
                 continue;
             }
-            let (mask, cols) = self.match_rows(part, &schema, bound.as_ref(), &gov)?;
+            let (mask, cols) = self.match_rows(part, &schema, bound.as_ref(), gov)?;
             let hits = mask.iter().filter(|&&m| m).count();
             if hits == 0 {
                 continue;
@@ -991,7 +1005,7 @@ impl Database {
                 }
                 rebuilt.push(row);
             }
-            added.extend(self.build_partitions(&upper, &schema, &rebuilt, rows, &gov)?);
+            added.extend(self.build_partitions(&upper, &schema, &rebuilt, rows, gov)?);
         }
         let write = (!removed.is_empty()).then_some(TableWrite::Rewrite { removed, added });
         Ok((upper, write, format!("updated {updated} row(s)")))

@@ -43,6 +43,18 @@ pub enum SnowError {
     /// bounded retries were exhausted. See [`WriteConflictTrip`]. Retrying
     /// the whole statement on a fresh snapshot may well succeed.
     WriteConflict(Box<WriteConflictTrip>),
+    /// The wire protocol was violated: oversized length prefix, truncated
+    /// payload, unknown opcode, malformed frame body, or an out-of-order
+    /// handshake. The server answers with a typed error frame and closes the
+    /// connection; it never panics and never allocates for an untrusted
+    /// length.
+    Protocol(String),
+    /// The admission controller refused to run the statement: the global
+    /// concurrency cap plus a full admission queue, a queue-wait deadline
+    /// expiry, or a server shutdown that aborted queued work. See
+    /// [`AdmissionTrip`]. The connection stays usable; resubmitting later may
+    /// well succeed.
+    Rejected(Box<AdmissionTrip>),
 }
 
 /// Payload of [`SnowError::DeadlineExceeded`]: `op` is the operator that
@@ -90,7 +102,27 @@ pub struct WriteConflictTrip {
     pub detail: String,
 }
 
+/// Payload of [`SnowError::Rejected`]: `reason` says why admission failed
+/// (`"queue full"`, `"queue-wait deadline"`, `"server shutting down"`),
+/// `session` is the server-assigned session id, and `queued_ms` how long the
+/// statement waited in the admission queue before being refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionTrip {
+    pub reason: String,
+    pub session: u64,
+    pub queued_ms: u64,
+}
+
 impl SnowError {
+    /// Convenience constructor used by the admission controller.
+    pub fn rejected(reason: impl Into<String>, session: u64, queued_ms: u64) -> SnowError {
+        SnowError::Rejected(Box::new(AdmissionTrip {
+            reason: reason.into(),
+            session,
+            queued_ms,
+        }))
+    }
+
     /// Convenience constructor used by the panic-isolation layer.
     pub fn internal(op: impl Into<String>, detail: impl Into<String>) -> SnowError {
         SnowError::Internal(Box::new(InternalTrip {
@@ -159,6 +191,12 @@ impl fmt::Display for SnowError {
                 f,
                 "write conflict on table '{}': {} (base version {}, committed version {}, {} attempt(s))",
                 t.table, t.detail, t.base_version, t.current_version, t.attempts
+            ),
+            SnowError::Protocol(m) => write!(f, "protocol error: {m}"),
+            SnowError::Rejected(t) => write!(
+                f,
+                "statement rejected: {} (session {}, queued {}ms)",
+                t.reason, t.session, t.queued_ms
             ),
         }
     }

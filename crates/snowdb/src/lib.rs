@@ -37,6 +37,7 @@ pub mod exec;
 pub mod govern;
 pub mod optimize;
 pub mod plan;
+pub mod server;
 pub mod session;
 pub mod sql;
 pub mod storage;
@@ -49,8 +50,10 @@ pub use engine::{Database, QueryOptions, QueryProfile, QueryResult, StatementRes
 pub use session::Session;
 pub use exec::metrics::OpMetrics;
 pub use error::{
-    DeadlineTrip, InternalTrip, ResourceTrip, Result, SnowError, WriteConflictTrip,
+    AdmissionTrip, DeadlineTrip, InternalTrip, ResourceTrip, Result, SnowError,
+    WriteConflictTrip,
 };
+pub use server::{serve, ServerConfig, ServerHandle};
 pub use govern::{
     GovernorSummary, QueryFailure, QueryGovernor, QueryHandle, SessionParams,
 };

@@ -1,0 +1,560 @@
+//! Admission control: global concurrency cap, bounded queue, per-session
+//! fairness.
+//!
+//! The controller sits between the connection layer and the engine. Every
+//! statement asks for a [`Permit`] before compiling; the permit is RAII, so a
+//! worker that finishes, errors, panics (caught), or is cancelled always
+//! returns its slot.
+//!
+//! ## State machine (per statement)
+//!
+//! ```text
+//!   admit() ── slot free, nobody queued ──────────────▶ ACTIVE
+//!      │
+//!      ├── queue full ─────────────────▶ REJECTED("admission queue full")
+//!      ├── shutting down ──────────────▶ REJECTED("server shutting down")
+//!      └── otherwise ──▶ QUEUED ──┬── granted ────────▶ ACTIVE
+//!                                 ├── wait > deadline ▶ REJECTED("queue-wait deadline exceeded")
+//!                                 └── shutdown ───────▶ REJECTED("server shutting down")
+//!   ACTIVE ── Permit dropped ──▶ slot freed, next queued ticket granted
+//! ```
+//!
+//! ## Fairness
+//!
+//! Queued statements are held in per-session FIFO queues; a freed slot is
+//! granted by **round-robin over sessions**, not global FIFO. A session that
+//! floods the queue with 50 statements gets at most one grant per turn of the
+//! wheel, so a session with a single queued statement waits at most
+//! `sessions × max_concurrent` grants — bounded, never starved. Within one
+//! session, statements are granted in arrival order.
+//!
+//! A new arrival never barges past queued work: if anything is queued, the
+//! arrival queues too, even when a slot happens to be free at that instant
+//! (slots are handed to queued tickets at release time, so a free slot with a
+//! non-empty queue is a transient state).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use crate::error::{Result, SnowError};
+
+/// Tunables for [`AdmissionController`].
+#[derive(Clone, Debug)]
+pub struct AdmissionConfig {
+    /// Statements allowed to execute concurrently across all sessions.
+    pub max_concurrent: usize,
+    /// Statements allowed to wait in the admission queue (all sessions
+    /// combined) before new arrivals are rejected outright.
+    pub max_queued: usize,
+    /// Longest a statement may wait in the queue before it is rejected with
+    /// a queue-wait deadline error.
+    pub queue_timeout: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            max_concurrent: 8,
+            max_queued: 64,
+            queue_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Counters exposed through `SHOW SERVER STATUS` and the drain logic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    pub active: usize,
+    pub queued: usize,
+    pub peak_active: usize,
+    pub peak_queued: usize,
+    pub admitted: u64,
+    pub rejected: u64,
+    pub total_queued_ms: u64,
+}
+
+/// Per-session admission counters (for `SHOW SERVER STATUS` breakdown and
+/// `EXPLAIN ANALYZE` annotations).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionAdmission {
+    pub admitted: u64,
+    pub rejected: u64,
+    pub total_queued_ms: u64,
+}
+
+#[derive(Default)]
+struct State {
+    active: usize,
+    peak_active: usize,
+    peak_queued: usize,
+    admitted: u64,
+    rejected: u64,
+    total_queued_ms: u64,
+    shutdown: bool,
+    /// Per-session FIFO queues of waiting tickets, in round-robin order.
+    /// A session's entry exists only while it has queued tickets.
+    queues: Vec<(u64, VecDeque<u64>)>,
+    /// Round-robin cursor into `queues`: index of the session to grant next.
+    rr_cursor: usize,
+    queued_total: usize,
+    /// Tickets that have been granted a slot but whose waiter hasn't woken
+    /// yet. `active` is already incremented for these.
+    granted: Vec<u64>,
+    next_ticket: u64,
+    /// Retained per-session counters (survive the session's queue draining).
+    sessions: Vec<(u64, SessionAdmission)>,
+}
+
+impl State {
+    fn session_stats(&mut self, session: u64) -> &mut SessionAdmission {
+        if let Some(idx) = self.sessions.iter().position(|(s, _)| *s == session) {
+            return &mut self.sessions[idx].1;
+        }
+        self.sessions.push((session, SessionAdmission::default()));
+        &mut self.sessions.last_mut().unwrap().1
+    }
+
+    fn enqueue(&mut self, session: u64, ticket: u64) {
+        if let Some((_, q)) = self.queues.iter_mut().find(|(s, _)| *s == session) {
+            q.push_back(ticket);
+        } else {
+            self.queues.push((session, VecDeque::from([ticket])));
+        }
+        self.queued_total += 1;
+        self.peak_queued = self.peak_queued.max(self.queued_total);
+    }
+
+    /// Removes `ticket` from its queue (used on timeout/shutdown). Returns
+    /// false if the ticket was already granted or gone.
+    fn unqueue(&mut self, session: u64, ticket: u64) -> bool {
+        let Some(idx) = self.queues.iter().position(|(s, _)| *s == session) else {
+            return false;
+        };
+        let q = &mut self.queues[idx].1;
+        let Some(pos) = q.iter().position(|t| *t == ticket) else {
+            return false;
+        };
+        q.remove(pos);
+        self.queued_total -= 1;
+        if q.is_empty() {
+            self.queues.remove(idx);
+            if self.rr_cursor > idx {
+                self.rr_cursor -= 1;
+            }
+        }
+        true
+    }
+
+    /// Grants the next queued ticket (round-robin over sessions), moving the
+    /// slot ownership to it. Caller must notify the condvar.
+    fn grant_next(&mut self) -> bool {
+        if self.queues.is_empty() {
+            return false;
+        }
+        let idx = self.rr_cursor % self.queues.len();
+        let (_, q) = &mut self.queues[idx];
+        let ticket = q.pop_front().expect("queues holds only non-empty sessions");
+        self.queued_total -= 1;
+        if q.is_empty() {
+            self.queues.remove(idx);
+            // Cursor now points at the element after the removed one.
+            if self.queues.is_empty() {
+                self.rr_cursor = 0;
+            } else {
+                self.rr_cursor %= self.queues.len();
+            }
+        } else {
+            self.rr_cursor = (idx + 1) % self.queues.len();
+        }
+        self.active += 1;
+        self.peak_active = self.peak_active.max(self.active);
+        self.granted.push(ticket);
+        true
+    }
+}
+
+/// Global admission controller shared by all connections of one server.
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl AdmissionController {
+    pub fn new(config: AdmissionConfig) -> Arc<AdmissionController> {
+        Arc::new(AdmissionController {
+            config,
+            state: Mutex::new(State::default()),
+            cv: Condvar::new(),
+        })
+    }
+
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // A poisoned lock means a panic while holding it; admission state is
+        // counters + queues, all valid at every step, so keep serving.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Blocks until the statement is admitted, the queue-wait deadline
+    /// expires, the queue is full, or the server begins shutdown.
+    pub fn admit(self: &Arc<Self>, session: u64) -> Result<Permit> {
+        let start = Instant::now();
+        let mut st = self.lock();
+        if st.shutdown {
+            st.rejected += 1;
+            st.session_stats(session).rejected += 1;
+            return Err(SnowError::rejected("server shutting down", session, 0));
+        }
+        if st.active < self.config.max_concurrent && st.queued_total == 0 {
+            st.active += 1;
+            st.peak_active = st.peak_active.max(st.active);
+            st.admitted += 1;
+            st.session_stats(session).admitted += 1;
+            drop(st);
+            return Ok(Permit {
+                ctl: Arc::clone(self),
+                session,
+                queued_ms: 0,
+            });
+        }
+        if st.queued_total >= self.config.max_queued {
+            st.rejected += 1;
+            st.session_stats(session).rejected += 1;
+            return Err(SnowError::rejected("admission queue full", session, 0));
+        }
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.enqueue(session, ticket);
+        // When slots are free but tickets were already queued (transient
+        // between a release and its waiter waking — or arrivals queued
+        // behind a just-freed slot), hand out grants now so the queue can't
+        // wedge with idle slots.
+        while st.active < self.config.max_concurrent && st.grant_next() {}
+        self.cv.notify_all();
+
+        loop {
+            if let Some(pos) = st.granted.iter().position(|t| *t == ticket) {
+                st.granted.remove(pos);
+                let queued_ms = start.elapsed().as_millis() as u64;
+                st.admitted += 1;
+                st.total_queued_ms += queued_ms;
+                let sess = st.session_stats(session);
+                sess.admitted += 1;
+                sess.total_queued_ms += queued_ms;
+                return Ok(Permit {
+                    ctl: Arc::clone(self),
+                    session,
+                    queued_ms,
+                });
+            }
+            let queued_ms = start.elapsed().as_millis() as u64;
+            if st.shutdown {
+                st.unqueue(session, ticket);
+                st.rejected += 1;
+                st.session_stats(session).rejected += 1;
+                return Err(SnowError::rejected(
+                    "server shutting down",
+                    session,
+                    queued_ms,
+                ));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.config.queue_timeout {
+                // Between our last wake and now the ticket may have been
+                // granted; the check at loop top already ruled that out
+                // under this same lock acquisition, so unqueue is safe.
+                st.unqueue(session, ticket);
+                st.rejected += 1;
+                let sess = st.session_stats(session);
+                sess.rejected += 1;
+                return Err(SnowError::rejected(
+                    "queue-wait deadline exceeded",
+                    session,
+                    queued_ms,
+                ));
+            }
+            let wait = self.config.queue_timeout - elapsed;
+            let (guard, _timeout) = self
+                .cv
+                .wait_timeout(st, wait)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+
+    /// Called by [`Permit::drop`]: frees the slot and grants the next
+    /// queued ticket round-robin.
+    fn release(&self) {
+        let mut st = self.lock();
+        st.active -= 1;
+        if !st.shutdown {
+            st.grant_next();
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Stops admitting: new arrivals and queued waiters are rejected with a
+    /// typed error. In-flight statements keep their permits.
+    pub fn begin_shutdown(&self) {
+        self.lock().shutdown = true;
+        self.cv.notify_all();
+    }
+
+    /// Waits until every admitted statement released its permit, or the
+    /// deadline passes. Returns the number still active.
+    pub fn wait_drained(&self, deadline: Duration) -> usize {
+        let start = Instant::now();
+        let mut st = self.lock();
+        while st.active > 0 {
+            let elapsed = start.elapsed();
+            if elapsed >= deadline {
+                break;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(st, deadline - elapsed)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+        st.active
+    }
+
+    pub fn stats(&self) -> AdmissionStats {
+        let st = self.lock();
+        AdmissionStats {
+            active: st.active,
+            queued: st.queued_total,
+            peak_active: st.peak_active,
+            peak_queued: st.peak_queued,
+            admitted: st.admitted,
+            rejected: st.rejected,
+            total_queued_ms: st.total_queued_ms,
+        }
+    }
+
+    /// Per-session counters, sorted by session id.
+    pub fn session_stats(&self) -> Vec<(u64, SessionAdmission)> {
+        let mut v = self.lock().sessions.clone();
+        v.sort_by_key(|(s, _)| *s);
+        v
+    }
+
+    /// Counters for one session (zeroes if it never submitted anything).
+    pub fn stats_for(&self, session: u64) -> SessionAdmission {
+        self.lock()
+            .sessions
+            .iter()
+            .find(|(s, _)| *s == session)
+            .map(|(_, st)| *st)
+            .unwrap_or_default()
+    }
+}
+
+/// RAII execution slot. Dropping it (on success, error, cancel, or caught
+/// panic) frees the slot and wakes the next queued statement.
+pub struct Permit {
+    ctl: Arc<AdmissionController>,
+    session: u64,
+    queued_ms: u64,
+}
+
+impl Permit {
+    /// How long this statement waited in the admission queue.
+    pub fn queued_ms(&self) -> u64 {
+        self.queued_ms
+    }
+
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.ctl.release();
+    }
+}
+
+impl std::fmt::Debug for Permit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Permit")
+            .field("session", &self.session)
+            .field("queued_ms", &self.queued_ms)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    fn ctl(max_concurrent: usize, max_queued: usize, timeout_ms: u64) -> Arc<AdmissionController> {
+        AdmissionController::new(AdmissionConfig {
+            max_concurrent,
+            max_queued,
+            queue_timeout: Duration::from_millis(timeout_ms),
+        })
+    }
+
+    #[test]
+    fn cap_is_enforced_and_slots_recycle() {
+        let c = ctl(2, 8, 5_000);
+        let p1 = c.admit(1).unwrap();
+        let p2 = c.admit(2).unwrap();
+        assert_eq!(c.stats().active, 2);
+
+        let c2 = Arc::clone(&c);
+        let waiter = thread::spawn(move || c2.admit(3).map(|p| p.queued_ms()));
+        while c.stats().queued == 0 {
+            thread::yield_now();
+        }
+        drop(p1);
+        let queued_ms = waiter.join().unwrap().unwrap();
+        assert!(queued_ms < 5_000);
+        // The waiter's permit dropped inside its thread, so only p2 remains.
+        assert_eq!(c.stats().active, 1);
+        drop(p2);
+        assert_eq!(c.stats().active, 0);
+        assert_eq!(c.stats().peak_active, 2);
+        assert_eq!(c.stats().admitted, 3);
+    }
+
+    #[test]
+    fn queue_full_and_timeout_reject_typed() {
+        let c = ctl(1, 1, 50);
+        let _p = c.admit(1).unwrap();
+        let c2 = Arc::clone(&c);
+        let queued = thread::spawn(move || c2.admit(2));
+        while c.stats().queued == 0 {
+            thread::yield_now();
+        }
+        // Queue holds 1: the next arrival is rejected immediately.
+        match c.admit(3) {
+            Err(SnowError::Rejected(t)) => assert_eq!(t.reason, "admission queue full"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The queued statement times out while the permit is held.
+        match queued.join().unwrap() {
+            Err(SnowError::Rejected(t)) => {
+                assert_eq!(t.reason, "queue-wait deadline exceeded");
+                assert!(t.queued_ms >= 50);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(c.stats().rejected, 2);
+        assert_eq!(c.stats().queued, 0, "timed-out ticket left the queue");
+    }
+
+    #[test]
+    fn round_robin_prevents_starvation_by_a_flooding_session() {
+        let c = ctl(1, 64, 10_000);
+        let gate = c.admit(99).unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+
+        // Session 1 floods five statements; session 2 submits one after.
+        let mut handles = Vec::new();
+        for i in 0..5 {
+            let c2 = Arc::clone(&c);
+            let ord = Arc::clone(&order);
+            handles.push(thread::spawn(move || {
+                let p = c2.admit(1).unwrap();
+                ord.lock().unwrap().push((1u64, i));
+                drop(p);
+            }));
+            // Deterministic arrival order: wait until this ticket is queued.
+            while c.stats().queued < i + 1 {
+                thread::yield_now();
+            }
+        }
+        let c2 = Arc::clone(&c);
+        let ord = Arc::clone(&order);
+        handles.push(thread::spawn(move || {
+            let p = c2.admit(2).unwrap();
+            ord.lock().unwrap().push((2, 0));
+            drop(p);
+        }));
+        while c.stats().queued < 6 {
+            thread::yield_now();
+        }
+
+        drop(gate);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let order = order.lock().unwrap();
+        let pos2 = order.iter().position(|(s, _)| *s == 2).unwrap();
+        // Round-robin: session 2's lone statement runs second, not sixth.
+        assert!(
+            pos2 <= 1,
+            "flooded session starved the single-statement session: order {order:?}"
+        );
+        // Within session 1, arrival order is preserved.
+        let s1: Vec<usize> = order.iter().filter(|(s, _)| *s == 1).map(|(_, i)| *i).collect();
+        assert_eq!(s1, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn shutdown_rejects_queued_and_new_then_drains() {
+        let c = ctl(1, 8, 10_000);
+        let p = c.admit(1).unwrap();
+        let c2 = Arc::clone(&c);
+        let queued = thread::spawn(move || c2.admit(2));
+        while c.stats().queued == 0 {
+            thread::yield_now();
+        }
+        c.begin_shutdown();
+        match queued.join().unwrap() {
+            Err(SnowError::Rejected(t)) => assert_eq!(t.reason, "server shutting down"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match c.admit(3) {
+            Err(SnowError::Rejected(t)) => assert_eq!(t.reason, "server shutting down"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Drain observes the in-flight permit, then its release.
+        assert_eq!(c.wait_drained(Duration::from_millis(10)), 1);
+        drop(p);
+        assert_eq!(c.wait_drained(Duration::from_secs(5)), 0);
+    }
+
+    #[test]
+    fn no_starvation_under_concurrent_churn() {
+        // 4 sessions × 8 statements over 2 slots: every statement must
+        // complete well within the queue deadline.
+        let c = ctl(2, 64, 30_000);
+        let done = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for session in 0..4u64 {
+            let c2 = Arc::clone(&c);
+            let done2 = Arc::clone(&done);
+            handles.push(thread::spawn(move || {
+                for _ in 0..8 {
+                    let p = c2.admit(session).unwrap();
+                    thread::sleep(Duration::from_millis(1));
+                    drop(p);
+                    done2.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(done.load(Ordering::Relaxed), 32);
+        let stats = c.stats();
+        assert_eq!(stats.active, 0);
+        assert_eq!(stats.admitted, 32);
+        assert!(stats.peak_active <= 2, "cap violated: {}", stats.peak_active);
+        for (_, s) in c.session_stats() {
+            assert_eq!(s.admitted, 8);
+            assert_eq!(s.rejected, 0);
+        }
+    }
+}

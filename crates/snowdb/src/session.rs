@@ -82,6 +82,15 @@ impl Session {
     /// session's parameters.
     pub fn query(&self, sql: &str) -> Result<QueryResult> {
         let gov = Arc::new(QueryGovernor::from_params(&self.params()));
+        self.query_governed(sql, gov)
+    }
+
+    /// Runs a query against this session's read snapshot under an explicit
+    /// governor. The caller keeps the governor, so it can trip it from
+    /// another thread — this is how the network service layer cancels an
+    /// in-flight statement when a cancel frame arrives or the client
+    /// disconnects.
+    pub fn query_governed(&self, sql: &str, gov: Arc<QueryGovernor>) -> Result<QueryResult> {
         let snap = self.read_snapshot();
         self.db
             .query_on(&snap, sql, &QueryOptions::default(), gov)
@@ -93,11 +102,27 @@ impl Session {
     /// rejected inside a transaction (the catalog diff they'd need is not
     /// worth their rarity — Snowflake auto-commits DDL for the same reason).
     pub fn execute(&self, sql: &str) -> Result<StatementResult> {
+        let gov = Arc::new(QueryGovernor::from_params(&self.params()));
+        self.execute_governed(sql, gov)
+    }
+
+    /// [`Session::execute`] under an explicit governor shared with the
+    /// caller. Queries and DML rewrites check it at every batch boundary /
+    /// partition claim, so tripping the governor (cancel, deadline) frees
+    /// the executing thread within one batch of work. Session-state verbs
+    /// (`BEGIN`, `SET`, ...) never block and ignore the governor.
+    pub fn execute_governed(
+        &self,
+        sql: &str,
+        gov: Arc<QueryGovernor>,
+    ) -> Result<StatementResult> {
         match parse_statement(sql)? {
             Statement::Begin => self.begin(),
             Statement::Commit => self.commit(),
             Statement::Rollback => self.rollback(),
-            Statement::Query(_) => Ok(StatementResult::Rows(self.query(sql)?)),
+            Statement::Query(_) => {
+                Ok(StatementResult::Rows(self.query_governed(sql, gov)?))
+            }
             Statement::Set { name, value } => {
                 let canonical = self.params.write().set(&name, value)?;
                 Ok(StatementResult::Message(if value == 0 {
@@ -115,10 +140,10 @@ impl Session {
             | Statement::Delete { .. }) => {
                 let mut txn = self.txn.lock();
                 match txn.as_mut() {
-                    Some(t) => Session::apply_in_txn(&self.db, t, &stmt, &self.params()),
+                    Some(t) => Session::apply_in_txn(&self.db, t, &stmt, &gov),
                     None => {
                         drop(txn);
-                        self.db.autocommit_dml(&stmt, &self.params())
+                        self.db.autocommit_dml_governed(&stmt, &gov)
                     }
                 }
             }
@@ -141,9 +166,9 @@ impl Session {
         db: &Database,
         txn: &mut Txn,
         stmt: &Statement,
-        params: &SessionParams,
+        gov: &Arc<QueryGovernor>,
     ) -> Result<StatementResult> {
-        let (name, write, msg) = db.plan_dml(&txn.effective, stmt, params)?;
+        let (name, write, msg) = db.plan_dml(&txn.effective, stmt, gov)?;
         if let Some(w) = write {
             // Applying against the overlay's own version can only conflict if
             // the statement itself raced — it cannot here, the overlay is

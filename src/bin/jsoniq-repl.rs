@@ -6,6 +6,7 @@
 //! cargo run --bin jsoniq-repl                       # demo dataset preloaded
 //! cargo run --bin jsoniq-repl -- events=data.jsonl  # load JSONL into a table
 //! cargo run --bin jsoniq-repl -- --db mydb          # open/create a persistent db
+//! cargo run --bin jsoniq-repl -- --connect 127.0.0.1:7878  # wire-protocol client
 //! ```
 //!
 //! With `--db <dir>` the session runs against a persistent database: tables
@@ -25,6 +26,13 @@
 //!   \tables     list tables
 //!   \save <dir> persist the current in-memory catalog to a new database dir
 //!   \q          quit
+//!
+//! With `--connect host:port` the REPL speaks the wire protocol to a running
+//! `snowdb-server` instead of opening a database in-process: statements are
+//! sent as raw SQL, results stream back in batches, Ctrl-C sends a cancel
+//! frame, and `\stats` shows the server's admission counters
+//! (`SHOW SERVER STATUS`). This doubles as a manual test client for the
+//! service layer.
 
 use std::io::{BufRead, Write};
 use std::sync::atomic::Ordering;
@@ -81,6 +89,7 @@ mod sigint {
 fn main() {
     sigint::install();
     let mut db_dir: Option<String> = None;
+    let mut connect: Option<String> = None;
     let mut specs: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -88,9 +97,17 @@ fn main() {
             db_dir = Some(args.next().unwrap_or_else(|| panic!("--db needs a directory")));
         } else if let Some(dir) = arg.strip_prefix("--db=") {
             db_dir = Some(dir.to_string());
+        } else if arg == "--connect" {
+            connect = Some(args.next().unwrap_or_else(|| panic!("--connect needs host:port")));
+        } else if let Some(addr) = arg.strip_prefix("--connect=") {
+            connect = Some(addr.to_string());
         } else {
             specs.push(arg);
         }
+    }
+    if let Some(addr) = connect {
+        run_connected(&addr);
+        return;
     }
     let db = match &db_dir {
         Some(dir) => {
@@ -220,6 +237,98 @@ fn main() {
         }
         print_prompt(&buffer);
     }
+}
+
+/// Remote mode: one wire-protocol connection to a `snowdb-server`. Input is
+/// raw SQL (the JSONiq translator needs an in-process catalog); the point of
+/// this mode is exercising the service layer by hand.
+fn run_connected(addr: &str) {
+    use snowq::snowdb::server::client::Client;
+
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("connected to {addr} — {} (session {})", client.banner(), client.session());
+    println!("statements are raw SQL; \\stats shows server status, \\q quits");
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    print_prompt(&buffer);
+    for line in stdin.lock().lines() {
+        let line = line.expect("stdin readable");
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('\\') {
+            match trimmed {
+                "\\q" => break,
+                "\\stats" => execute_remote(&mut client, "SHOW SERVER STATUS"),
+                other => println!("unknown command {other} (remote mode has \\stats and \\q)"),
+            }
+            print_prompt(&buffer);
+            continue;
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        if !trimmed.ends_with(';') {
+            print_prompt(&buffer);
+            continue;
+        }
+        let sql = buffer.trim_end().trim_end_matches(';').to_string();
+        buffer.clear();
+        if !sql.trim().is_empty() {
+            execute_remote(&mut client, &sql);
+        }
+        print_prompt(&buffer);
+    }
+    client.goodbye();
+}
+
+/// Runs one remote statement; a Ctrl-C while it is in flight sends a cancel
+/// frame on a cloned socket, and the server answers with a typed
+/// `Cancelled` error within one batch boundary.
+fn execute_remote(client: &mut snowq::snowdb::server::client::Client, sql: &str) {
+    use snowq::snowdb::server::client::RemoteOutcome;
+    use std::sync::atomic::AtomicBool;
+
+    sigint::reset();
+    let stop = Arc::new(AtomicBool::new(false));
+    let watcher = client.canceller().ok().map(|mut canceller| {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut sent = false;
+            while !stop.load(Ordering::SeqCst) {
+                if !sent && sigint::PRESSES.load(Ordering::SeqCst) > 0 {
+                    sent = canceller.cancel().is_ok();
+                    println!("\ncancelling... (Ctrl-C again to exit)");
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        })
+    });
+    let outcome = client.execute(sql);
+    stop.store(true, Ordering::SeqCst);
+    if let Some(w) = watcher {
+        let _ = w.join();
+    }
+    match outcome {
+        Ok(RemoteOutcome::Rows(r)) => {
+            for row in &r.rows {
+                let line: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                println!("{}", line.join("\t"));
+            }
+            println!(
+                "({} rows; compile {}us, execute {}us, {} bytes scanned, queued {}ms)",
+                r.done.rows, r.done.compile_us, r.done.exec_us, r.done.bytes_scanned,
+                r.done.queued_ms
+            );
+        }
+        Ok(RemoteOutcome::Message(m)) => println!("{m}"),
+        Err(e) => println!("error: {e}"),
+    }
+    sigint::reset();
 }
 
 fn print_prompt(buffer: &str) {
