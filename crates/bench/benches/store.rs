@@ -173,5 +173,83 @@ fn bench_encoded_store(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cold_vs_warm, bench_pruned_scan, bench_encoded_store);
+/// Query latency while a streaming ingestor commits micro-batches in the
+/// background — quiet vs. ingest-only vs. ingest + background compactor.
+/// Readers pin a snapshot, so ingest churn should cost contention, not
+/// correctness; the compactor variant shows whether merging the accumulated
+/// micro-partitions wins back scan latency. The printed partition counts are
+/// part of the CI persist artifact.
+fn bench_ingest_while_querying(c: &mut Criterion) {
+    use snowdb::store::{CompactionPolicy, Compactor};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let dir = std::env::temp_dir()
+        .join(format!("snowq-bench-store-ingest-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let db = Arc::new(Database::open(&dir).expect("open"));
+    db.execute("CREATE TABLE stream (k INT, x INT)").expect("create");
+    let mut ing = db.stream_ingest("stream", 64).expect("ingest");
+    for i in 0..4096i64 {
+        ing.push_json(&format!("{{\"k\": {}, \"x\": {i}}}", i % 16)).expect("push");
+    }
+    ing.finish().expect("finish");
+    let sql = "SELECT k, SUM(x) FROM stream GROUP BY k";
+
+    let mut group = c.benchmark_group("store_ingest");
+    group.sample_size(20);
+    group.bench_function("query-quiet", |b| {
+        b.iter(|| std::hint::black_box(db.query(sql).expect("runs").rows.len()))
+    });
+
+    // Continuous background ingest: micro-commits land while queries run.
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let (db, stop) = (db.clone(), stop.clone());
+        std::thread::spawn(move || {
+            let mut i = 0i64;
+            while !stop.load(Ordering::Relaxed) {
+                let mut ing = db.stream_ingest("stream", 32).expect("ingest");
+                for _ in 0..32 {
+                    ing.push_json(&format!("{{\"k\": {}, \"x\": 0}}", i % 16)).expect("push");
+                    i += 1;
+                }
+                ing.finish().expect("finish");
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        })
+    };
+    group.bench_function("query-during-ingest", |b| {
+        b.iter(|| std::hint::black_box(db.query(sql).expect("runs").rows.len()))
+    });
+
+    // Same churn plus the background compactor merging the micro-partitions.
+    let compactor = Compactor::spawn(
+        db.clone(),
+        "stream",
+        CompactionPolicy { cluster_by: Some("K".into()), ..CompactionPolicy::default() },
+        std::time::Duration::from_millis(2),
+    );
+    group.bench_function("query-during-ingest-compacted", |b| {
+        b.iter(|| std::hint::black_box(db.query(sql).expect("runs").rows.len()))
+    });
+    stop.store(true, Ordering::Relaxed);
+    writer.join().expect("writer");
+    let parts_live = db.table("stream").expect("table").partitions().len();
+    let stats = compactor.stop();
+    eprintln!(
+        "store_ingest: {parts_live} partition(s) live after churn; compactor \
+         {} pass(es), {} compaction(s), {} conflict(s) lost",
+        stats.passes, stats.compactions, stats.conflicts_lost
+    );
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(
+    benches,
+    bench_cold_vs_warm,
+    bench_pruned_scan,
+    bench_encoded_store,
+    bench_ingest_while_querying
+);
 criterion_main!(benches);

@@ -60,11 +60,21 @@ pub struct TableEntry {
 pub struct CatalogSnapshot {
     version: u64,
     tables: BTreeMap<String, TableEntry>,
+    /// Store-side GC pin for this version's partition files. Attached by the
+    /// engine when the snapshot is published (persistent databases only);
+    /// every query clone of the snapshot shares it, so a file under an
+    /// in-flight plan is never unlinked.
+    pin: Option<Arc<crate::store::VersionPin>>,
 }
 
 impl CatalogSnapshot {
     pub(crate) fn new(version: u64, tables: BTreeMap<String, TableEntry>) -> CatalogSnapshot {
-        CatalogSnapshot { version, tables }
+        CatalogSnapshot { version, tables, pin: None }
+    }
+
+    /// Attaches the store-side GC pin protecting this version's files.
+    pub(crate) fn set_pin(&mut self, pin: Arc<crate::store::VersionPin>) {
+        self.pin = Some(pin);
     }
 
     /// The committed version this snapshot pins.
@@ -184,7 +194,7 @@ impl CatalogSnapshot {
                 }
             }
         }
-        Ok(CatalogSnapshot { version: new_version, tables })
+        Ok(CatalogSnapshot { version: new_version, tables, pin: None })
     }
 }
 
@@ -241,10 +251,23 @@ impl WriteSet {
 /// lock); writers serialize on [`SharedCatalog::lock_commits`] for the
 /// check-commit-publish critical section. Snapshot reads never wait on a
 /// commit's manifest I/O: the write lock is only taken for the final swap.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SharedCatalog {
     current: RwLock<Arc<CatalogSnapshot>>,
     commit_lock: Mutex<()>,
+    /// Recently superseded snapshots, oldest first — the in-memory half of
+    /// the retention window. Holding these (with their pins) keeps time
+    /// travel to recent versions allocation-free and GC-safe; older retained
+    /// versions are reconstructed from the manifest history instead.
+    history: Mutex<std::collections::VecDeque<Arc<CatalogSnapshot>>>,
+    /// Retention window (number of versions including current, ≥ 1).
+    capacity: std::sync::atomic::AtomicU64,
+}
+
+impl Default for SharedCatalog {
+    fn default() -> SharedCatalog {
+        SharedCatalog::new(CatalogSnapshot::default())
+    }
 }
 
 impl SharedCatalog {
@@ -252,6 +275,8 @@ impl SharedCatalog {
         SharedCatalog {
             current: RwLock::new(Arc::new(snapshot)),
             commit_lock: Mutex::new(()),
+            history: Mutex::new(std::collections::VecDeque::new()),
+            capacity: std::sync::atomic::AtomicU64::new(crate::store::DEFAULT_RETENTION),
         }
     }
 
@@ -267,9 +292,49 @@ impl SharedCatalog {
     }
 
     /// Publishes a new committed snapshot (caller holds the commit lock).
+    /// The superseded snapshot moves into the in-memory history, bounded by
+    /// the retention capacity.
     pub(crate) fn publish(&self, snapshot: Arc<CatalogSnapshot>) {
         debug_assert!(snapshot.version() > self.current.read().version());
-        *self.current.write() = snapshot;
+        let prev = {
+            let mut cur = self.current.write();
+            std::mem::replace(&mut *cur, snapshot)
+        };
+        let keep = self.capacity.load(std::sync::atomic::Ordering::Relaxed).max(1) - 1;
+        let mut history = self.history.lock();
+        history.push_back(prev);
+        while history.len() as u64 > keep {
+            history.pop_front();
+        }
+    }
+
+    /// A retained in-memory snapshot at exactly `version`, if still held.
+    pub(crate) fn at_version(&self, version: u64) -> Option<Arc<CatalogSnapshot>> {
+        let current = self.snapshot();
+        if current.version() == version {
+            return Some(current);
+        }
+        self.history
+            .lock()
+            .iter()
+            .rev()
+            .find(|s| s.version() == version)
+            .cloned()
+    }
+
+    /// The in-memory retention window (number of versions including current).
+    pub(crate) fn capacity(&self) -> u64 {
+        self.capacity.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Re-bounds the in-memory retention window (truncating immediately).
+    pub(crate) fn set_capacity(&self, versions: u64) {
+        let versions = versions.max(1);
+        self.capacity.store(versions, std::sync::atomic::Ordering::Relaxed);
+        let mut history = self.history.lock();
+        while history.len() as u64 > versions - 1 {
+            history.pop_front();
+        }
     }
 }
 

@@ -25,7 +25,7 @@ use crate::govern::{
 use crate::optimize::optimize;
 use crate::plan::physical::{lower, PhysNode};
 use crate::plan::{bind_query, Field, Node, PExpr};
-use crate::sql::ast::Expr;
+use crate::sql::ast::{Expr, Travel};
 use crate::sql::{parse_query, parse_statement, Statement};
 use crate::storage::{
     ColumnDef, MemSink, MicroPartition, PartitionSink, ScanSource, ScanStats, Table, TableBuilder,
@@ -260,10 +260,13 @@ impl Database {
             let name = t.name().to_ascii_uppercase();
             map.insert(name, TableEntry { table: Arc::new(t), committed_at: version });
         }
+        let mut snapshot = CatalogSnapshot::new(version, map);
+        snapshot.set_pin(store.pin_current());
         let db = Database {
-            catalog: SharedCatalog::new(CatalogSnapshot::new(version, map)),
+            catalog: SharedCatalog::new(snapshot),
             ..Database::default()
         };
+        db.catalog.set_capacity(store.retention());
         *db.store.write() = Some(store);
         Ok(db)
     }
@@ -347,12 +350,16 @@ impl Database {
         base_version: u64,
         set: WriteSet,
     ) -> Result<Arc<CatalogSnapshot>> {
-        let next = current.apply(base_version, &set)?;
+        let mut next = current.apply(base_version, &set)?;
         if let Some(s) = self.store() {
             // Durability first: the manifest CAS is the real commit point.
             // If it fails, nothing was published and prepared partition
             // files remain invisible debris.
             s.commit_writes(&set)?;
+            // Pin the new version's files for the snapshot's lifetime: a
+            // query holding this snapshot can outlive the version's stay in
+            // the retention window, and GC must defer, not unlink.
+            next.set_pin(s.pin_current());
         }
         let next = Arc::new(next);
         self.catalog.publish(next.clone());
@@ -360,7 +367,7 @@ impl Database {
     }
 
     /// A fresh deterministic-jitter seed for one auto-commit retry loop.
-    fn next_commit_seed(&self) -> u64 {
+    pub(crate) fn next_commit_seed(&self) -> u64 {
         crate::govern::chaos::splitmix64(
             self.commit_seq.fetch_add(1, AtomicOrd::Relaxed).wrapping_add(0x5EED),
         )
@@ -445,7 +452,9 @@ impl Database {
     }
 
     /// Compiles against an explicit pinned snapshot (sessions compile inside
-    /// their transaction's effective catalog).
+    /// their transaction's effective catalog). Binds run through a
+    /// [`TravelCatalog`], so `AT`/`BEFORE` clauses resolve retained
+    /// historical versions while plain references stay on the snapshot.
     pub(crate) fn compile_on(
         &self,
         cat: &CatalogSnapshot,
@@ -453,7 +462,7 @@ impl Database {
         optimize_plan: bool,
     ) -> Result<Node> {
         let ast = parse_query(sql)?;
-        let bound = bind_query(&ast, cat)?;
+        let bound = bind_query(&ast, &TravelCatalog { db: self, base: cat })?;
         if optimize_plan {
             optimize(bound)
         } else {
@@ -727,13 +736,15 @@ impl Database {
             }
             Statement::Explain(q) => {
                 let snap = self.snapshot();
-                let bound = crate::plan::bind_query(&q, &*snap)?;
+                let bound =
+                    crate::plan::bind_query(&q, &TravelCatalog { db: self, base: &snap })?;
                 let plan = crate::optimize::optimize(bound)?;
                 Ok(StatementResult::Message(crate::plan::explain(&plan)))
             }
             Statement::ExplainAnalyze(q) => {
                 let snap = self.snapshot();
-                let bound = crate::plan::bind_query(&q, &*snap)?;
+                let bound =
+                    crate::plan::bind_query(&q, &TravelCatalog { db: self, base: &snap })?;
                 let plan = crate::optimize::optimize(bound)?;
                 Ok(StatementResult::Message(self.explain_analyze_plan(&plan)?))
             }
@@ -771,6 +782,28 @@ impl Database {
                     return Err(SnowError::Catalog(format!("table '{name}' does not exist")));
                 }
                 Ok(StatementResult::Message(format!("dropped table {name}")))
+            }
+            Statement::Undrop { name } => {
+                let version = self.undrop_table(&name)?;
+                Ok(StatementResult::Message(format!(
+                    "undropped table {name} (restored from version {version})"
+                )))
+            }
+            Statement::CloneTable { name, source, travel } => {
+                self.clone_table(&name, &source, travel.as_ref())?;
+                Ok(StatementResult::Message(format!(
+                    "created table {name} as zero-copy clone of {source}"
+                )))
+            }
+            Statement::Set { name, value } if name.eq_ignore_ascii_case(RETENTION_PARAM) => {
+                if value == 0 {
+                    return Err(SnowError::Catalog(format!(
+                        "{RETENTION_PARAM} must be at least 1 \
+                         (the current version is always retained)"
+                    )));
+                }
+                let v = self.set_retention(value)?;
+                Ok(StatementResult::Message(format!("{RETENTION_PARAM} set to {v}")))
             }
             Statement::Set { name, value } => {
                 let canonical = self.set_session_param(&name, value)?;
@@ -1078,7 +1111,7 @@ impl Database {
     /// (type validation, stats, zone maps), streaming to partition files
     /// when a store is attached and charging the governor for every sealed
     /// partition.
-    fn build_partitions(
+    pub(crate) fn build_partitions(
         &self,
         name: &str,
         schema: &[ColumnDef],
@@ -1106,12 +1139,203 @@ impl Database {
         Ok(b.finish()?.partitions().to_vec())
     }
 
+    /// Sets the retention window (number of committed versions kept for time
+    /// travel / `UNDROP` / clones, including the current one; clamped ≥ 1).
+    /// For a persistent database the change is itself a commit — shrinking
+    /// immediately evicts (and GCs) history beyond the new window.
+    pub fn set_retention(&self, versions: u64) -> Result<u64> {
+        let versions = versions.max(1);
+        let _guard = self.catalog.lock_commits();
+        if let Some(s) = self.store() {
+            let current = self.catalog.snapshot();
+            s.set_retention(versions)?;
+            // The store committed a version of its own; publish the matching
+            // (table-wise empty) catalog version to keep the two counters —
+            // and their histories — in lockstep.
+            let mut next = current.apply(current.version(), &WriteSet::default())?;
+            next.set_pin(s.pin_current());
+            self.catalog.set_capacity(versions);
+            self.catalog.publish(Arc::new(next));
+        } else {
+            self.catalog.set_capacity(versions);
+        }
+        Ok(versions)
+    }
+
+    /// The configured retention window in versions.
+    pub fn retention(&self) -> u64 {
+        match self.store() {
+            Some(s) => s.retention(),
+            None => self.catalog.capacity(),
+        }
+    }
+
+    /// Resolves a table as of a retained historical version, for `AT`/
+    /// `BEFORE` clauses, `UNDROP`, and versioned clones. Resolution order:
+    /// the base snapshot itself, then the store's manifest history (whose
+    /// reconstructed partitions carry a GC [`crate::store::VersionPin`]),
+    /// then the in-memory snapshot history (purely in-memory databases,
+    /// where no GC exists). Evicted or unknown versions surface as typed
+    /// errors, never a wrong answer.
+    pub(crate) fn table_at_version(
+        &self,
+        name: &str,
+        travel: &Travel,
+        base: &CatalogSnapshot,
+    ) -> Result<Arc<Table>> {
+        let version = if travel.before {
+            travel.version.checked_sub(1).ok_or_else(|| {
+                SnowError::Plan("BEFORE(VERSION => 0) has no predecessor version".into())
+            })?
+        } else {
+            travel.version
+        };
+        let upper = name.to_ascii_uppercase();
+        if version > base.version() {
+            return Err(SnowError::Catalog(format!(
+                "version {version} has not been committed yet (current version: {})",
+                base.version()
+            )));
+        }
+        let missing = || {
+            SnowError::Catalog(format!("table '{name}' did not exist at version {version}"))
+        };
+        if version == base.version() {
+            return base.table(&upper).ok_or_else(missing);
+        }
+        if let Some(s) = self.store() {
+            return match s.open_table_at(version, &upper)? {
+                Some(t) => Ok(Arc::new(t)),
+                None => Err(missing()),
+            };
+        }
+        match self.catalog.at_version(version) {
+            Some(snap) => snap.table(&upper).ok_or_else(missing),
+            None => Err(SnowError::Storage(format!(
+                "version {version} is outside the retention window \
+                 (retention: {} versions)",
+                self.catalog.capacity()
+            ))),
+        }
+    }
+
+    /// `UNDROP TABLE`: restores the table from the most recent retained
+    /// version that still holds it, as a `CREATE`-style commit (conflicts if
+    /// the name was concurrently re-created). Returns the version restored
+    /// from; a table absent from every retained version is a typed catalog
+    /// error.
+    pub fn undrop_table(&self, name: &str) -> Result<u64> {
+        let upper = name.to_ascii_uppercase();
+        let policy = RetryPolicy::commit_default(self.next_commit_seed());
+        retry::run(&policy, |_| {
+            let base = self.snapshot();
+            if base.table(&upper).is_some() {
+                return Err(SnowError::Catalog(format!(
+                    "table '{name}' already exists (drop it before UNDROP)"
+                )));
+            }
+            let (table, version) = self.latest_retained(&upper)?;
+            let table = Arc::new(Table::from_parts(
+                upper.clone(),
+                table.schema().to_vec(),
+                table.partitions().to_vec(),
+            ));
+            self.commit_writes(
+                base.version(),
+                WriteSet::single(&upper, TableWrite::Put { table, expect_absent: true }),
+            )?;
+            Ok(version)
+        })
+    }
+
+    /// The newest retained historical version holding `upper`, walking the
+    /// manifest history when a store is attached (it survives restarts),
+    /// else the in-memory snapshot history.
+    fn latest_retained(&self, upper: &str) -> Result<(Arc<Table>, u64)> {
+        if let Some(s) = self.store() {
+            for v in s.retained_versions().into_iter().rev() {
+                if let Some(t) = s.open_table_at(v, upper)? {
+                    return Ok((Arc::new(t), v));
+                }
+            }
+        } else {
+            let current = self.catalog.snapshot().version();
+            for v in (1..=current).rev() {
+                let Some(snap) = self.catalog.at_version(v) else { break };
+                if let Some(t) = snap.table(upper) {
+                    return Ok((t, v));
+                }
+            }
+        }
+        Err(SnowError::Catalog(format!(
+            "table '{upper}' is not present in any retained version \
+             (retention: {} versions)",
+            self.retention()
+        )))
+    }
+
+    /// `CREATE TABLE ... CLONE src [AT/BEFORE(VERSION => n)]`: a zero-copy
+    /// metadata operation. The clone shares the source's immutable partition
+    /// `Arc`s — no partition bytes are read or written; on a persistent
+    /// database the manifest simply references the same files from both
+    /// tables, and copy-on-write DML diverges them from there.
+    pub fn clone_table(&self, name: &str, source: &str, travel: Option<&Travel>) -> Result<()> {
+        let upper = name.to_ascii_uppercase();
+        let src_upper = source.to_ascii_uppercase();
+        let policy = RetryPolicy::commit_default(self.next_commit_seed());
+        retry::run(&policy, |_| {
+            let base = self.snapshot();
+            if base.table(&upper).is_some() {
+                return Err(SnowError::Catalog(format!("table '{name}' already exists")));
+            }
+            let src = match travel {
+                Some(t) => self.table_at_version(&src_upper, t, &base)?,
+                None => base.table(&src_upper).ok_or_else(|| {
+                    SnowError::Catalog(format!("table '{source}' does not exist"))
+                })?,
+            };
+            let table = Arc::new(Table::from_parts(
+                upper.clone(),
+                src.schema().to_vec(),
+                src.partitions().to_vec(),
+            ));
+            self.commit_writes(
+                base.version(),
+                WriteSet::single(&upper, TableWrite::Put { table, expect_absent: true }),
+            )?;
+            Ok(())
+        })
+    }
+
     /// Runs a query and requires a single scalar result.
     pub fn query_scalar(&self, sql: &str) -> Result<Variant> {
         let res = self.query(sql)?;
         res.scalar()
             .cloned()
             .ok_or_else(|| SnowError::Exec("query produced no rows".into()))
+    }
+}
+
+/// Statement name of the retention knob (`SET DATA_RETENTION_VERSIONS = n`),
+/// intercepted ahead of the ordinary session parameters because it mutates
+/// durable store state, not per-session limits.
+pub(crate) const RETENTION_PARAM: &str = "DATA_RETENTION_VERSIONS";
+
+/// The binder-facing catalog for one statement: plain table references
+/// resolve on the pinned base snapshot; `AT`/`BEFORE` clauses reach through
+/// the database into retained history ([`Database::table_at_version`]).
+pub(crate) struct TravelCatalog<'a> {
+    pub(crate) db: &'a Database,
+    pub(crate) base: &'a CatalogSnapshot,
+}
+
+impl crate::plan::Catalog for TravelCatalog<'_> {
+    fn table(&self, name: &str) -> Option<Arc<Table>> {
+        self.base.table(name)
+    }
+
+    fn table_at(&self, name: &str, travel: &Travel) -> Result<Arc<Table>> {
+        self.db.table_at_version(name, travel, self.base)
     }
 }
 

@@ -49,6 +49,11 @@ pub enum ChaosSite {
     /// Injection here simulates a crash mid-commit: the commit must either
     /// take effect entirely or leave the previous catalog version intact.
     ManifestCommit,
+    /// A GC unlink of a partition file evicted from the retention window.
+    /// Injection simulates a crash mid-sweep: the manifest commit has
+    /// already happened, so recovery must converge (the file is re-swept on
+    /// the next commit or open) and no retained version may lose a file.
+    GcUnlink,
 }
 
 impl ChaosSite {
@@ -59,6 +64,7 @@ impl ChaosSite {
             ChaosSite::BudgetAccount => 0xC2B2_AE35,
             ChaosSite::StoreRead => 0x27D4_EB2F,
             ChaosSite::ManifestCommit => 0x1656_67B1,
+            ChaosSite::GcUnlink => 0x7FEB_352D,
         }
     }
 }

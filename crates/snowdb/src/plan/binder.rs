@@ -7,7 +7,7 @@ use super::{
 };
 use crate::error::{Result, SnowError};
 use crate::sql::{
-    BinOp, Expr, FromItem, PathStep, Query, Select, SelectItem, SetExpr, TableFactor,
+    BinOp, Expr, FromItem, PathStep, Query, Select, SelectItem, SetExpr, TableFactor, Travel,
 };
 use crate::storage::Table;
 use crate::variant::Variant;
@@ -16,6 +16,18 @@ use crate::variant::Variant;
 pub trait Catalog {
     /// Fetches a table snapshot by (upper-cased) name.
     fn table(&self, name: &str) -> Option<Arc<Table>>;
+
+    /// Fetches a table as of a retained historical version (`AT`/`BEFORE`).
+    /// Contexts without store-backed history — plain snapshots, the
+    /// interpreter's ad-hoc catalogs — keep the default, which rejects the
+    /// clause with a typed plan error.
+    fn table_at(&self, name: &str, travel: &Travel) -> Result<Arc<Table>> {
+        let _ = name;
+        let _ = travel;
+        Err(SnowError::Plan(
+            "time travel (AT/BEFORE) is not supported in this context".into(),
+        ))
+    }
 }
 
 /// Binds a query to a logical plan.
@@ -283,10 +295,13 @@ impl<'a> Binder<'a> {
 
     fn table_factor(&self, f: &TableFactor) -> Result<Node> {
         match f {
-            TableFactor::Table { name, alias } => {
-                let table = self.catalog.table(name).ok_or_else(|| {
-                    SnowError::Plan(format!("table '{name}' does not exist"))
-                })?;
+            TableFactor::Table { name, alias, travel } => {
+                let table = match travel {
+                    Some(t) => self.catalog.table_at(name, t)?,
+                    None => self.catalog.table(name).ok_or_else(|| {
+                        SnowError::Plan(format!("table '{name}' does not exist"))
+                    })?,
+                };
                 let qualifier = alias.clone().unwrap_or_else(|| name.clone());
                 let fields = table
                     .schema()

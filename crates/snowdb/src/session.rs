@@ -123,6 +123,21 @@ impl Session {
             Statement::Query(_) => {
                 Ok(StatementResult::Rows(self.query_governed(sql, gov)?))
             }
+            Statement::Set { ref name, .. }
+                if name.eq_ignore_ascii_case(crate::engine::RETENTION_PARAM) =>
+            {
+                // Retention is durable store state, not a per-session limit:
+                // route through the engine's intercept (rejected mid-txn like
+                // any other catalog mutation).
+                if self.in_transaction() {
+                    return Err(SnowError::Catalog(
+                        "cannot change DATA_RETENTION_VERSIONS inside a transaction \
+                         (COMMIT or ROLLBACK first)"
+                            .into(),
+                    ));
+                }
+                self.db.execute(sql)
+            }
             Statement::Set { name, value } => {
                 let canonical = self.params.write().set(&name, value)?;
                 Ok(StatementResult::Message(if value == 0 {

@@ -57,10 +57,19 @@ pub enum FromItem {
     Flatten { input: Expr, outer: bool, alias: String },
 }
 
+/// A time-travel clause on a base table: `AT(VERSION => n)` pins the table
+/// as of committed catalog version `n`; `BEFORE(VERSION => n)` the version
+/// immediately preceding it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Travel {
+    pub before: bool,
+    pub version: u64,
+}
+
 /// Base relation in `FROM`.
 #[derive(Clone, Debug, PartialEq)]
 pub enum TableFactor {
-    Table { name: String, alias: Option<String> },
+    Table { name: String, alias: Option<String>, travel: Option<Travel> },
     Derived { query: Box<Query>, alias: Option<String> },
 }
 

@@ -378,12 +378,38 @@ impl Parser {
             // Snowpark emits `FROM (tablename)`.
             let name = self.ident()?;
             self.expect_sym(")")?;
+            let travel = self.maybe_travel()?;
             let alias = if self.eat_kw("AS") { Some(self.ident()?) } else { self.maybe_alias() };
-            return Ok(TableFactor::Table { name, alias });
+            return Ok(TableFactor::Table { name, alias, travel });
         }
         let name = self.ident()?;
+        let travel = self.maybe_travel()?;
         let alias = if self.eat_kw("AS") { Some(self.ident()?) } else { self.maybe_alias() };
-        Ok(TableFactor::Table { name, alias })
+        Ok(TableFactor::Table { name, alias, travel })
+    }
+
+    /// `AT(VERSION => n)` / `BEFORE(VERSION => n)` after a base table name.
+    /// `AT` and `BEFORE` are not reserved words, so the clause only engages
+    /// when immediately followed by `(` — `FROM t at` still parses as an
+    /// alias.
+    pub(super) fn maybe_travel(&mut self) -> Result<Option<Travel>> {
+        let before = if self.peek().is_kw("AT") && self.peek2().is_sym("(") {
+            false
+        } else if self.peek().is_kw("BEFORE") && self.peek2().is_sym("(") {
+            true
+        } else {
+            return Ok(None);
+        };
+        self.pos += 1;
+        self.expect_sym("(")?;
+        self.expect_kw("VERSION")?;
+        self.expect_sym("=>")?;
+        let version = match self.next() {
+            Token::Int(n) if n >= 0 => n as u64,
+            t => return Err(SnowError::Parse(format!("expected version number, found {t:?}"))),
+        };
+        self.expect_sym(")")?;
+        Ok(Some(Travel { before, version }))
     }
 
     // ---- expressions -----------------------------------------------------

@@ -3,7 +3,7 @@
 //! `DELETE`, `DROP TABLE`, `EXPLAIN`, and the transaction verbs
 //! `BEGIN`/`COMMIT`/`ROLLBACK`).
 
-use super::ast::{BinOp, Expr, Query};
+use super::ast::{BinOp, Expr, Query, Travel};
 use super::lexer::{tokenize, Token};
 use super::parser::parse_query;
 use crate::error::{Result, SnowError};
@@ -22,6 +22,13 @@ pub enum Statement {
     /// text because the oracle re-plans it per configuration.
     Verify(String),
     CreateTable { name: String, columns: Vec<(String, ColumnType)> },
+    /// `CREATE TABLE name CLONE source [AT(VERSION => n)]`: a zero-copy
+    /// metadata clone — the new table shares the source's immutable
+    /// partitions (optionally as of a retained historical version).
+    CloneTable { name: String, source: String, travel: Option<Travel> },
+    /// `UNDROP TABLE name`: restores the most recent retained version of a
+    /// dropped table.
+    Undrop { name: String },
     Insert { table: String, rows: Vec<Vec<Expr>> },
     /// `UPDATE t SET col = expr [, ...] [WHERE pred]`: copy-on-write
     /// partition rewrite; SET expressions see the *old* row.
@@ -69,6 +76,7 @@ pub fn parse_statement(sql: &str) -> Result<Statement> {
         Some(t) if t.is_kw("UPDATE") => parse_update(sql, &toks),
         Some(t) if t.is_kw("DELETE") => parse_delete(sql, &toks),
         Some(t) if t.is_kw("DROP") => parse_drop(&toks),
+        Some(t) if t.is_kw("UNDROP") => parse_undrop(&toks),
         Some(t) if t.is_kw("SET") => parse_set(&toks),
         Some(t) if t.is_kw("UNSET") => parse_unset(&toks),
         Some(t) if t.is_kw("BEGIN") => parse_txn_verb(&toks, 1, Statement::Begin),
@@ -136,6 +144,7 @@ fn ident_at(toks: &[Token], i: usize) -> Result<String> {
 
 fn parse_create(toks: &[Token]) -> Result<Statement> {
     // CREATE TABLE name ( col type [, ...] )
+    // CREATE TABLE name CLONE source [AT(VERSION => n) | BEFORE(VERSION => n)]
     let mut i = 1;
     if !toks.get(i).is_some_and(|t| t.is_kw("TABLE")) {
         return Err(SnowError::Parse("expected CREATE TABLE".into()));
@@ -143,6 +152,15 @@ fn parse_create(toks: &[Token]) -> Result<Statement> {
     i += 1;
     let name = ident_at(toks, i)?;
     i += 1;
+    if toks.get(i).is_some_and(|t| t.is_kw("CLONE")) {
+        let source = ident_at(toks, i + 1)?;
+        i += 2;
+        let travel = parse_travel_tokens(toks, &mut i)?;
+        if !matches!(toks.get(i), Some(Token::Eof) | None) {
+            return Err(SnowError::Parse("unexpected trailing tokens after CLONE".into()));
+        }
+        return Ok(Statement::CloneTable { name, source, travel });
+    }
     if !toks.get(i).is_some_and(|t| t.is_sym("(")) {
         return Err(SnowError::Parse("expected '(' after table name".into()));
     }
@@ -401,6 +419,54 @@ fn split_tuples(text: &str) -> Result<Vec<String>> {
     Ok(tuples)
 }
 
+/// Token-level `AT(VERSION => n)` / `BEFORE(VERSION => n)` for the DDL
+/// surface (`CREATE ... CLONE`); the query parser has its own copy.
+fn parse_travel_tokens(toks: &[Token], i: &mut usize) -> Result<Option<Travel>> {
+    let before = match toks.get(*i) {
+        Some(t) if t.is_kw("AT") => false,
+        Some(t) if t.is_kw("BEFORE") => true,
+        _ => return Ok(None),
+    };
+    if !toks.get(*i + 1).is_some_and(|t| t.is_sym("(")) {
+        return Ok(None);
+    }
+    *i += 2;
+    if !toks.get(*i).is_some_and(|t| t.is_kw("VERSION")) {
+        return Err(SnowError::Parse("expected VERSION in AT/BEFORE clause".into()));
+    }
+    *i += 1;
+    if !toks.get(*i).is_some_and(|t| t.is_sym("=>")) {
+        return Err(SnowError::Parse("expected '=>' after VERSION".into()));
+    }
+    *i += 1;
+    let version = match toks.get(*i) {
+        Some(Token::Int(n)) if *n >= 0 => *n as u64,
+        other => {
+            return Err(SnowError::Parse(format!(
+                "expected version number, found {other:?}"
+            )))
+        }
+    };
+    *i += 1;
+    if !toks.get(*i).is_some_and(|t| t.is_sym(")")) {
+        return Err(SnowError::Parse("expected ')' to close AT/BEFORE clause".into()));
+    }
+    *i += 1;
+    Ok(Some(Travel { before, version }))
+}
+
+fn parse_undrop(toks: &[Token]) -> Result<Statement> {
+    // UNDROP TABLE name
+    if !toks.get(1).is_some_and(|t| t.is_kw("TABLE")) {
+        return Err(SnowError::Parse("expected UNDROP TABLE".into()));
+    }
+    let name = ident_at(toks, 2)?;
+    if !matches!(toks.get(3), Some(Token::Eof) | None) {
+        return Err(SnowError::Parse("unexpected trailing tokens after UNDROP".into()));
+    }
+    Ok(Statement::Undrop { name })
+}
+
 fn parse_drop(toks: &[Token]) -> Result<Statement> {
     // DROP TABLE [IF EXISTS] name
     if !toks.get(1).is_some_and(|t| t.is_kw("TABLE")) {
@@ -458,6 +524,71 @@ mod tests {
             parse_statement("DROP TABLE IF EXISTS t").unwrap(),
             Statement::DropTable { if_exists: true, .. }
         ));
+    }
+
+    #[test]
+    fn parses_clone_and_undrop() {
+        match parse_statement("CREATE TABLE t2 CLONE t1").unwrap() {
+            Statement::CloneTable { name, source, travel } => {
+                assert_eq!(name, "T2");
+                assert_eq!(source, "T1");
+                assert!(travel.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_statement("CREATE TABLE t2 CLONE t1 AT(VERSION => 3)").unwrap() {
+            Statement::CloneTable { travel, .. } => {
+                assert_eq!(travel, Some(Travel { before: false, version: 3 }));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_statement("CREATE TABLE t2 CLONE t1 BEFORE(VERSION => 7)").unwrap() {
+            Statement::CloneTable { travel, .. } => {
+                assert_eq!(travel, Some(Travel { before: true, version: 7 }));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_statement("UNDROP TABLE t").unwrap() {
+            Statement::Undrop { name } => assert_eq!(name, "T"),
+            other => panic!("{other:?}"),
+        }
+        for bad in [
+            "UNDROP t",
+            "UNDROP TABLE t x",
+            "CREATE TABLE t2 CLONE t1 AT(VERSION 3)",
+            "CREATE TABLE t2 CLONE t1 AT(VERSION => -1)",
+            "CREATE TABLE t2 CLONE t1 garbage",
+        ] {
+            assert!(parse_statement(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parses_time_travel_queries() {
+        use super::super::ast::{SetExpr, TableFactor};
+        let travel_of = |sql: &str| -> Option<Travel> {
+            match parse_statement(sql).unwrap() {
+                Statement::Query(q) => match q.body {
+                    SetExpr::Select(sel) => match sel.from.unwrap().base {
+                        TableFactor::Table { travel, .. } => travel,
+                        other => panic!("{other:?}"),
+                    },
+                    other => panic!("{other:?}"),
+                },
+                other => panic!("{other:?}"),
+            }
+        };
+        assert_eq!(
+            travel_of("SELECT * FROM t AT(VERSION => 5)"),
+            Some(Travel { before: false, version: 5 })
+        );
+        assert_eq!(
+            travel_of("SELECT * FROM t BEFORE(VERSION => 2) x WHERE x.a > 0"),
+            Some(Travel { before: true, version: 2 })
+        );
+        // AT without '(' is still a plain alias (back-compat).
+        assert_eq!(travel_of("SELECT * FROM t at"), None);
+        assert!(parse_statement("SELECT * FROM t AT(VERSION 5)").is_err());
     }
 
     #[test]

@@ -14,9 +14,13 @@
 //! `STATEMENT_MEMORY_LIMIT` as it goes.
 
 use std::io::BufRead;
+use std::sync::Arc;
 
 use super::{ColumnDef, ColumnType, DEFAULT_PARTITION_ROWS};
+use crate::catalog::{TableWrite, WriteSet};
 use crate::error::{Result, SnowError};
+use crate::govern::retry::{self, RetryPolicy};
+use crate::govern::QueryGovernor;
 use crate::variant::{parse_json, Variant};
 use crate::Database;
 
@@ -180,6 +184,150 @@ impl Database {
         });
         self.load_table_stream(table, schema, rows, DEFAULT_PARTITION_ROWS)?;
         Ok(n)
+    }
+}
+
+/// What a finished [`StreamIngestor`] did: rows landed and commits made.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IngestReport {
+    pub rows: usize,
+    pub commits: usize,
+}
+
+/// Streaming micro-commit ingest into an *existing* table: JSONL documents
+/// buffer up to `rows_per_commit` rows, then each batch commits as one
+/// optimistic [`TableWrite::Append`] (retried under seeded backoff on lost
+/// races — appends merge with concurrent appends and with compactor
+/// rewrites, so retries converge). Readers see batch boundaries only: every
+/// committed version is a consistent prefix of the stream.
+///
+/// Unlike [`Database::load_jsonl`] (which *replaces* the table and infers a
+/// schema), the ingestor appends against the table's fixed schema: a
+/// document key not in the schema is a typed catalog error, a missing key
+/// loads as NULL.
+pub struct StreamIngestor<'a> {
+    db: &'a Database,
+    /// Upper-cased table name.
+    table: String,
+    schema: Vec<ColumnDef>,
+    names: Vec<String>,
+    buf: Vec<Vec<Variant>>,
+    rows_per_commit: usize,
+    report: IngestReport,
+}
+
+impl Database {
+    /// Opens a streaming micro-commit ingest channel into existing table
+    /// `table`, committing every `rows_per_commit` buffered rows (clamped
+    /// ≥ 1). See [`StreamIngestor`].
+    pub fn stream_ingest(&self, table: &str, rows_per_commit: usize) -> Result<StreamIngestor<'_>> {
+        let upper = table.to_ascii_uppercase();
+        let t = self.table(&upper).ok_or_else(|| {
+            SnowError::Catalog(format!(
+                "table '{table}' does not exist (streaming ingest appends; create it first)"
+            ))
+        })?;
+        let schema = t.schema().to_vec();
+        let names = schema.iter().map(|c| c.name.clone()).collect();
+        Ok(StreamIngestor {
+            db: self,
+            table: upper,
+            schema,
+            names,
+            buf: Vec::new(),
+            rows_per_commit: rows_per_commit.max(1),
+            report: IngestReport::default(),
+        })
+    }
+
+    /// One-shot convenience over [`Database::stream_ingest`]: appends every
+    /// line of `text` in `rows_per_commit`-sized micro-commits.
+    pub fn append_jsonl(&self, table: &str, text: &str, rows_per_commit: usize) -> Result<IngestReport> {
+        let mut ing = self.stream_ingest(table, rows_per_commit)?;
+        for line in text.lines() {
+            ing.push_json(line)?;
+        }
+        ing.finish()
+    }
+}
+
+impl StreamIngestor<'_> {
+    /// Parses one JSONL document and buffers its row, committing a batch when
+    /// the buffer fills. Blank lines are skipped; a key outside the table's
+    /// schema is a typed catalog error (nothing from the current buffer is
+    /// lost — the line can be corrected and re-pushed).
+    pub fn push_json(&mut self, line: &str) -> Result<()> {
+        if line.trim().is_empty() {
+            return Ok(());
+        }
+        let doc = parse_json(line)?;
+        let obj = doc.as_object().ok_or_else(|| {
+            SnowError::Catalog("ingestion expects one JSON object per line".into())
+        })?;
+        for (k, _) in obj.iter() {
+            if !self.names.iter().any(|n| n.eq_ignore_ascii_case(k)) {
+                return Err(SnowError::Catalog(format!(
+                    "unknown key '{k}' for table '{}' (columns: {})",
+                    self.table,
+                    self.names.join(", ")
+                )));
+            }
+        }
+        self.buf.push(row_from_doc(&doc, &self.names));
+        if self.buf.len() >= self.rows_per_commit {
+            self.commit_batch()?;
+        }
+        Ok(())
+    }
+
+    /// Rows committed so far (excludes the open buffer).
+    pub fn committed_rows(&self) -> usize {
+        self.report.rows
+    }
+
+    /// Commits the buffered batch as one `Append`, retrying lost commit
+    /// races against a fresh snapshot. The partitions are rebuilt per
+    /// attempt; a failed attempt's files are invisible debris.
+    fn commit_batch(&mut self) -> Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let rows = std::mem::take(&mut self.buf);
+        let gov = Arc::new(QueryGovernor::from_params(&self.db.session_params()));
+        let policy = RetryPolicy::commit_default(self.db.next_commit_seed());
+        retry::run(&policy, |_| {
+            let base = self.db.snapshot();
+            if base.table(&self.table).is_none() {
+                return Err(SnowError::Catalog(format!(
+                    "table '{}' was dropped mid-ingest",
+                    self.table
+                )));
+            }
+            let parts = self.db.build_partitions(
+                &self.table,
+                &self.schema,
+                &rows,
+                self.rows_per_commit,
+                &gov,
+            )?;
+            self.db.commit_writes(
+                base.version(),
+                WriteSet::single(&self.table, TableWrite::Append {
+                    parts,
+                    schema: self.schema.clone(),
+                }),
+            )?;
+            Ok(())
+        })?;
+        self.report.rows += rows.len();
+        self.report.commits += 1;
+        Ok(())
+    }
+
+    /// Flushes any partial batch and returns the totals.
+    pub fn finish(mut self) -> Result<IngestReport> {
+        self.commit_batch()?;
+        Ok(self.report)
     }
 }
 

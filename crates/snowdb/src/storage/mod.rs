@@ -17,7 +17,7 @@ pub mod stats;
 mod table;
 
 pub use encode::{encode_from_env, set_ingest_encoding, NULL_CODE};
-pub use ingest::infer_schema;
+pub use ingest::{infer_schema, IngestReport, StreamIngestor};
 pub use stats::{ColumnStats, KmvSketch, TableStats};
 pub use table::{
     ColumnDef, MemSink, MicroPartition, PartitionSink, Table, TableBuilder,

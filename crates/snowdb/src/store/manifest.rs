@@ -42,8 +42,12 @@ use crate::variant::{parse_json, to_json, Object, Variant};
 pub const MANIFEST_FILE: &str = "MANIFEST";
 /// Name of the commit-in-progress temp file.
 pub const MANIFEST_TMP: &str = "MANIFEST.tmp";
-/// Manifest serialization format version.
-pub const MANIFEST_FORMAT: i64 = 1;
+/// Manifest serialization format version. Format 2 added version retention
+/// (`retention` + `history`); format-1 manifests are still read (empty
+/// history, default retention) but every write is format 2.
+pub const MANIFEST_FORMAT: i64 = 2;
+/// Default number of committed versions retained (current + 7 historical).
+pub const DEFAULT_RETENTION: u64 = 8;
 
 /// One live partition file of a table.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -60,125 +64,270 @@ pub struct TableManifest {
     pub partitions: Vec<PartRef>,
 }
 
-/// The whole catalog at one committed version.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+/// One retained *historical* catalog version: the full table set as it stood
+/// when that version was current. Time travel and `UNDROP` reconstruct
+/// tables from these records; GC keeps every partition file they reference.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VersionRecord {
+    pub version: u64,
+    pub tables: BTreeMap<String, TableManifest>,
+}
+
+/// The whole catalog at one committed version, plus the retained history.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Manifest {
     /// Committed catalog version; bumps by one per commit.
     pub version: u64,
     /// Next partition-file sequence number. Persisted so file names are never
     /// reused even across drop + crash + reopen.
     pub next_file: u64,
+    /// How many committed versions to retain, counting the current one.
+    /// Always ≥ 1; shrinking it evicts history on the next commit.
+    pub retention: u64,
     pub tables: BTreeMap<String, TableManifest>,
+    /// Strictly older retained versions, ascending by version. The newest
+    /// history entry is the version immediately before `version`.
+    pub history: Vec<VersionRecord>,
+}
+
+impl Default for Manifest {
+    fn default() -> Manifest {
+        Manifest {
+            version: 0,
+            next_file: 0,
+            retention: DEFAULT_RETENTION,
+            tables: BTreeMap::new(),
+            history: Vec::new(),
+        }
+    }
 }
 
 fn storage(msg: impl Into<String>) -> SnowError {
     SnowError::Storage(msg.into())
 }
 
+fn tables_to_json(tables: &BTreeMap<String, TableManifest>) -> Variant {
+    let list: Vec<Variant> = tables
+        .iter()
+        .map(|(name, t)| {
+            let mut obj = Object::new();
+            obj.insert("name", Variant::str(name));
+            let cols: Vec<Variant> = t
+                .schema
+                .iter()
+                .map(|c| {
+                    let mut col = Object::new();
+                    col.insert("name", Variant::str(&c.name));
+                    col.insert("type", Variant::str(c.ty.name()));
+                    Variant::object(col)
+                })
+                .collect();
+            obj.insert("columns", Variant::array(cols));
+            let parts: Vec<Variant> = t
+                .partitions
+                .iter()
+                .map(|p| {
+                    let mut part = Object::new();
+                    part.insert("file", Variant::str(&p.file));
+                    part.insert("rows", Variant::Int(p.rows as i64));
+                    Variant::object(part)
+                })
+                .collect();
+            obj.insert("partitions", Variant::array(parts));
+            Variant::object(obj)
+        })
+        .collect();
+    Variant::array(list)
+}
+
+fn tables_from_json(list: &[Variant]) -> Result<BTreeMap<String, TableManifest>> {
+    let mut tables = BTreeMap::new();
+    for t in list {
+        let obj = t.as_object().ok_or_else(|| storage("table entry is not an object"))?;
+        let name = field_str(obj, "name")?;
+        let mut schema = Vec::new();
+        for c in obj
+            .get("columns")
+            .and_then(Variant::as_array)
+            .ok_or_else(|| storage(format!("table '{name}': 'columns' is not an array")))?
+        {
+            let col = c
+                .as_object()
+                .ok_or_else(|| storage(format!("table '{name}': column entry is not an object")))?;
+            let cname = field_str(col, "name")?;
+            let tyname = field_str(col, "type")?;
+            let ty = ColumnType::parse(&tyname).ok_or_else(|| {
+                storage(format!("table '{name}': unknown column type '{tyname}'"))
+            })?;
+            schema.push(ColumnDef::new(cname, ty));
+        }
+        let mut partitions = Vec::new();
+        for p in obj
+            .get("partitions")
+            .and_then(Variant::as_array)
+            .ok_or_else(|| storage(format!("table '{name}': 'partitions' is not an array")))?
+        {
+            let part = p
+                .as_object()
+                .ok_or_else(|| storage(format!("table '{name}': partition entry is not an object")))?;
+            let file = field_str(part, "file")?;
+            if file.contains('/') || file.contains("..") {
+                return Err(storage(format!(
+                    "table '{name}': partition file name '{file}' escapes the parts directory"
+                )));
+            }
+            let rows = usize::try_from(field_int(part, "rows")?)
+                .map_err(|_| storage(format!("table '{name}': negative row count")))?;
+            partitions.push(PartRef { file, rows });
+        }
+        if tables.insert(name.clone(), TableManifest { schema, partitions }).is_some() {
+            return Err(storage(format!("duplicate table '{name}' in manifest")));
+        }
+    }
+    Ok(tables)
+}
+
 impl Manifest {
-    /// Renders the manifest as canonical JSON text.
+    /// Renders the manifest as canonical JSON text (always format 2).
     pub fn to_json_text(&self) -> String {
         let mut root = Object::new();
         root.insert("format", Variant::Int(MANIFEST_FORMAT));
         root.insert("version", Variant::Int(self.version as i64));
         root.insert("next_file", Variant::Int(self.next_file as i64));
-        let tables: Vec<Variant> = self
-            .tables
+        root.insert("retention", Variant::Int(self.retention as i64));
+        root.insert("tables", tables_to_json(&self.tables));
+        let history: Vec<Variant> = self
+            .history
             .iter()
-            .map(|(name, t)| {
+            .map(|rec| {
                 let mut obj = Object::new();
-                obj.insert("name", Variant::str(name));
-                let cols: Vec<Variant> = t
-                    .schema
-                    .iter()
-                    .map(|c| {
-                        let mut col = Object::new();
-                        col.insert("name", Variant::str(&c.name));
-                        col.insert("type", Variant::str(c.ty.name()));
-                        Variant::object(col)
-                    })
-                    .collect();
-                obj.insert("columns", Variant::array(cols));
-                let parts: Vec<Variant> = t
-                    .partitions
-                    .iter()
-                    .map(|p| {
-                        let mut part = Object::new();
-                        part.insert("file", Variant::str(&p.file));
-                        part.insert("rows", Variant::Int(p.rows as i64));
-                        Variant::object(part)
-                    })
-                    .collect();
-                obj.insert("partitions", Variant::array(parts));
+                obj.insert("version", Variant::Int(rec.version as i64));
+                obj.insert("tables", tables_to_json(&rec.tables));
                 Variant::object(obj)
             })
             .collect();
-        root.insert("tables", Variant::array(tables));
+        root.insert("history", Variant::array(history));
         to_json(&Variant::object(root))
     }
 
     /// Parses manifest JSON; every malformation is a typed `Storage` error.
+    /// Accepts format 1 (pre-retention) manifests: they read back with an
+    /// empty history and the default retention.
     pub fn from_json_text(text: &str) -> Result<Manifest> {
         let v = parse_json(text).map_err(|e| storage(format!("manifest is not valid JSON: {e}")))?;
         let root = v.as_object().ok_or_else(|| storage("manifest root is not an object"))?;
         let format = field_int(root, "format")?;
-        if format != MANIFEST_FORMAT {
+        if format != 1 && format != MANIFEST_FORMAT {
             return Err(storage(format!(
-                "unsupported manifest format {format} (expected {MANIFEST_FORMAT})"
+                "unsupported manifest format {format} (expected 1..={MANIFEST_FORMAT})"
             )));
         }
         let version = u64::try_from(field_int(root, "version")?)
             .map_err(|_| storage("manifest version is negative"))?;
         let next_file = u64::try_from(field_int(root, "next_file")?)
             .map_err(|_| storage("manifest next_file is negative"))?;
-        let mut tables = BTreeMap::new();
         let list = root
             .get("tables")
             .and_then(Variant::as_array)
             .ok_or_else(|| storage("manifest 'tables' is not an array"))?;
-        for t in list {
-            let obj = t.as_object().ok_or_else(|| storage("table entry is not an object"))?;
-            let name = field_str(obj, "name")?;
-            let mut schema = Vec::new();
-            for c in obj
-                .get("columns")
+        let tables = tables_from_json(list)?;
+        let (retention, history) = if format == 1 {
+            (DEFAULT_RETENTION, Vec::new())
+        } else {
+            let retention = u64::try_from(field_int(root, "retention")?)
+                .ok()
+                .filter(|&r| r >= 1)
+                .ok_or_else(|| storage("manifest retention must be ≥ 1"))?;
+            let mut history = Vec::new();
+            let mut prev: Option<u64> = None;
+            for rec in root
+                .get("history")
                 .and_then(Variant::as_array)
-                .ok_or_else(|| storage(format!("table '{name}': 'columns' is not an array")))?
+                .ok_or_else(|| storage("manifest 'history' is not an array"))?
             {
-                let col = c
+                let obj = rec
                     .as_object()
-                    .ok_or_else(|| storage(format!("table '{name}': column entry is not an object")))?;
-                let cname = field_str(col, "name")?;
-                let tyname = field_str(col, "type")?;
-                let ty = ColumnType::parse(&tyname).ok_or_else(|| {
-                    storage(format!("table '{name}': unknown column type '{tyname}'"))
-                })?;
-                schema.push(ColumnDef::new(cname, ty));
-            }
-            let mut partitions = Vec::new();
-            for p in obj
-                .get("partitions")
-                .and_then(Variant::as_array)
-                .ok_or_else(|| storage(format!("table '{name}': 'partitions' is not an array")))?
-            {
-                let part = p
-                    .as_object()
-                    .ok_or_else(|| storage(format!("table '{name}': partition entry is not an object")))?;
-                let file = field_str(part, "file")?;
-                if file.contains('/') || file.contains("..") {
+                    .ok_or_else(|| storage("history entry is not an object"))?;
+                let hv = u64::try_from(field_int(obj, "version")?)
+                    .map_err(|_| storage("history version is negative"))?;
+                if hv >= version || prev.is_some_and(|p| hv <= p) {
                     return Err(storage(format!(
-                        "table '{name}': partition file name '{file}' escapes the parts directory"
+                        "history version {hv} out of order (current {version})"
                     )));
                 }
-                let rows = usize::try_from(field_int(part, "rows")?)
-                    .map_err(|_| storage(format!("table '{name}': negative row count")))?;
-                partitions.push(PartRef { file, rows });
+                prev = Some(hv);
+                let list = obj
+                    .get("tables")
+                    .and_then(Variant::as_array)
+                    .ok_or_else(|| storage("history 'tables' is not an array"))?;
+                history.push(VersionRecord { version: hv, tables: tables_from_json(list)? });
             }
-            if tables.insert(name.clone(), TableManifest { schema, partitions }).is_some() {
-                return Err(storage(format!("duplicate table '{name}' in manifest")));
-            }
+            (retention, history)
+        };
+        Ok(Manifest { version, next_file, retention, tables, history })
+    }
+
+    /// Every partition file referenced by the current version *or* any
+    /// retained historical version — the GC live set.
+    pub fn all_files(&self) -> std::collections::HashSet<String> {
+        let mut live: std::collections::HashSet<String> = self
+            .tables
+            .values()
+            .flat_map(|t| t.partitions.iter().map(|p| p.file.clone()))
+            .collect();
+        for rec in &self.history {
+            live.extend(rec.tables.values().flat_map(|t| t.partitions.iter().map(|p| p.file.clone())));
         }
-        Ok(Manifest { version, next_file, tables })
+        live
+    }
+
+    /// Pushes the current version onto the history. Called at the start of
+    /// every commit, *before* the version bump and mutation, so each commit
+    /// retains its predecessor — eviction by [`Manifest::enforce_retention`]
+    /// is then the only point where a file can become unreferenced. The
+    /// initial empty version 0 is never archived: an empty catalog holds no
+    /// files to protect and is not worth a retention slot.
+    pub fn archive_current(&mut self) {
+        if self.version == 0 {
+            return;
+        }
+        self.history.push(VersionRecord {
+            version: self.version,
+            tables: self.tables.clone(),
+        });
+    }
+
+    /// Drops history entries beyond the retention window (current version
+    /// counts as one slot) and returns the evicted records — the GC's unlink
+    /// candidates.
+    pub fn enforce_retention(&mut self) -> Vec<VersionRecord> {
+        let keep = self.retention.max(1).saturating_sub(1) as usize;
+        if self.history.len() <= keep {
+            return Vec::new();
+        }
+        let evict = self.history.len() - keep;
+        self.history.drain(..evict).collect()
+    }
+
+    /// The table set as of `version`: the current tables when `version` is
+    /// current, else the retained history record. `None` when the version
+    /// was never committed or has been evicted from retention.
+    pub fn tables_at(&self, version: u64) -> Option<&BTreeMap<String, TableManifest>> {
+        if version == self.version {
+            return Some(&self.tables);
+        }
+        self.history
+            .iter()
+            .rev()
+            .find(|rec| rec.version == version)
+            .map(|rec| &rec.tables)
+    }
+
+    /// Retained versions, ascending (history then current).
+    pub fn retained_versions(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.history.iter().map(|r| r.version).collect();
+        v.push(self.version);
+        v
     }
 }
 
@@ -298,7 +447,7 @@ mod tests {
                 partitions: vec![],
             },
         );
-        Manifest { version: 42, next_file: 7, tables }
+        Manifest { version: 42, next_file: 7, tables, ..Manifest::default() }
     }
 
     #[test]
@@ -307,6 +456,46 @@ mod tests {
         let text = m.to_json_text();
         let back = Manifest::from_json_text(&text).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn manifest_history_roundtrips_and_v1_reads_compat() {
+        let mut m = sample();
+        m.retention = 3;
+        m.archive_current();
+        m.history[0].version = 41;
+        m.tables.remove("empty");
+        let text = m.to_json_text();
+        let back = Manifest::from_json_text(&text).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.history.len(), 1);
+        assert_eq!(back.tables_at(41).unwrap().len(), 2);
+        assert_eq!(back.tables_at(42).unwrap().len(), 1);
+        assert!(back.tables_at(40).is_none());
+        assert_eq!(back.retained_versions(), vec![41, 42]);
+        // A format-1 manifest (no retention/history fields) still reads.
+        let v1 = "{\"format\": 1, \"version\": 5, \"next_file\": 2, \"tables\": []}";
+        let old = Manifest::from_json_text(v1).unwrap();
+        assert_eq!(old.version, 5);
+        assert_eq!(old.retention, DEFAULT_RETENTION);
+        assert!(old.history.is_empty());
+    }
+
+    #[test]
+    fn retention_eviction_returns_oldest_records() {
+        let mut m = Manifest { retention: 3, ..Manifest::default() };
+        for v in 0..6 {
+            m.archive_current();
+            m.version = v + 1;
+            let evicted = m.enforce_retention();
+            // With retention 3 the first evictions start once history holds
+            // more than two entries.
+            for rec in &evicted {
+                assert!(rec.version + 2 < m.version);
+            }
+        }
+        assert_eq!(m.history.len(), 2);
+        assert_eq!(m.retained_versions(), vec![4, 5, 6]);
     }
 
     #[test]

@@ -22,27 +22,50 @@
 //!   commit point — a crash at any step reopens to the previous version;
 //! - partition file names are never reused (`next_file` is persisted), so a
 //!   stale reader can never observe a recycled file;
-//! - files not reachable from the committed manifest are crash debris and
-//!   are swept on open.
+//! - the manifest retains the last `retention` committed versions (time
+//!   travel, `UNDROP`, clones); a file is unlinked only when *no retained
+//!   version and no live [`VersionPin`] references it* — files not reachable
+//!   from any retained version are crash debris and are swept on open.
 
 pub mod cache;
+pub mod compact;
 pub mod format;
 pub mod manifest;
 
+use std::collections::HashSet;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
 
 use crate::error::{Result, SnowError};
-use crate::govern::chaos::ChaosSchedule;
+use crate::govern::chaos::{ChaosSchedule, ChaosSite};
 use crate::govern::QueryGovernor;
 use crate::storage::{ColumnDef, ColumnRead, MicroPartition, ScanSource, Table, ZoneMap};
 
 pub use cache::{BufferCache, CacheOutcome, CacheStats, DEFAULT_CACHE_BYTES};
+pub use compact::{compact_table_once, CompactionPolicy, CompactionReport, Compactor, CompactorStats};
 pub use format::{ColumnMeta, PartitionMeta};
-pub use manifest::{Manifest, PartRef, TableManifest};
+pub use manifest::{Manifest, PartRef, TableManifest, VersionRecord, DEFAULT_RETENTION};
 
 fn storage(msg: impl Into<String>) -> SnowError {
     SnowError::Storage(msg.into())
+}
+
+/// A pin on one committed catalog version: while any `Arc<VersionPin>` is
+/// alive, GC will not unlink the partition files it names — even after the
+/// version falls out of the retention window (the files go to the deferred
+/// set and are swept once the pin drops). Pins are registered weakly on the
+/// store, so a forgotten pin costs nothing once dropped.
+#[derive(Debug)]
+pub struct VersionPin {
+    version: u64,
+    files: HashSet<String>,
+}
+
+impl VersionPin {
+    /// The pinned catalog version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
 }
 
 /// One disk-backed micro-partition: a path, the decoded footer (schema, zone
@@ -56,6 +79,10 @@ pub struct DiskPartition {
     file_id: u64,
     meta: PartitionMeta,
     cache: Arc<BufferCache>,
+    /// Keeps the backing file pinned against GC for partitions reconstructed
+    /// from a *historical* version (time travel / `UNDROP`). `None` for
+    /// current-version partitions, whose lifetime the catalog snapshot pins.
+    _pin: Option<Arc<VersionPin>>,
 }
 
 impl DiskPartition {
@@ -143,6 +170,13 @@ pub struct Store {
     /// I/O, serializing commits.
     state: Mutex<Manifest>,
     chaos: Mutex<Option<Arc<ChaosSchedule>>>,
+    /// Live version pins (weak: a dropped pin unpins). Checked by GC before
+    /// any unlink. Lock order: `state` before `pins` before `deferred`.
+    pins: Mutex<Vec<Weak<VersionPin>>>,
+    /// Files evicted from retention while still pinned (or whose unlink hit
+    /// an injected crash). Retried on every subsequent commit; unreferenced
+    /// leftovers are also swept on the next write-mode open.
+    deferred: Mutex<HashSet<String>>,
     /// Read-only stores skip the advisory lock and refuse every commit.
     read_only: bool,
 }
@@ -182,7 +216,10 @@ impl Store {
         if !read_only {
             acquire_lock(&dir)?;
         }
-        let committed = manifest::read_manifest(&dir)?.unwrap_or_default();
+        let mut committed = manifest::read_manifest(&dir)?.unwrap_or_default();
+        if let Some(k) = retention_from_env() {
+            committed.retention = k;
+        }
         if !read_only {
             sweep_debris(&dir, &parts_dir, &committed);
         }
@@ -194,6 +231,8 @@ impl Store {
             cache,
             state: Mutex::new(committed.clone()),
             chaos: Mutex::new(None),
+            pins: Mutex::new(Vec::new()),
+            deferred: Mutex::new(HashSet::new()),
             read_only,
         });
 
@@ -201,7 +240,7 @@ impl Store {
         for (name, tm) in &committed.tables {
             let mut partitions = Vec::with_capacity(tm.partitions.len());
             for pref in &tm.partitions {
-                partitions.push(Arc::new(ScanSource::Disk(store.open_partition(pref, name)?)));
+                partitions.push(Arc::new(ScanSource::Disk(store.open_partition(pref, name, None)?)));
             }
             tables.push(Table::from_parts(name.clone(), tm.schema.clone(), partitions));
         }
@@ -222,8 +261,14 @@ impl Store {
         Ok(store)
     }
 
-    /// Validates and wires up one committed partition file.
-    fn open_partition(&self, pref: &PartRef, table: &str) -> Result<DiskPartition> {
+    /// Validates and wires up one committed partition file. `pin` keeps the
+    /// file GC-protected for the partition's lifetime (historical reads).
+    fn open_partition(
+        &self,
+        pref: &PartRef,
+        table: &str,
+        pin: Option<Arc<VersionPin>>,
+    ) -> Result<DiskPartition> {
         let path = self.parts_dir.join(&pref.file);
         let file_id = parse_file_id(&pref.file).ok_or_else(|| {
             storage(format!(
@@ -240,7 +285,7 @@ impl Store {
                 pref.rows
             )));
         }
-        Ok(DiskPartition { path, file_id, meta, cache: self.cache.clone() })
+        Ok(DiskPartition { path, file_id, meta, cache: self.cache.clone(), _pin: pin })
     }
 
     /// Allocates the next partition-file sequence number. The number is
@@ -266,7 +311,7 @@ impl Store {
         let path = self.parts_dir.join(&file);
         let meta = format::write_partition(&path, schema, part)?;
         let pref = PartRef { file, rows: meta.row_count };
-        let disk = DiskPartition { path, file_id, meta, cache: self.cache.clone() };
+        let disk = DiskPartition { path, file_id, meta, cache: self.cache.clone(), _pin: None };
         Ok((Arc::new(ScanSource::Disk(disk)), pref))
     }
 
@@ -296,20 +341,23 @@ impl Store {
     }
 
     /// Commits a table drop; returns the new version. The dropped table's
-    /// partition files are unlinked best-effort *after* the commit succeeds.
+    /// files are *not* unlinked here: the drop's predecessor version stays in
+    /// the retention history (that is what `UNDROP` restores from), and GC
+    /// unlinks the files only once every retained version and pin that
+    /// references them is gone.
     pub fn commit_drop(&self, name: &str) -> Result<u64> {
-        let mut dropped: Vec<String> = Vec::new();
-        let version = self.commit_with(|m| {
-            if let Some(tm) = m.tables.remove(name) {
-                dropped = tm.partitions.into_iter().map(|p| p.file).collect();
-            }
-        })?;
-        for file in dropped {
-            let _ = std::fs::remove_file(self.parts_dir.join(file));
-        }
-        Ok(version)
+        self.commit_with(|m| {
+            m.tables.remove(name);
+        })
     }
 
+    /// Every commit follows the same lifecycle: archive the current version
+    /// into the retained history, bump, mutate, evict history beyond the
+    /// retention window, write the manifest atomically, then GC. Because the
+    /// predecessor is always archived first, a file removed by a rewrite or
+    /// drop stays referenced for another `retention - 1` commits — history
+    /// eviction is the *only* point where a committed file can become
+    /// unreachable, and [`Store::sweep_unreachable`] is the only unlink site.
     fn commit_with(&self, mutate: impl FnOnce(&mut Manifest)) -> Result<u64> {
         if self.read_only {
             return Err(storage(format!(
@@ -319,8 +367,11 @@ impl Store {
         }
         let mut state = self.state.lock().expect("store state lock");
         let mut next = state.clone();
+        next.archive_current();
         next.version += 1;
         mutate(&mut next);
+        next.retention = next.retention.max(1);
+        let evicted = next.enforce_retention();
         let chaos = self.chaos.lock().expect("store chaos lock").clone();
         if let Err(e) = manifest::commit_manifest(&self.dir, &next, chaos.as_deref()) {
             // CAS ambiguity: the failure may have struck *after* the atomic
@@ -329,25 +380,170 @@ impl Store {
             // new version is durable the commit happened and in-memory state
             // must say so, otherwise the previous version stays live.
             match manifest::read_manifest(&self.dir) {
-                Ok(Some(on_disk)) if on_disk.version == next.version => {
-                    let version = next.version;
-                    *state = next;
-                    return Ok(version);
-                }
+                Ok(Some(on_disk)) if on_disk.version == next.version => {}
                 _ => return Err(e),
             }
         }
         let version = next.version;
         *state = next;
+        // GC runs only after the commit is durable. Candidates are the files
+        // of just-evicted versions plus earlier deferrals — never a file that
+        // merely *exists* in parts/, so a concurrent writer's staged-but-
+        // uncommitted partitions are untouchable by construction.
+        let mut candidates: Vec<String> = evicted
+            .iter()
+            .flat_map(|rec| {
+                rec.tables
+                    .values()
+                    .flat_map(|t| t.partitions.iter().map(|p| p.file.clone()))
+            })
+            .collect();
+        candidates.extend(self.deferred.lock().expect("store deferred lock").drain());
+        self.sweep_unreachable(candidates, &state, chaos.as_deref());
         Ok(version)
+    }
+
+    /// Unlinks each candidate file unless a retained version still references
+    /// it (skip forever — it will be re-offered when that version evicts) or
+    /// a live pin protects it (defer to the next commit). An injected
+    /// [`ChaosSite::GcUnlink`] fault simulates a crash mid-sweep: the file is
+    /// deferred, and reopen's debris sweep provides the crash-recovery path.
+    fn sweep_unreachable(
+        &self,
+        candidates: Vec<String>,
+        committed: &Manifest,
+        chaos: Option<&ChaosSchedule>,
+    ) {
+        if candidates.is_empty() {
+            return;
+        }
+        let live = committed.all_files();
+        let pinned = self.pinned_files();
+        let mut deferred = self.deferred.lock().expect("store deferred lock");
+        for file in candidates {
+            if live.contains(&file) {
+                continue;
+            }
+            if pinned.contains(&file) || gc_chaos_point(chaos, &file).is_err() {
+                deferred.insert(file);
+                continue;
+            }
+            let _ = std::fs::remove_file(self.parts_dir.join(&file));
+        }
+    }
+
+    /// Pins the *current* committed version's files — attached by the engine
+    /// to every published catalog snapshot, so an in-flight query holding an
+    /// old snapshot keeps its files on disk even after retention evicts the
+    /// version.
+    pub fn pin_current(&self) -> Arc<VersionPin> {
+        let state = self.state.lock().expect("store state lock");
+        let files = state
+            .tables
+            .values()
+            .flat_map(|t| t.partitions.iter().map(|p| p.file.clone()))
+            .collect();
+        self.pin_version(state.version, files)
+    }
+
+    /// Registers a pin on `version` covering `files`. GC defers unlinking any
+    /// of these files until the returned pin (and every clone) is dropped.
+    pub fn pin_version(&self, version: u64, files: HashSet<String>) -> Arc<VersionPin> {
+        let pin = Arc::new(VersionPin { version, files });
+        let mut pins = self.pins.lock().expect("store pins lock");
+        pins.retain(|w| w.strong_count() > 0);
+        pins.push(Arc::downgrade(&pin));
+        pin
+    }
+
+    /// The union of files protected by live pins.
+    fn pinned_files(&self) -> HashSet<String> {
+        let mut pins = self.pins.lock().expect("store pins lock");
+        pins.retain(|w| w.strong_count() > 0);
+        let mut out = HashSet::new();
+        for w in pins.iter() {
+            if let Some(pin) = w.upgrade() {
+                out.extend(pin.files.iter().cloned());
+            }
+        }
+        out
+    }
+
+    /// Retained catalog versions, ascending (oldest history through current).
+    pub fn retained_versions(&self) -> Vec<u64> {
+        self.state.lock().expect("store state lock").retained_versions()
+    }
+
+    /// The configured retention window (number of versions, ≥ 1).
+    pub fn retention(&self) -> u64 {
+        self.state.lock().expect("store state lock").retention
+    }
+
+    /// Sets the retention window and persists it as a commit of its own —
+    /// which immediately evicts (and GCs) any history beyond the new window.
+    /// Values < 1 clamp to 1.
+    pub fn set_retention(&self, versions: u64) -> Result<u64> {
+        let versions = versions.max(1);
+        self.commit_with(move |m| {
+            m.retention = versions;
+        })
+    }
+
+    /// Reconstructs table `name` as it stood at committed version `version`.
+    /// Returns `Ok(None)` when the version is retained but the table did not
+    /// exist in it; a typed `Storage` error when the version has been evicted
+    /// from the retention window (or never existed). The returned table's
+    /// partitions carry a [`VersionPin`], so its files survive GC for as long
+    /// as the table (or any plan scanning it) is alive.
+    pub fn open_table_at(self: &Arc<Store>, version: u64, name: &str) -> Result<Option<Table>> {
+        let (tm, pin) = {
+            let state = self.state.lock().expect("store state lock");
+            let Some(tables) = state.tables_at(version) else {
+                return Err(storage(format!(
+                    "version {version} is outside the retention window (retained: {:?})",
+                    state.retained_versions()
+                )));
+            };
+            let Some(tm) = tables.get(name) else {
+                return Ok(None);
+            };
+            let files: HashSet<String> =
+                tm.partitions.iter().map(|p| p.file.clone()).collect();
+            // Pin under the state lock: a racing commit cannot evict-and-
+            // unlink these files between lookup and pin registration.
+            (tm.clone(), self.pin_version(version, files))
+        };
+        let mut partitions = Vec::with_capacity(tm.partitions.len());
+        for pref in &tm.partitions {
+            partitions.push(Arc::new(ScanSource::Disk(self.open_partition(
+                pref,
+                name,
+                Some(pin.clone()),
+            )?)));
+        }
+        Ok(Some(Table::from_parts(name.to_string(), tm.schema.clone(), partitions)))
+    }
+
+    /// The table names present at retained version `version` (typed `Storage`
+    /// error outside the retention window).
+    pub fn table_names_at(&self, version: u64) -> Result<Vec<String>> {
+        let state = self.state.lock().expect("store state lock");
+        let Some(tables) = state.tables_at(version) else {
+            return Err(storage(format!(
+                "version {version} is outside the retention window (retained: {:?})",
+                state.retained_versions()
+            )));
+        };
+        Ok(tables.keys().cloned().collect())
     }
 
     /// Applies one catalog [`WriteSet`](crate::catalog::WriteSet) as a single
     /// manifest commit. Every partition named by the set must already be a
     /// written partition *file* (files are invisible until this commit).
-    /// Files removed by rewrites or drops are *not* unlinked: a pinned reader
-    /// snapshot may still read them lazily — they become debris swept on the
-    /// next (write-mode) open, the storage model's generation GC.
+    /// Files removed by rewrites or drops are *not* unlinked here: the
+    /// pre-commit version keeps referencing them from the retained history,
+    /// and GC unlinks them only once they fall out of every retained version
+    /// and pin (see [`Store::commit_with`]).
     pub(crate) fn commit_writes(&self, set: &crate::catalog::WriteSet) -> Result<u64> {
         use crate::catalog::TableWrite;
         // Translate sources to manifest references up front so a non-disk
@@ -488,6 +684,15 @@ fn parse_file_id(file: &str) -> Option<u64> {
     file.strip_prefix('p')?.strip_suffix(".part")?.parse().ok()
 }
 
+/// `SNOWDB_RETAIN` overrides the persisted retention window at open time
+/// (clamped to ≥ 1); unset or unparsable means keep the manifest's value.
+fn retention_from_env() -> Option<u64> {
+    std::env::var("SNOWDB_RETAIN")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .map(|k| k.max(1))
+}
+
 /// Name of the advisory lock file inside the database directory.
 pub const LOCK_FILE: &str = "LOCK";
 
@@ -561,16 +766,32 @@ fn pid_is_alive(pid: u32) -> bool {
     }
 }
 
+/// A [`ChaosSite::GcUnlink`] injection point on the GC sweep. Injected
+/// faults — including panics — surface as a typed error the sweeper turns
+/// into a deferral, simulating a crash that left the file on disk.
+fn gc_chaos_point(chaos: Option<&ChaosSchedule>, file: &str) -> Result<()> {
+    let Some(schedule) = chaos else { return Ok(()) };
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        schedule.maybe_inject(ChaosSite::GcUnlink, "GcUnlink")
+    })) {
+        Ok(r) => r,
+        Err(payload) => Err(storage(format!(
+            "simulated crash during GC unlink of {file}: {}",
+            crate::govern::panic_message(&*payload)
+        ))),
+    }
+}
+
 /// Removes commit debris: a leftover `MANIFEST.tmp` and partition files not
-/// referenced by the committed manifest. Safe because files only become
-/// meaningful through a commit, and `next_file` never reuses names.
+/// referenced by *any retained version* of the committed manifest (current
+/// or history — the bug this replaced swept against the newest version only,
+/// destroying time-travel history on every write-mode open). Safe because
+/// files only become meaningful through a commit, and `next_file` never
+/// reuses names. This is also the crash-recovery path for a GC interrupted
+/// mid-sweep: deferred files die here once nothing references them.
 fn sweep_debris(dir: &Path, parts_dir: &Path, committed: &Manifest) {
     let _ = std::fs::remove_file(dir.join(manifest::MANIFEST_TMP));
-    let live: std::collections::HashSet<&str> = committed
-        .tables
-        .values()
-        .flat_map(|t| t.partitions.iter().map(|p| p.file.as_str()))
-        .collect();
+    let live = committed.all_files();
     let Ok(entries) = std::fs::read_dir(parts_dir) else { return };
     for entry in entries.flatten() {
         let name = entry.file_name();
@@ -696,17 +917,71 @@ mod tests {
     }
 
     #[test]
-    fn commit_drop_unlinks_files_and_survives_reopen() {
+    fn commit_drop_retains_history_then_gc_unlinks_past_retention() {
         let dir = temp_dir("drop");
         let store = Store::create(&dir).unwrap();
         let (_t, refs) = build_table(&store, 8);
         store.commit_table("T", schema(), refs).unwrap();
         store.commit_drop("T").unwrap();
         assert_eq!(store.version(), 2);
+        // The drop keeps the files: version 1 is retained and UNDROP-able.
+        assert_eq!(std::fs::read_dir(dir.join("parts")).unwrap().count(), 2);
+        assert!(store.open_table_at(1, "T").unwrap().is_some());
+        // Shrinking retention to 1 evicts version 1 and GC unlinks its files.
+        store.set_retention(1).unwrap();
         assert_eq!(std::fs::read_dir(dir.join("parts")).unwrap().count(), 0);
+        let err = store.open_table_at(1, "T").unwrap_err();
+        assert!(matches!(err, SnowError::Storage(_)), "{err}");
         let (store2, tables) = Store::open(&dir).unwrap();
         assert_eq!(tables.len(), 0);
-        assert_eq!(store2.version(), 2);
+        assert_eq!(store2.version(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retained_versions_survive_reopen_and_sweep() {
+        let dir = temp_dir("retain");
+        {
+            let store = Store::create(&dir).unwrap();
+            let (_t, refs) = build_table(&store, 8);
+            store.commit_table("T", schema(), refs).unwrap();
+            let (_t2, refs2) = build_table(&store, 4);
+            // Replace the table's partitions entirely: version 1's files are
+            // now referenced only by the history.
+            store.commit_table("T", schema(), refs2).unwrap();
+        }
+        // Reopen sweeps debris — the historical files must survive it (the
+        // pre-retention sweeper would have deleted them here).
+        let (store, tables) = Store::open(&dir).unwrap();
+        assert_eq!(tables[0].row_count(), 4);
+        assert_eq!(store.retained_versions(), vec![1, 2]);
+        let old = store.open_table_at(1, "T").unwrap().unwrap();
+        assert_eq!(old.row_count(), 8);
+        let col = old.partitions()[0].read_column(0).unwrap();
+        assert_eq!(col.get(0), Variant::Int(0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pinned_files_survive_eviction_until_pin_drops() {
+        let dir = temp_dir("pin");
+        let store = Store::create(&dir).unwrap();
+        let (_t, refs) = build_table(&store, 8);
+        store.commit_table("T", schema(), refs).unwrap();
+        // Pin version 1 (as a long-running reader would), then replace the
+        // table's partitions and evict version 1 from retention.
+        let old = store.open_table_at(1, "T").unwrap().unwrap();
+        let (_t2, refs2) = build_table(&store, 4);
+        store.commit_table("T", schema(), refs2).unwrap();
+        store.set_retention(1).unwrap();
+        // Version 1's two files are deferred, not unlinked: still scannable.
+        assert_eq!(std::fs::read_dir(dir.join("parts")).unwrap().count(), 3);
+        let col = old.partitions()[0].read_column(0).unwrap();
+        assert_eq!(col.get(0), Variant::Int(0));
+        // Drop the pin; the next commit retries the deferral and unlinks.
+        drop(old);
+        store.set_retention(1).unwrap();
+        assert_eq!(std::fs::read_dir(dir.join("parts")).unwrap().count(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

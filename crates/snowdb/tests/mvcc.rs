@@ -410,9 +410,18 @@ fn persistent_update_delete_round_trip_and_pinned_readers() {
     drop(db);
     let reopened = Database::open(tmp.path()).unwrap();
     assert_eq!(int(&reopened.query("SELECT count(*) FROM t").unwrap().rows[0][0]), 30);
+    // The pre-rewrite versions stay retained across the reopen: the old
+    // files are history, not debris, and time travel still reads them.
+    assert_eq!(
+        int(&reopened.query("SELECT count(*) FROM t AT(VERSION => 1)").unwrap().rows[0][0]),
+        40
+    );
+    // Shrinking retention to the current version evicts that history; only
+    // then do the rewritten-away files become unreachable and get unlinked.
+    reopened.execute("SET DATA_RETENTION_VERSIONS = 1").unwrap();
     let live = reopened.table("t").unwrap().partitions().len();
     let on_disk = std::fs::read_dir(tmp.path().join("parts")).unwrap().count();
-    assert_eq!(on_disk, live, "rewrite debris must be swept on reopen");
+    assert_eq!(on_disk, live, "evicted rewrite history must be swept");
 }
 
 // ---------------------------------------------------------------------------
